@@ -1,0 +1,13 @@
+"""Benchmark harness conventions.
+
+Every file here regenerates one table or figure from the paper's
+evaluation section: it computes the same rows/series through the model
+(timed by pytest-benchmark) and asserts the paper's *shape* — who wins,
+by what factor, where crossovers fall. Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+to see the regenerated tables.
+"""
+
+from __future__ import annotations

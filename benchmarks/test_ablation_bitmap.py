@@ -1,0 +1,64 @@
+"""Ablation: bitmap vs contiguous-range enclave memory isolation
+(DESIGN.md §4.5).
+
+The paper argues for the bitmap because it supports *non-contiguous*
+enclave memory. This bench fragments physical memory and compares how
+much enclave memory a bitmap-based isolator vs a range-register isolator
+can still protect: the range isolator is limited to the largest free run,
+while the bitmap protects every free frame.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import DeterministicRng
+from repro.eval.report import pct, render_table
+
+TOTAL_FRAMES = 4096
+
+
+def fragment(occupancy: float, seed: int = 11) -> list[bool]:
+    """A physical frame map with `occupancy` of frames pinned by the OS."""
+    rng = DeterministicRng(seed).stream("frag")
+    return [rng.random() < occupancy for _ in range(TOTAL_FRAMES)]
+
+
+def largest_free_run(pinned: list[bool]) -> int:
+    best = run = 0
+    for taken in pinned:
+        run = 0 if taken else run + 1
+        best = max(best, run)
+    return best
+
+
+def run_ablation():
+    rows = []
+    for occupancy in (0.05, 0.10, 0.20, 0.40):
+        pinned = fragment(occupancy)
+        free = pinned.count(False)
+        bitmap_protectable = free                 # any free frame qualifies
+        range_protectable = largest_free_run(pinned)
+        rows.append((occupancy, free, bitmap_protectable, range_protectable))
+    return rows
+
+
+def test_ablation_bitmap(benchmark):
+    rows = benchmark(run_ablation)
+
+    print()
+    print(render_table(
+        "Ablation — bitmap vs contiguous-range isolation under fragmentation",
+        ["OS occupancy", "free frames", "bitmap protects",
+         "range protects", "range efficiency"],
+        [[pct(occ, 0), free, bm, rng_, pct(rng_ / free, 1)]
+         for occ, free, bm, rng_ in rows]))
+
+    for occupancy, free, bitmap_frames, range_frames in rows:
+        # The bitmap always protects the full free set.
+        assert bitmap_frames == free
+        assert range_frames <= bitmap_frames
+    # Under realistic fragmentation the range isolator collapses while
+    # the bitmap is unaffected — the paper's scalability argument.
+    heavy = rows[-1]
+    assert heavy[3] / heavy[1] < 0.05
+    light = rows[0]
+    assert light[3] / light[1] < 0.50

@@ -1,0 +1,62 @@
+"""Fig. 12: enclave communication — accelerator and NIC scenarios.
+
+Paper: eliminating software (de/en)cryption on the enclave<->device path,
+HyperTEE speeds up ResNet50 by >4.0x (crypto was >74.7% of conventional
+time), MobileNet by >3.3x, the MLPs by >27.7x, and NIC streaming by ~50x
+(crypto >98% of transmission time)."""
+
+from __future__ import annotations
+
+from repro.eval.report import pct, render_table, times
+from repro.workloads.dnn import (
+    ALL_DNN_MODELS,
+    MLP_MODELS,
+    MOBILENET,
+    RESNET50,
+    conventional_timing,
+    hypertee_timing,
+    speedup,
+)
+from repro.workloads.nic import NICTransfer
+
+
+def compute():
+    rows = []
+    for model in ALL_DNN_MODELS:
+        conv = conventional_timing(model)
+        hyper = hypertee_timing(model)
+        rows.append((model.name, conv.total_seconds, conv.crypto_share,
+                     hyper.total_seconds, speedup(model)))
+    nic = NICTransfer(total_bytes=100e6)
+    rows.append(("nic-stream", nic.conventional_seconds(), nic.crypto_share(),
+                 nic.hypertee_seconds(), nic.speedup()))
+    return rows
+
+
+def test_fig12(benchmark):
+    rows = benchmark(compute)
+
+    print()
+    print(render_table(
+        "Fig. 12 — enclave communication performance",
+        ["workload", "conventional (s)", "crypto share",
+         "HyperTEE (s)", "speedup"],
+        [[name, f"{conv:.4f}", pct(share, 1), f"{hyper:.4f}", times(spd)]
+         for name, conv, share, hyper, spd in rows]))
+
+    by_name = {name: (share, spd) for name, _, share, _, spd in rows}
+
+    # ResNet50: crypto >= 74.7% of conventional time; speedup > 4.0x.
+    assert by_name["resnet50"][0] > 0.747
+    assert by_name["resnet50"][1] > 4.0
+    # MobileNet > 3.3x.
+    assert by_name["mobilenet"][1] > 3.3
+    # Every MLP > 27.7x (fewer layers -> higher crypto share).
+    for mlp in MLP_MODELS:
+        assert by_name[mlp.name][1] > 27.7, mlp.name
+        assert by_name[mlp.name][0] > by_name["resnet50"][0]
+    # NIC: crypto >= 98% of transmission time; ~50x.
+    assert by_name["nic-stream"][0] >= 0.979
+    assert abs(by_name["nic-stream"][1] - 50.0) < 1.0
+    # Ordering: MLPs > mobilenet-vs-resnet relation per compute share.
+    assert min(by_name[m.name][1] for m in MLP_MODELS) > by_name["resnet50"][1]

@@ -1,0 +1,50 @@
+"""Fig. 6: efficiency of resolving concurrent primitive requests.
+
+Paper conclusions: 1 in-order EMS core suffices for a <=4-core CS; 2
+in-order for 16; 2 OoO for 32/64 (achieving SLO similar to a quad-core
+EMS, so dual is adequate)."""
+
+from __future__ import annotations
+
+from repro.eval.report import render_table
+from repro.eval.slo import ADEQUATE_EMS, SLO_FACTOR, meets_slo, simulate
+
+GRID = [
+    (4, 1, "weak"), (4, 1, "medium"),
+    (16, 1, "weak"), (16, 2, "weak"), (16, 2, "medium"),
+    (32, 1, "medium"), (32, 2, "medium"), (32, 4, "medium"),
+    (64, 1, "medium"), (64, 2, "medium"), (64, 4, "medium"),
+]
+
+
+def run_grid():
+    return {(cs, n, name): simulate(cs, n, name) for cs, n, name in GRID}
+
+
+def test_fig6(benchmark):
+    results = benchmark(run_grid)
+
+    print()
+    cdf_factors = (1.5, 2.0, 3.0, 6.0, 12.0)
+    print(render_table(
+        "Fig. 6 — SLO vs EMS configuration "
+        "(CDF: fraction of primitives resolved within x times baseline)",
+        ["CS cores", "EMS", "p99",
+         *[f"<={x:g}x" for x in cdf_factors], "SLO met"],
+        [[cs, f"{n}x{name}", f"{r.p99_factor():.2f}x",
+          *[f"{frac * 100:.0f}%" for _, frac in r.cdf_curve(list(cdf_factors))],
+          "yes" if meets_slo(r) else "NO"]
+         for (cs, n, name), r in results.items()]))
+
+    # Paper's adequacy conclusions hold.
+    for cs_cores, (ems_cores, ems_name) in ADEQUATE_EMS.items():
+        assert meets_slo(results.get((cs_cores, ems_cores, ems_name))
+                         or simulate(cs_cores, ems_cores, ems_name)), cs_cores
+
+    # A single OoO core does NOT meet the SLO for the 64-core machine...
+    assert not meets_slo(results[(64, 1, "medium")])
+    # ...while dual achieves SLO like quad does (the Fig. 6 takeaway).
+    dual, quad = results[(64, 2, "medium")], results[(64, 4, "medium")]
+    assert meets_slo(dual) and meets_slo(quad)
+    # More EMS cores pull the curve toward the y-axis.
+    assert quad.p99_factor() <= dual.p99_factor() <= results[(64, 1, "medium")].p99_factor()

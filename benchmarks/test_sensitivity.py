@@ -1,0 +1,73 @@
+"""Sensitivity analyses around the paper's fixed design parameters.
+
+Beyond the published figures: where the conclusions bend when the
+tunables move — pool sizing vs residual allocation-channel events, EMS
+load headroom, and the jitter window's noise floor.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import render_table
+from repro.eval.sweeps import jitter_sweep, pool_exposure_sweep, slo_load_sweep
+
+
+def test_pool_exposure_sensitivity(benchmark):
+    points = benchmark(pool_exposure_sweep)
+
+    print()
+    print(render_table(
+        "Sensitivity — pool size vs OS-visible refill events "
+        "(2048 pages of enclave demand)",
+        ["initial pool (pages)", "refill events", "frames requested"],
+        [[p.initial_pages, p.refill_events, p.frames_requested]
+         for p in points]))
+
+    by_size = {p.initial_pages: p for p in points}
+    # Bigger pools never increase the residual event count. (The count
+    # does not collapse to 1 even at 2048 pages: the randomized usage
+    # threshold triggers *proactive* refills before exhaustion — which
+    # is the point: refills are decoupled from demand.)
+    refills = [p.refill_events for p in points]
+    assert refills == sorted(refills, reverse=True)
+    assert by_size[2048].refill_events <= 4
+    # Even the smallest pool leaks only bulk events, far below the 256
+    # per-demand events an SGX-style design would expose here.
+    assert by_size[64].refill_events < 40
+
+
+def test_slo_load_sensitivity(benchmark):
+    points = benchmark(slo_load_sweep)
+
+    print()
+    print(render_table(
+        "Sensitivity — offered load vs p99 (64 CS cores, 2x medium EMS)",
+        ["think time", "p99 factor", "SLO met"],
+        [[f"{p.think_time_seconds * 1e3:.1f}ms", f"{p.p99_factor:.2f}x",
+          "yes" if p.slo_met else "NO"] for p in points]))
+
+    # Latency grows monotonically with offered load.
+    factors = [p.p99_factor for p in points]
+    assert factors == sorted(factors)
+    # The paper's operating point (10 ms) holds with headroom...
+    assert next(p for p in points
+                if p.think_time_seconds == 10e-3).slo_met
+    # ...and the sweep finds the saturation knee (4x the paper's load).
+    assert not points[-1].slo_met
+
+
+def test_jitter_noise_floor(benchmark):
+    points = benchmark(jitter_sweep)
+
+    print()
+    print(render_table(
+        "Sensitivity — EMCall jitter window vs observed latency spread",
+        ["window (cycles)", "latency spread (cycles)"],
+        [[p.window_cycles, p.latency_spread] for p in points]))
+
+    by_window = {p.window_cycles: p for p in points}
+    # No jitter -> deterministic latency: a timing observer's dream.
+    assert by_window[0].latency_spread == 0
+    # The spread grows with the window — the attacker's noise floor.
+    spreads = [p.latency_spread for p in points]
+    assert spreads == sorted(spreads)
+    assert by_window[800].latency_spread > by_window[50].latency_spread

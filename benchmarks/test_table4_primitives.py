@@ -1,0 +1,66 @@
+"""Table IV: execution time of enclave primitives vs Host-Native.
+
+Paper: without the crypto engine, primitives cost 10.4% of runtime on
+average (7.8% in EMEAS alone); with it, 2.5% (EMEAS 0.1%).
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import pct, render_table
+from repro.eval.scenarios import ENCLAVE_CRYPTO, ENCLAVE_NONCRYPTO
+from repro.workloads.runner import host_baseline, run_workload
+from repro.workloads.rv8 import RV8_WORKLOADS
+
+#: Paper Table IV: (noncrypto all, noncrypto EMEAS, crypto all, crypto EMEAS).
+PAPER = {
+    "aes": (6.8, 5.1, 1.6, 0.06),
+    "dhrystone": (19.0, 14.3, 4.5, 0.18),
+    "miniz": (8.1, 6.1, 1.9, 0.08),
+    "norx": (10.4, 7.8, 2.5, 0.10),
+    "primes": (5.1, 3.9, 1.2, 0.05),
+    "qsort": (2.8, 2.1, 0.7, 0.03),
+    "sha512": (10.8, 8.1, 2.6, 0.10),
+    "wolfssl": (19.9, 15.0, 4.7, 0.19),
+}
+
+
+def compute_rows() -> dict[str, tuple[float, float, float, float]]:
+    rows = {}
+    for name, profile in RV8_WORKLOADS.items():
+        base = host_baseline(profile).total_cycles
+        nc = run_workload(profile, ENCLAVE_NONCRYPTO)
+        cr = run_workload(profile, ENCLAVE_CRYPTO)
+        rows[name] = (nc.primitive_cycles / base, nc.emeas_cycles / base,
+                      cr.primitive_cycles / base, cr.emeas_cycles / base)
+    return rows
+
+
+def test_table4(benchmark):
+    rows = benchmark(compute_rows)
+
+    print()
+    print(render_table(
+        "Table IV — primitive time vs Host-Native",
+        ["workload", "noncrypto all", "noncrypto EMEAS",
+         "crypto all", "crypto EMEAS", "paper (nc-all/nc-emeas/c-all/c-emeas)"],
+        [[name, pct(r[0], 1), pct(r[1], 1), pct(r[2], 1), pct(r[3], 2),
+          "/".join(str(v) for v in PAPER[name])]
+         for name, r in rows.items()]))
+
+    averages = [sum(r[i] for r in rows.values()) / len(rows) for i in range(4)]
+    print(f"averages: {pct(averages[0],1)} {pct(averages[1],1)} "
+          f"{pct(averages[2],1)} {pct(averages[3],2)} "
+          f"(paper: 10.4% 7.8% 2.5% 0.10%)")
+
+    # Shape assertions against the published table.
+    for name, (nc_all, nc_em, c_all, c_em) in rows.items():
+        paper = PAPER[name]
+        assert abs(nc_all * 100 - paper[0]) < 0.5, name
+        assert abs(nc_em * 100 - paper[1]) < 0.5, name
+        assert abs(c_all * 100 - paper[2]) < 0.6, name
+        assert abs(c_em * 100 - paper[3]) < 0.05, name
+    # The crypto engine collapses EMEAS by ~two orders of magnitude.
+    assert averages[1] / averages[3] > 50
+    # Averages land on the paper's headline numbers.
+    assert abs(averages[0] * 100 - 10.4) < 0.5
+    assert abs(averages[2] * 100 - 2.5) < 0.5

@@ -1,0 +1,28 @@
+"""Table V: EMS area overhead across SoC sizes (TSMC 7nm flow -> area
+model; see DESIGN.md substitutions)."""
+
+from __future__ import annotations
+
+from repro.eval.area import TABLE5_OVERHEAD_PCT, table5_rows
+from repro.eval.report import render_table
+
+
+def test_table5(benchmark):
+    rows = benchmark(table5_rows)
+
+    print()
+    print(render_table(
+        "Table V — EMS area overhead",
+        ["CS cores", "CS mm^2", "EMS config", "EMS mm^2",
+         "overhead", "paper"],
+        [[r.cs_cores, f"{r.cs_area:.0f}",
+          f"{r.ems_cores}x{r.ems_name}", f"{r.ems_area:.2f}",
+          f"{r.overhead_pct:.2f}%", f"{TABLE5_OVERHEAD_PCT[r.cs_cores]}%"]
+         for r in rows]))
+
+    for row in rows:
+        published = TABLE5_OVERHEAD_PCT[row.cs_cores]
+        assert abs(row.overhead_pct - published) < 0.06, row.cs_cores
+    # Headline: below 1% everywhere; 64-core case is the cheapest.
+    assert all(r.overhead_pct <= 1.0 for r in rows)
+    assert min(rows, key=lambda r: r.overhead_pct).cs_cores == 64

@@ -1,0 +1,38 @@
+"""Table VI: defense capability against management-task attacks.
+
+The matrix is *computed*: every attack program runs against every TEE
+model (HyperTEE through the live system), and the outcomes must equal
+the published table cell for cell.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.harness import (
+    CHANNELS,
+    defense_matrix,
+    expected_paper_matrix,
+    matrix_outcomes,
+)
+from repro.eval.report import render_table
+
+_GLYPH = {"leaked": "O", "defended": "#", "partial": "~"}
+
+
+def test_table6(benchmark):
+    matrix = benchmark(defense_matrix)
+    outcomes = matrix_outcomes(matrix)
+    expected = expected_paper_matrix()
+
+    print()
+    print(render_table(
+        "Table VI — defense matrix (O=leaked  #=defended  ~=partial)",
+        ["TEE", *CHANNELS],
+        [[tee, *(_GLYPH[outcomes[tee][ch].value] for ch in CHANNELS)]
+         for tee in expected]))
+
+    mismatches = [
+        (tee, channel)
+        for tee in expected for channel in CHANNELS
+        if outcomes[tee][channel] is not expected[tee][channel]
+    ]
+    assert mismatches == []

@@ -1,0 +1,58 @@
+"""Attack lab: run the paper's management-task attacks live.
+
+Executes the allocation / page-table / swap controlled-channel attacks
+and the management-task prime+probe against both an SGX-style baseline
+and a live HyperTEE platform, then prints the recovered secrets — the
+executable version of the paper's Table VI argument.
+
+Run with::
+
+    python examples/attack_lab.py
+"""
+
+from __future__ import annotations
+
+from repro.attacks.comm_attack import communication_attack
+from repro.attacks.controlled_channel import (
+    allocation_attack,
+    make_secret,
+    page_table_attack,
+    swap_attack,
+)
+from repro.attacks.side_channel import mgmt_microarch_attack
+from repro.baselines.catalog import make_baseline
+from repro.baselines.hypertee_adapter import HyperTEEAdapter
+
+
+def main() -> None:
+    secret = make_secret(16)
+    print(f"victim secret: {''.join(map(str, secret))}\n")
+
+    attacks = [
+        ("allocation channel", lambda t: allocation_attack(t, secret)),
+        ("page-table channel", lambda t: page_table_attack(t, secret)),
+        ("swap channel", lambda t: swap_attack(t, secret)),
+        ("mgmt prime+probe", lambda t: mgmt_microarch_attack(t, secret)),
+        ("communication", communication_attack),
+    ]
+
+    header = f"{'attack':20s} {'vs SGX':>22s} {'vs HyperTEE':>22s}"
+    print(header)
+    print("-" * len(header))
+    for name, attack in attacks:
+        # Fresh platforms per attack so runs cannot contaminate each other.
+        sgx_result = attack(make_baseline("sgx"))
+        hyper_result = attack(HyperTEEAdapter())
+        print(f"{name:20s} "
+              f"{sgx_result.outcome.value:>12s} ({sgx_result.accuracy:.2f}) "
+              f"{hyper_result.outcome.value:>12s} ({hyper_result.accuracy:.2f})")
+
+    print("\naccuracy 1.00 = full secret recovered; ~0.50 = guessing.")
+    print("On HyperTEE the attacks are not merely harder — the observable")
+    print("events they rely on (per-page allocations, readable enclave")
+    print("PTEs, targeted evictions, shared-cache footprints of management")
+    print("tasks) do not exist on the CS side at all.")
+
+
+if __name__ == "__main__":
+    main()

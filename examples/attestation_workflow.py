@@ -1,0 +1,79 @@
+"""Attestation workflows: remote (SIGMA-style) and local, plus sealing.
+
+A remote user verifies that (a) the platform booted genuine HyperTEE
+firmware and (b) the enclave runs exactly the expected binary, then
+derives a session key bound to that verification. A tampered enclave
+fails verification.
+
+Run with::
+
+    python examples/attestation_workflow.py
+"""
+
+from __future__ import annotations
+
+from repro.core.api import HyperTEE, local_attest
+from repro.core.enclave import EnclaveConfig
+from repro.crypto.cipher import KeystreamCipher
+from repro.ems.attestation import RemoteSession
+
+
+def main() -> None:
+    tee = HyperTEE()
+    ca = tee.system.certificate_authority()
+
+    service_code = b"genuine inference service v1.0"
+    enclave = tee.launch_enclave(service_code,
+                                 EnclaveConfig(name="service"))
+    print(f"service enclave launched, measurement "
+          f"{enclave.measurement.hex()[:24]}…")
+
+    # --- remote attestation -------------------------------------------------
+    # The remote user knows (out of band) the measurement of the binary
+    # they expect, and trusts the CA's record of this device.
+    session = RemoteSession(ca=ca,
+                            expected_enclave_measurement=enclave.measurement)
+    with enclave.running():
+        enclave_key = enclave.remote_attest(session)
+    assert session.session_key == enclave_key
+    print("remote attestation complete: platform + enclave verified, "
+          "session key established")
+
+    # The session key encrypts subsequent traffic.
+    wire = KeystreamCipher(session.session_key).encrypt(b"confidential query")
+    answer = KeystreamCipher(enclave_key).decrypt(wire)
+    assert answer == b"confidential query"
+    print("encrypted a query under the negotiated session key")
+
+    # --- a tampered enclave fails -------------------------------------------
+    evil = tee.launch_enclave(b"trojaned inference service",
+                              EnclaveConfig(name="evil"))
+    bad_session = RemoteSession(
+        ca=ca, expected_enclave_measurement=enclave.measurement)
+    try:
+        with evil.running():
+            evil.remote_attest(bad_session)
+        raise AssertionError("tampered enclave must not attest")
+    except Exception as exc:
+        print(f"tampered enclave rejected: {type(exc).__name__}")
+
+    # --- local attestation ----------------------------------------------------
+    # Two enclaves prove to each other they run on the same platform.
+    peer = tee.launch_enclave(b"storage helper enclave",
+                              EnclaveConfig(name="helper"))
+    verified = local_attest(enclave, peer)
+    assert verified == peer.measurement
+    print("local attestation: service verified the helper enclave "
+          "is co-resident")
+
+    # --- sealing -------------------------------------------------------------------
+    with enclave.running():
+        blob = enclave.seal(b"model license key")
+    print("sealed a license key: HostApp can now persist the blob")
+    with enclave.running():
+        assert enclave.unseal(blob) == b"model license key"
+    print("the same enclave identity unsealed it after 're-launch'")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Confidential VM lifecycle and migration (paper Section IX).
+
+A tenant deploys an encrypted VM image to an attested HyperTEE platform,
+the CVM runs and accumulates state, gets snapshotted (Merkle-protected,
+key held in EMS private memory), survives a storage-tampering attempt,
+and finally live-migrates to a second platform over an EMS-to-EMS
+attested channel.
+
+Run with::
+
+    python examples/confidential_vm.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.rng import DeterministicRng
+from repro.core.config import SystemConfig
+from repro.core.system import HyperTEESystem
+from repro.cvm.image import VMOwner
+from repro.cvm.migration import migrate
+from repro.errors import AttestationError, EnclaveStateError
+
+
+def main() -> None:
+    host_a = HyperTEESystem(SystemConfig(cs_memory_mb=64, ems_memory_mb=4,
+                                         seed=101))
+    host_b = HyperTEESystem(SystemConfig(cs_memory_mb=64, ems_memory_mb=4,
+                                         seed=202))
+    owner = VMOwner("tenant",
+                    DeterministicRng(55).stream("tenant").randbytes)
+
+    # --- encrypted image deployment -----------------------------------------
+    image = owner.build_image("db-vm", b"confidential database VM " * 400)
+    print(f"built encrypted image: {image.pages} pages, "
+          f"measurement {image.measurement.hex()[:16]}…")
+
+    owner_public = owner.challenge()
+    ems_public, cert = host_a.cvm.platform_challenge(owner_public)
+    wrapped = owner.release_key("db-vm", host_a.certificate_authority(),
+                                ems_public, cert)
+    print("host A attested; image key released under the channel key")
+
+    cvm_id = host_a.cvm.cvm_create(image, wrapped, owner_public)
+    print(f"CVM #{cvm_id} running on host A")
+
+    # An unattested platform never gets the key.
+    rogue = HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4,
+                                        seed=999))
+    owner.challenge()
+    rogue_public, rogue_cert = rogue.cvm.platform_challenge(0)
+    try:
+        owner.release_key("db-vm", host_a.certificate_authority(),
+                          rogue_public, rogue_cert)
+        raise AssertionError("rogue platform must not receive the key")
+    except AttestationError:
+        print("rogue platform failed attestation; key withheld")
+
+    # --- runtime state + snapshot ----------------------------------------------
+    host_a.cvm.guest_write(cvm_id, 0x2000, b"customer records v17")
+    snapshot = host_a.cvm.snapshot(cvm_id)
+    print(f"\nsnapshot #{snapshot.snapshot_id}: "
+          f"{len(snapshot.encrypted_pages)} encrypted pages; Merkle root "
+          f"held in EMS private memory")
+
+    # Storage tampering is caught by Merkle verification.
+    pages = list(snapshot.encrypted_pages)
+    pages[0] = bytes([pages[0][0] ^ 1]) + pages[0][1:]
+    tampered = dataclasses.replace(snapshot, encrypted_pages=tuple(pages))
+    try:
+        host_a.cvm.restore(tampered)
+        raise AssertionError("tampered snapshot must not restore")
+    except EnclaveStateError:
+        print("tampered snapshot rejected by Merkle verification")
+
+    restored = host_a.cvm.restore(snapshot)
+    assert host_a.cvm.guest_read(restored, 0x2000, 20) == b"customer records v17"
+    print(f"clean restore -> CVM #{restored}, state intact")
+
+    # --- migration -----------------------------------------------------------------
+    migrated = migrate(host_a, host_b, restored)
+    assert host_b.cvm.guest_read(migrated, 0x2000, 20) == b"customer records v17"
+    print(f"\nmigrated to host B as CVM #{migrated}: state verified, "
+          f"source copy destroyed")
+    print("the CVM encryption key and root hash crossed only the "
+          "EMS-to-EMS attested channel")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — a Python reproduction of HyperTEE (MICRO 2024).
+
+HyperTEE decouples enclave *management* from enclave *execution*: a
+physically isolated Enclave Management Subsystem (EMS) performs lifecycle,
+memory, communication, and attestation management, reached from the
+Computing Subsystem (CS) only through the trusted EMCall gate and a
+hardware mailbox. This package models the full architecture — hardware,
+CS software, EMS runtime, baseline TEEs, and attack programs — with a
+cycle-accounting layer calibrated to the paper's evaluation.
+
+Entry points:
+
+* :class:`repro.core.api.HyperTEE` — the user-facing facade.
+* :class:`repro.core.system.HyperTEESystem` — the raw SoC wiring.
+* :mod:`repro.baselines` — SGX/SEV/TDX/... management models.
+* :mod:`repro.attacks` — the controlled-channel / side-channel harness.
+* :mod:`repro.workloads` — calibrated workload profiles and the runner.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["HyperTEE", "HyperTEESystem", "SystemConfig", "EnclaveConfig"]
+
+_LAZY_EXPORTS = {
+    "HyperTEE": ("repro.core.api", "HyperTEE"),
+    "HyperTEESystem": ("repro.core.system", "HyperTEESystem"),
+    "SystemConfig": ("repro.core.config", "SystemConfig"),
+    "EnclaveConfig": ("repro.core.enclave", "EnclaveConfig"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

@@ -1,0 +1,16 @@
+"""``python -m repro`` — regenerate the paper's evaluation as text."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.eval.regenerate import regenerate
+
+
+def main(argv: list[str]) -> None:
+    """Print the requested artifacts (all by default) to stdout."""
+    print(regenerate(argv or None))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,37 @@
+"""Executable attack programs and the Table VI harness.
+
+Each attack is a real program: it plants a secret in a victim, exercises
+the victim through a TEE model's management path, observes exactly what
+that architecture exposes to untrusted privileged software, and scores how
+much of the secret it recovered. The harness runs every attack against
+every TEE model and computes the defense matrix the paper reports as
+Table VI.
+"""
+
+from repro.attacks.controlled_channel import (
+    allocation_attack,
+    page_table_attack,
+    swap_attack,
+)
+from repro.attacks.side_channel import mgmt_microarch_attack
+from repro.attacks.comm_attack import communication_attack
+from repro.attacks.harness import (
+    AttackResult,
+    CHANNELS,
+    defense_matrix,
+    evaluate_tee,
+    expected_paper_matrix,
+)
+
+__all__ = [
+    "allocation_attack",
+    "page_table_attack",
+    "swap_attack",
+    "mgmt_microarch_attack",
+    "communication_attack",
+    "AttackResult",
+    "CHANNELS",
+    "defense_matrix",
+    "evaluate_tee",
+    "expected_paper_matrix",
+]

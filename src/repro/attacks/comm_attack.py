@@ -1,0 +1,37 @@
+"""Attacks on shared-memory communication management (paper Section V).
+
+Three attempts, executed for real against the HyperTEE adapter and
+resolved from the profile for baselines:
+
+1. **plaintext map** — map a shared enclave page into an attacker
+   process and read it (defeated by bitmap checking + per-region keys);
+2. **unauthorized attach** — attach a region the sender never shared
+   (defeated by the legal connection list — the anti-brute-force
+   registration of Section V-A);
+3. **rogue DMA** — read the region from a device outside its whitelist
+   (defeated by the iHub DMA whitelist of Section V-C).
+"""
+
+from __future__ import annotations
+
+from repro.attacks.result import AttackResult
+from repro.baselines.base import TEEInterface
+from repro.common.types import AttackOutcome
+
+
+def communication_attack(tee: TEEInterface) -> AttackResult:
+    """Run all three communication attacks; any success is a leak."""
+    surface = tee.comm_attack_surface()
+    succeeded = [name for name, landed in surface.items() if landed]
+
+    if len(succeeded) == len(surface):
+        outcome = AttackOutcome.LEAKED
+    elif succeeded:
+        outcome = AttackOutcome.PARTIAL
+    else:
+        outcome = AttackOutcome.DEFENDED
+
+    accuracy = len(succeeded) / len(surface)
+    detail = (f"succeeded: {', '.join(succeeded)}" if succeeded
+              else "all communication attacks blocked")
+    return AttackResult("communication", tee.name, accuracy, outcome, detail)

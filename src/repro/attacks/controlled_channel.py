@@ -1,0 +1,138 @@
+"""Controlled-channel attacks on enclave memory management.
+
+The three attack families of paper Section I (Attack Type 2):
+
+* :func:`allocation_attack` — watch on-demand allocation requests [32];
+* :func:`page_table_attack` — clear and re-read A-bits in PTEs [25]-[31];
+* :func:`swap_attack` — evict chosen pages and watch swap-ins [32], [33].
+
+Every attack uses the same victim gadget: for each secret bit ``i`` the
+victim touches heap page ``2i + bit[i]`` — the canonical secret-indexed
+access pattern behind, e.g., image-reconstruction attacks on SGX.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.attacks.result import (
+    AttackResult,
+    outcome_from_accuracy,
+    recovery_accuracy,
+)
+from repro.baselines.base import TEEInterface
+
+DEFAULT_SECRET_BITS = 16
+
+
+def make_secret(bits: int = DEFAULT_SECRET_BITS, seed: int = 7) -> list[int]:
+    """A reproducible random victim secret of ``bits`` bits."""
+    return [random.Random(seed).randint(0, 1) for _ in range(bits)]
+
+
+def _victim_run(tee: TEEInterface, secret: list[int]):
+    """Launch the victim and have it execute the secret-indexed touches."""
+    victim = tee.new_victim(heap_pages=2 * len(secret) + 2)
+    for i, bit in enumerate(secret):
+        tee.victim_touch(victim, 2 * i + bit)
+    return victim
+
+
+def allocation_attack(tee: TEEInterface,
+                      secret: list[int] | None = None) -> AttackResult:
+    """Recover the secret from observed demand-allocation events.
+
+    With OS-visible demand paging, the i-th allocation event's page index
+    is exactly ``2i + bit`` — the attacker reads the secret straight off
+    the event stream. Against HyperTEE the stream holds only bulk,
+    demand-decoupled pool refills (or nothing), so every bit is a guess.
+    """
+    secret = secret if secret is not None else make_secret()
+    _victim_run(tee, secret)
+    events = tee.attacker_allocation_events()
+
+    recovered: list[int | None]
+    if events is None:
+        recovered = [None] * len(secret)
+        detail = "no per-page allocation events observable"
+    else:
+        recovered = []
+        for i in range(len(secret)):
+            candidates = [e for e in events if e in (2 * i, 2 * i + 1)]
+            recovered.append(candidates[0] - 2 * i if candidates else None)
+        detail = f"{len(events)} allocation events observed"
+
+    accuracy = recovery_accuracy(secret, recovered)
+    return AttackResult("allocation", tee.name, accuracy,
+                        outcome_from_accuracy(accuracy), detail)
+
+
+def page_table_attack(tee: TEEInterface,
+                      secret: list[int] | None = None) -> AttackResult:
+    """Recover the secret from PTE accessed-bits.
+
+    Classic Xu-Cui-Peinado style: the attacker clears all A-bits, lets
+    the victim run, then reads which of each bit's two candidate pages
+    was accessed. Requires readable, writable enclave PTEs — exactly what
+    HyperTEE's dedicated EMS-held tables remove.
+    """
+    secret = secret if secret is not None else make_secret()
+    victim = tee.new_victim(heap_pages=2 * len(secret) + 2)
+
+    cleared = tee.attacker_clear_accessed(victim)
+    for i, bit in enumerate(secret):
+        tee.victim_touch(victim, 2 * i + bit)
+
+    recovered: list[int | None] = []
+    for i in range(len(secret)):
+        a0 = tee.attacker_read_accessed(victim, 2 * i)
+        a1 = tee.attacker_read_accessed(victim, 2 * i + 1)
+        if a0 is None or a1 is None or a0 == a1:
+            recovered.append(None)
+        else:
+            recovered.append(1 if a1 else 0)
+
+    accuracy = recovery_accuracy(secret, recovered)
+    detail = ("A-bits cleared and re-read" if cleared
+              else "enclave PTEs unreachable")
+    return AttackResult("page_table", tee.name, accuracy,
+                        outcome_from_accuracy(accuracy), detail)
+
+
+def swap_attack(tee: TEEInterface,
+                secret: list[int] | None = None) -> AttackResult:
+    """Recover the secret from swap-in faults on targeted evictions.
+
+    The attacker pre-touches every candidate page (so all are resident),
+    evicts all of them, lets the victim run, and reads each bit from
+    which candidate page faulted back in. Needs targeted eviction *and*
+    observable swap-ins; HyperTEE's EWB offers neither (random unused
+    pool pages only).
+    """
+    secret = secret if secret is not None else make_secret()
+    victim = tee.new_victim(heap_pages=2 * len(secret) + 2)
+    for i in range(len(secret)):
+        tee.victim_touch(victim, 2 * i)
+        tee.victim_touch(victim, 2 * i + 1)
+
+    targetable = all(
+        tee.attacker_swap_out(victim, page)
+        for i in range(len(secret)) for page in (2 * i, 2 * i + 1))
+
+    for i, bit in enumerate(secret):
+        tee.victim_touch(victim, 2 * i + bit)
+
+    recovered: list[int | None] = []
+    for i in range(len(secret)):
+        s0 = tee.attacker_observe_swap_in(victim, 2 * i)
+        s1 = tee.attacker_observe_swap_in(victim, 2 * i + 1)
+        if s0 is None or s1 is None or s0 == s1:
+            recovered.append(None)
+        else:
+            recovered.append(1 if s1 else 0)
+
+    accuracy = recovery_accuracy(secret, recovered)
+    detail = ("targeted eviction + swap-in observation"
+              if targetable else "eviction untargetable")
+    return AttackResult("swap", tee.name, accuracy,
+                        outcome_from_accuracy(accuracy), detail)

@@ -1,0 +1,47 @@
+"""Attack scoring shared by all attack programs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.types import AttackOutcome
+
+#: Recovery accuracy at or above which an attack counts as a full leak.
+LEAK_THRESHOLD = 0.95
+
+#: Accuracy at or below which the attack is indistinguishable from
+#: guessing (a 16-bit secret guessed at random lands near 0.5).
+CHANCE_THRESHOLD = 0.70
+
+
+@dataclasses.dataclass(frozen=True)
+class AttackResult:
+    """One attack run against one TEE model."""
+
+    attack: str
+    tee: str
+    accuracy: float
+    outcome: AttackOutcome
+    detail: str = ""
+
+
+def outcome_from_accuracy(accuracy: float) -> AttackOutcome:
+    """Classify a bit-recovery accuracy into the Table VI legend."""
+    if accuracy >= LEAK_THRESHOLD:
+        return AttackOutcome.LEAKED
+    if accuracy <= CHANCE_THRESHOLD:
+        return AttackOutcome.DEFENDED
+    return AttackOutcome.PARTIAL
+
+
+def recovery_accuracy(secret: list[int], recovered: list[int | None]) -> float:
+    """Fraction of secret bits recovered; unknown bits count as guesses."""
+    if len(recovered) != len(secret):
+        raise ValueError("recovered vector must match the secret length")
+    score = 0.0
+    for truth, guess in zip(secret, recovered):
+        if guess is None:
+            score += 0.5  # expected value of a fair guess
+        elif guess == truth:
+            score += 1.0
+    return score / len(secret)

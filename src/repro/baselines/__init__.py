@@ -1,0 +1,22 @@
+"""Baseline TEE management-path models.
+
+Each baseline captures *only* what matters for the paper's security
+comparison (Table VI): which management events an untrusted OS/hypervisor
+can observe or manipulate, and where management tasks physically execute.
+The attack harness (:mod:`repro.attacks`) drives the same attack programs
+against every model — including the real HyperTEE system through
+:class:`~repro.baselines.hypertee_adapter.HyperTEEAdapter` — and the
+defense matrix is *computed from attack outcomes*, not declared.
+"""
+
+from repro.baselines.base import BaselineTEE, ManagementProfile, TEEInterface
+from repro.baselines.catalog import BASELINE_PROFILES, make_baseline, all_tee_models
+
+__all__ = [
+    "BaselineTEE",
+    "ManagementProfile",
+    "TEEInterface",
+    "BASELINE_PROFILES",
+    "make_baseline",
+    "all_tee_models",
+]

@@ -1,0 +1,276 @@
+"""The TEE-under-attack interface and the generic baseline model.
+
+:class:`TEEInterface` is what the attack programs see: victim operations
+(as the victim's own code would perform them) and attacker operations (as
+untrusted privileged software could attempt them). An operation that the
+architecture makes impossible returns ``None``/``False`` rather than
+raising — the attacker simply learns nothing.
+
+:class:`BaselineTEE` implements the interface from a
+:class:`ManagementProfile` of per-architecture capabilities, with small
+functional structures (a demand-page table with A-bits, an allocation
+event log, swap state, shared regions, and shared/private caches for the
+management-task side channel).
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import itertools
+
+from repro.hw.cache import SetAssociativeCache
+
+
+@dataclasses.dataclass(frozen=True)
+class ManagementProfile:
+    """What one TEE architecture's management design exposes.
+
+    The flags mirror the paper's Table VI columns and Section I attack
+    taxonomy; see :mod:`repro.baselines.catalog` for the per-architecture
+    values and the citations behind them.
+    """
+
+    name: str
+    #: OS/hypervisor observes per-page demand-allocation events.
+    os_sees_demand_allocations: bool
+    #: OS/hypervisor can read and clear A/D bits of enclave PTEs.
+    os_reads_enclave_ptes: bool
+    #: OS/hypervisor can pick the specific enclave page to swap out and
+    #: observe the swap-in fault.
+    os_targets_swap: bool
+    #: Architecture supports demand paging at all (TrustZone's static
+    #: carve-out does not — those channels are vacuously closed).
+    dynamic_paging: bool
+    #: Shared-memory communication is EMS-style managed (key assignment,
+    #: legal connection list, ownership). No baseline has this.
+    comm_managed: bool
+    #: Attestation-key operations run on a physically isolated core.
+    attestation_isolated: bool
+    #: Paging/memory-management tasks run physically isolated.
+    paging_isolated: bool
+
+
+@dataclasses.dataclass
+class VictimState:
+    """One victim enclave inside a baseline model."""
+
+    victim_id: int
+    heap_pages: int
+    allocated: set[int] = dataclasses.field(default_factory=set)
+    accessed: set[int] = dataclasses.field(default_factory=set)
+    swapped: set[int] = dataclasses.field(default_factory=set)
+
+
+class TEEInterface(abc.ABC):
+    """What the attack harness can do to a TEE platform."""
+
+    name: str
+
+    # -- victim-side operations --------------------------------------------------------
+
+    @abc.abstractmethod
+    def new_victim(self, heap_pages: int):
+        """Launch a victim enclave with a demand-paged heap."""
+
+    @abc.abstractmethod
+    def victim_touch(self, victim, page_index: int) -> None:
+        """The victim accesses heap page ``page_index`` (its own code)."""
+
+    # -- attacker operations (untrusted privileged software) ----------------------------------
+
+    @abc.abstractmethod
+    def attacker_allocation_events(self) -> list[int] | None:
+        """Per-page allocation identities the OS observed, in order.
+
+        ``None`` when the architecture exposes no per-page information
+        (bulk pool refills carry no demand correlation).
+        """
+
+    @abc.abstractmethod
+    def attacker_read_accessed(self, victim, page_index: int) -> bool | None:
+        """Read the A-bit of a victim PTE, or ``None`` if unreachable."""
+
+    @abc.abstractmethod
+    def attacker_clear_accessed(self, victim) -> bool:
+        """Clear all victim A-bits; ``False`` if the tables are protected."""
+
+    @abc.abstractmethod
+    def attacker_swap_out(self, victim, page_index: int) -> bool:
+        """Evict the chosen victim page; ``False`` if untargetable."""
+
+    @abc.abstractmethod
+    def attacker_observe_swap_in(self, victim, page_index: int) -> bool | None:
+        """Did the OS observe a swap-in fault for that page? ``None`` if
+        the channel does not exist."""
+
+    # -- communication management --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def comm_attack_surface(self) -> dict[str, bool]:
+        """Which communication attacks succeed: keys ``plaintext_map``,
+        ``unauthorized_attach``, ``rogue_dma``."""
+
+    # -- management-task side channel -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def run_mgmt_task(self, task: str, secret_bits: list[int]) -> None:
+        """Execute a management task whose memory accesses depend on
+        ``secret_bits`` (e.g. attestation signing with a secret key)."""
+
+    @abc.abstractmethod
+    def attacker_probe_sets(self, num_sets: int) -> list[bool]:
+        """Prime+probe result over the cache the attacker shares with
+        management tasks: True where a set shows victim-induced misses."""
+
+
+class BaselineTEE(TEEInterface):
+    """Profile-driven functional model of a conventional TEE."""
+
+    #: Cache sets the side-channel game is played over.
+    PROBE_SETS = 64
+
+    def __init__(self, profile: ManagementProfile) -> None:
+        self.profile = profile
+        self.name = profile.name
+        self._ids = itertools.count(1)
+        self._victims: dict[int, VictimState] = {}
+        #: (victim_id, page_index) demand allocations, in order.
+        self._alloc_events: list[tuple[int, int]] = []
+        #: (victim_id, page_index) swap-in faults the OS observed.
+        self._swapin_events: list[tuple[int, int]] = []
+        #: The LLC shared between application cores and (for non-isolated
+        #: designs) management tasks.
+        self.shared_cache = SetAssociativeCache(size_kb=256, ways=8)
+        #: Private cache of an isolated management core.
+        self.private_cache = SetAssociativeCache(size_kb=64, ways=8)
+
+    # -- victim side --------------------------------------------------------------------
+
+    def new_victim(self, heap_pages: int) -> VictimState:
+        """Launch a victim; static-paging designs preallocate silently."""
+        victim = VictimState(next(self._ids), heap_pages)
+        self._victims[victim.victim_id] = victim
+        if not self.profile.dynamic_paging:
+            # Static carve-out: everything allocated up front, silently.
+            victim.allocated.update(range(heap_pages))
+        return victim
+
+    def victim_touch(self, victim: VictimState, page_index: int) -> None:
+        """Victim access: allocates on demand, sets A-bit, swaps in."""
+        if not 0 <= page_index < victim.heap_pages:
+            raise ValueError("victim touch outside its heap")
+        if page_index not in victim.allocated:
+            victim.allocated.add(page_index)
+            if self.profile.dynamic_paging:
+                self._alloc_events.append((victim.victim_id, page_index))
+        if page_index in victim.swapped:
+            victim.swapped.discard(page_index)
+            self._swapin_events.append((victim.victim_id, page_index))
+        victim.accessed.add(page_index)
+
+    # -- attacker side ------------------------------------------------------------------------
+
+    def attacker_allocation_events(self) -> list[int] | None:
+        """Per-page demand events, or None when the design hides them."""
+        if not self.profile.os_sees_demand_allocations:
+            return None
+        return [page for _, page in self._alloc_events]
+
+    def attacker_read_accessed(self, victim: VictimState,
+                               page_index: int) -> bool | None:
+        """A-bit of a victim PTE, or None when tables are protected."""
+        if not self.profile.os_reads_enclave_ptes:
+            return None
+        return page_index in victim.accessed
+
+    def attacker_clear_accessed(self, victim: VictimState) -> bool:
+        """Clear victim A-bits; False when tables are protected."""
+        if not self.profile.os_reads_enclave_ptes:
+            return False
+        victim.accessed.clear()
+        return True
+
+    def attacker_swap_out(self, victim: VictimState, page_index: int) -> bool:
+        """Targeted eviction; False when the design forbids targeting."""
+        if not (self.profile.dynamic_paging and self.profile.os_targets_swap):
+            return False
+        if page_index in victim.allocated:
+            victim.swapped.add(page_index)
+        return True
+
+    def attacker_observe_swap_in(self, victim: VictimState,
+                                 page_index: int) -> bool | None:
+        """Swap-in fault observation, or None without the channel."""
+        if not (self.profile.dynamic_paging and self.profile.os_targets_swap):
+            return None
+        return (victim.victim_id, page_index) in self._swapin_events
+
+    # -- communication ------------------------------------------------------------------------------
+
+    def comm_attack_surface(self) -> dict[str, bool]:
+        """Without managed communication, all three attacks land."""
+        exposed = not self.profile.comm_managed
+        return {
+            "plaintext_map": exposed,
+            "unauthorized_attach": exposed,
+            "rogue_dma": exposed,
+        }
+
+    # -- management-task side channel ----------------------------------------------------------------
+
+    def _task_isolated(self, task: str) -> bool:
+        if task == "attestation":
+            return self.profile.attestation_isolated
+        if task == "paging":
+            return self.profile.paging_isolated
+        raise ValueError(f"unknown management task {task!r}")
+
+    def run_mgmt_task(self, task: str, secret_bits: list[int]) -> None:
+        """Run a management task on its (shared or isolated) cache."""
+        cache = (self.private_cache if self._task_isolated(task)
+                 else self.shared_cache)
+        run_secret_dependent_task(cache, secret_bits, self.PROBE_SETS)
+
+    def attacker_probe_sets(self, num_sets: int) -> list[bool]:
+        """Probe the shared cache for victim-evicted sets."""
+        return probe_cache_sets(self.shared_cache, num_sets)
+
+    def attacker_prime(self, num_sets: int) -> None:
+        """Prime the shared cache ahead of a management task."""
+        prime_cache_sets(self.shared_cache, num_sets)
+
+
+# ---------------------------------------------------------------------------
+# The prime+probe game, shared by baselines and the HyperTEE adapter
+# ---------------------------------------------------------------------------
+
+#: An address range the attacker owns for priming, disjoint from victims'.
+_ATTACKER_BASE = 0x4000000
+
+
+def run_secret_dependent_task(cache: SetAssociativeCache,
+                              secret_bits: list[int], probe_sets: int) -> None:
+    """A management task whose cache footprint encodes ``secret_bits``.
+
+    Bit ``i`` selects cache set ``2i`` or ``2i+1`` (mod ``probe_sets``) —
+    the classic secret-indexed table lookup — and touches enough distinct
+    lines to evict any resident attacker line.
+    """
+    line = cache.line_size
+    for i, bit in enumerate(secret_bits):
+        target_set = (2 * i + bit) % probe_sets
+        for way in range(cache.ways + 1):
+            cache.access((target_set + way * cache.num_sets) * line)
+
+
+def prime_cache_sets(cache: SetAssociativeCache, num_sets: int) -> None:
+    """Attacker fills one line in each of the first ``num_sets`` sets."""
+    for s in range(num_sets):
+        cache.access(_ATTACKER_BASE + s * cache.line_size)
+
+
+def probe_cache_sets(cache: SetAssociativeCache, num_sets: int) -> list[bool]:
+    """True for each primed set whose attacker line was evicted."""
+    return [not cache.contains(_ATTACKER_BASE + s * cache.line_size)
+            for s in range(num_sets)]

@@ -1,0 +1,96 @@
+"""The baseline architectures of paper Table VI.
+
+Each profile encodes the management-design facts the paper's related-work
+and security analysis sections state:
+
+* **SGX** — memory management by the untrusted OS: demand allocations,
+  PTE A/D bits, and targeted swapping all visible [25]-[33]; attestation
+  runs in enclaves on shared cores (CacheQuote, SGAxe) — everything open.
+* **SEV** — the hypervisor manages nested page tables (all three memory
+  channels open); the PSP performs attestation on an isolated core, but
+  paging management stays on shared cores — microarch column is partial.
+* **TDX** — the TDX module owns the secure-EPT page tables (page-table
+  channel closed) but the untrusted hypervisor still sees page allocation
+  and swapping [34]; the module itself is logically isolated only, so
+  management side channels remain.
+* **CCA** — the RMM owns stage-2 tables (closed) but delegation/undelegation
+  of granules is hypervisor-visible; RMM shares cores.
+* **TrustZone** — a static secure-world carve-out: no demand paging at
+  all, so allocation/page-table/swap channels are vacuously closed; no
+  managed communication; the secure monitor shares the cores.
+* **Keystone** — enclaves self-page inside a static physical partition
+  (memory channels closed); the security monitor runs on the same cores —
+  microarch partial [32].
+* **Penglai** — guarded page tables close the page-table channel; the
+  monitor allocates on demand (allocation/swap open); monitor shares
+  cores — partial microarch.
+* **CURE** — enclave-type range registers close the page-table channel;
+  allocation and swapping remain OS-driven; partial microarch.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineTEE, ManagementProfile
+
+BASELINE_PROFILES: dict[str, ManagementProfile] = {
+    "sgx": ManagementProfile(
+        name="sgx", os_sees_demand_allocations=True,
+        os_reads_enclave_ptes=True, os_targets_swap=True,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=False, paging_isolated=False),
+    "sev": ManagementProfile(
+        name="sev", os_sees_demand_allocations=True,
+        os_reads_enclave_ptes=True, os_targets_swap=True,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=True, paging_isolated=False),
+    "tdx": ManagementProfile(
+        name="tdx", os_sees_demand_allocations=True,
+        os_reads_enclave_ptes=False, os_targets_swap=True,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=False, paging_isolated=False),
+    "cca": ManagementProfile(
+        name="cca", os_sees_demand_allocations=True,
+        os_reads_enclave_ptes=False, os_targets_swap=True,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=False, paging_isolated=False),
+    "trustzone": ManagementProfile(
+        name="trustzone", os_sees_demand_allocations=False,
+        os_reads_enclave_ptes=False, os_targets_swap=False,
+        dynamic_paging=False, comm_managed=False,
+        attestation_isolated=False, paging_isolated=False),
+    "keystone": ManagementProfile(
+        name="keystone", os_sees_demand_allocations=False,
+        os_reads_enclave_ptes=False, os_targets_swap=False,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=False, paging_isolated=True),
+    "penglai": ManagementProfile(
+        name="penglai", os_sees_demand_allocations=True,
+        os_reads_enclave_ptes=False, os_targets_swap=True,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=False, paging_isolated=True),
+    "cure": ManagementProfile(
+        name="cure", os_sees_demand_allocations=True,
+        os_reads_enclave_ptes=False, os_targets_swap=True,
+        dynamic_paging=True, comm_managed=False,
+        attestation_isolated=False, paging_isolated=True),
+}
+
+
+def make_baseline(name: str) -> BaselineTEE:
+    """Instantiate one baseline TEE model by Table VI row name."""
+    try:
+        return BaselineTEE(BASELINE_PROFILES[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {name!r}; "
+            f"expected one of {sorted(BASELINE_PROFILES)}") from None
+
+
+def all_tee_models(include_hypertee: bool = True) -> list:
+    """Every Table VI row, HyperTEE last (through the real system)."""
+    models = [make_baseline(name) for name in BASELINE_PROFILES]
+    if include_hypertee:
+        from repro.baselines.hypertee_adapter import HyperTEEAdapter
+
+        models.append(HyperTEEAdapter())
+    return models

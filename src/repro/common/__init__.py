@@ -1,0 +1,23 @@
+"""Shared types, constants, and utilities used across all subsystems."""
+
+from repro.common.types import (
+    AccessType,
+    AttackOutcome,
+    EnclaveState,
+    Permission,
+    Primitive,
+    Privilege,
+)
+from repro.common.packets import PrimitiveRequest, PrimitiveResponse, ResponseStatus
+
+__all__ = [
+    "AccessType",
+    "AttackOutcome",
+    "EnclaveState",
+    "Permission",
+    "Primitive",
+    "Privilege",
+    "PrimitiveRequest",
+    "PrimitiveResponse",
+    "ResponseStatus",
+]

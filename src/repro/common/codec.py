@@ -1,0 +1,137 @@
+"""Wire codecs for artifacts that cross untrusted storage.
+
+Sealed blobs, attestation quotes/certificates, and CVM snapshots all
+travel through HostApp memory, disks, or networks the threat model
+treats as hostile. Their security never depends on this encoding —
+confidentiality and integrity come from the crypto inside — but a real
+library needs stable, self-describing bytes for them.
+
+Format: a 4-byte magic per artifact type, then length-prefixed fields
+(``u32 little-endian length || bytes``). Decoding is strict: wrong
+magic, truncation, or trailing garbage raise :class:`CodecError`.
+"""
+
+from __future__ import annotations
+
+from repro.cvm.manager import CVMSnapshot
+from repro.ems.attestation import AttestationQuote, Certificate
+from repro.ems.sealing import SealedBlob
+from repro.errors import HyperTEEError
+
+_MAGIC_SEALED = b"HTSB"
+_MAGIC_QUOTE = b"HTQT"
+_MAGIC_SNAPSHOT = b"HTSN"
+
+
+class CodecError(HyperTEEError):
+    """Malformed wire bytes (wrong magic, truncation, trailing data)."""
+
+
+# -- primitive field packing ------------------------------------------------------
+
+
+def _pack_fields(magic: bytes, fields: list[bytes]) -> bytes:
+    out = bytearray(magic)
+    for field in fields:
+        out += len(field).to_bytes(4, "little")
+        out += field
+    return bytes(out)
+
+
+def _unpack_fields(magic: bytes, data: bytes, count: int) -> list[bytes]:
+    if data[:4] != magic:
+        raise CodecError(f"bad magic: expected {magic!r}, got {data[:4]!r}")
+    fields: list[bytes] = []
+    offset = 4
+    for _ in range(count):
+        if offset + 4 > len(data):
+            raise CodecError("truncated field header")
+        length = int.from_bytes(data[offset:offset + 4], "little")
+        offset += 4
+        if offset + length > len(data):
+            raise CodecError("truncated field body")
+        fields.append(data[offset:offset + length])
+        offset += length
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} bytes of trailing garbage")
+    return fields
+
+
+def _pack_int(value: int) -> bytes:
+    return value.to_bytes(8, "little")
+
+
+def _unpack_int(field: bytes) -> int:
+    if len(field) != 8:
+        raise CodecError("malformed integer field")
+    return int.from_bytes(field, "little")
+
+
+# -- sealed blobs -------------------------------------------------------------------
+
+
+def encode_sealed_blob(blob: SealedBlob) -> bytes:
+    """Serialize a sealed blob for untrusted storage."""
+    return _pack_fields(_MAGIC_SEALED,
+                        [blob.nonce, blob.ciphertext, blob.tag])
+
+
+def decode_sealed_blob(data: bytes) -> SealedBlob:
+    """Parse sealed-blob wire bytes (strict)."""
+    nonce, ciphertext, tag = _unpack_fields(_MAGIC_SEALED, data, 3)
+    return SealedBlob(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+
+# -- certificates and quotes ------------------------------------------------------------
+
+
+def _encode_certificate(cert: Certificate) -> bytes:
+    return _pack_fields(b"CERT", [cert.subject.encode(), cert.measurement,
+                                  cert.report_data, cert.signature])
+
+
+def _decode_certificate(data: bytes) -> Certificate:
+    subject, measurement, report_data, signature = _unpack_fields(
+        b"CERT", data, 4)
+    return Certificate(subject=subject.decode(), measurement=measurement,
+                       report_data=report_data, signature=signature)
+
+
+def encode_quote(quote: AttestationQuote) -> bytes:
+    """Serialize an attestation quote for transport."""
+    return _pack_fields(_MAGIC_QUOTE,
+                        [_encode_certificate(quote.platform),
+                         _encode_certificate(quote.enclave)])
+
+
+def decode_quote(data: bytes) -> AttestationQuote:
+    """Parse attestation-quote wire bytes (strict)."""
+    platform, enclave = _unpack_fields(_MAGIC_QUOTE, data, 2)
+    return AttestationQuote(platform=_decode_certificate(platform),
+                            enclave=_decode_certificate(enclave))
+
+
+# -- CVM snapshots ---------------------------------------------------------------------------
+
+
+def encode_snapshot(snapshot: CVMSnapshot) -> bytes:
+    """Serialize a CVM snapshot (ciphertext pages) for storage."""
+    pages = _pack_fields(b"PAGE", list(snapshot.encrypted_pages))
+    return _pack_fields(_MAGIC_SNAPSHOT,
+                        [_pack_int(snapshot.snapshot_id),
+                         snapshot.name.encode(),
+                         snapshot.measurement,
+                         _pack_int(len(snapshot.encrypted_pages)),
+                         pages])
+
+
+def decode_snapshot(data: bytes) -> CVMSnapshot:
+    """Parse CVM-snapshot wire bytes (strict)."""
+    snapshot_id, name, measurement, count, pages_blob = _unpack_fields(
+        _MAGIC_SNAPSHOT, data, 5)
+    page_count = _unpack_int(count)
+    pages = _unpack_fields(b"PAGE", pages_blob, page_count)
+    return CVMSnapshot(snapshot_id=_unpack_int(snapshot_id),
+                       name=name.decode(),
+                       encrypted_pages=tuple(pages),
+                       measurement=measurement)

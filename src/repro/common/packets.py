@@ -1,0 +1,63 @@
+"""Primitive request / response packets exchanged over the mailbox.
+
+Only management requests and responses ever cross the CS/EMS boundary —
+enclave private data never does (paper Section III-C). Each request is
+bound to its response by a unique ``request_id`` assigned by EMCall, and a
+requester can only collect the response carrying its own id.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+from repro.common.types import Primitive, Privilege
+
+
+class ResponseStatus(enum.Enum):
+    """Outcome of a primitive as reported by the EMS."""
+
+    OK = "ok"
+    SANITY_FAILED = "sanity_failed"
+    STATE_ERROR = "state_error"
+    OWNERSHIP_ERROR = "ownership_error"
+    NOT_AUTHORIZED = "not_authorized"
+    OUT_OF_MEMORY = "out_of_memory"
+    ATTESTATION_FAILED = "attestation_failed"
+    ERROR = "error"
+
+
+@dataclasses.dataclass(frozen=True)
+class PrimitiveRequest:
+    """One enclave primitive request packet.
+
+    ``enclave_id`` is stamped by EMCall from the *current* hardware enclave
+    identity — never taken from the caller's arguments — which is what
+    defeats request forgery (paper Section III-B, mechanism ②).
+    """
+
+    request_id: int
+    primitive: Primitive
+    enclave_id: int | None
+    privilege: Privilege
+    args: dict[str, Any] = dataclasses.field(default_factory=dict)
+    issue_cycle: int = 0
+
+    def arg(self, name: str, default: Any = None) -> Any:
+        """Convenience accessor for an argument field."""
+        return self.args.get(name, default)
+
+
+@dataclasses.dataclass(frozen=True)
+class PrimitiveResponse:
+    """One primitive response packet, bound to its request by id."""
+
+    request_id: int
+    status: ResponseStatus
+    result: dict[str, Any] = dataclasses.field(default_factory=dict)
+    service_cycles: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResponseStatus.OK

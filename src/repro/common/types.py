@@ -1,0 +1,128 @@
+"""Core enumerations shared by the CS, EMS, and hardware models.
+
+These encode the paper's descriptive tables directly:
+
+* :class:`Primitive` and :data:`PRIMITIVE_PRIVILEGE` are Table II
+  (the HyperTEE primitives and the privilege level allowed to invoke each).
+* :class:`Privilege` models the RISC-V-style privilege ladder on which
+  EMCall's cross-privilege checks operate (paper Section III-B).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Privilege(enum.IntEnum):
+    """CS privilege levels, ordered low to high (RISC-V style).
+
+    EMCall itself runs at :attr:`MACHINE` (the highest level on the CS
+    side); enclave user code and HostApps run at :attr:`USER`; the
+    untrusted CS OS runs at :attr:`SUPERVISOR`.
+    """
+
+    USER = 0
+    SUPERVISOR = 1
+    MACHINE = 3
+
+
+class Primitive(enum.Enum):
+    """Enclave primitives decoupled to the EMS (paper Table II)."""
+
+    # Life cycle management
+    ECREATE = "ECREATE"
+    EADD = "EADD"
+    EENTER = "EENTER"
+    ERESUME = "ERESUME"
+    EEXIT = "EEXIT"
+    EDESTROY = "EDESTROY"
+    # Memory management
+    EALLOC = "EALLOC"
+    EFREE = "EFREE"
+    EWB = "EWB"
+    # Communication management
+    ESHMGET = "ESHMGET"
+    ESHMAT = "ESHMAT"
+    ESHMDT = "ESHMDT"
+    ESHMSHR = "ESHMSHR"
+    ESHMDES = "ESHMDES"
+    # Key management and attestation
+    EMEAS = "EMEAS"
+    EATTEST = "EATTEST"
+
+
+#: Privilege level each primitive must be invoked from (paper Table II).
+#: EENTER/ERESUME and the OS-facing lifecycle/memory primitives come from
+#: the (untrusted) OS; EEXIT and the communication primitives come from
+#: user-mode enclave or HostApp code.
+PRIMITIVE_PRIVILEGE: dict[Primitive, Privilege] = {
+    Primitive.ECREATE: Privilege.SUPERVISOR,
+    Primitive.EADD: Privilege.SUPERVISOR,
+    Primitive.EENTER: Privilege.SUPERVISOR,
+    Primitive.ERESUME: Privilege.SUPERVISOR,
+    Primitive.EEXIT: Privilege.USER,
+    Primitive.EDESTROY: Privilege.SUPERVISOR,
+    Primitive.EALLOC: Privilege.USER,
+    Primitive.EFREE: Privilege.USER,
+    Primitive.EWB: Privilege.SUPERVISOR,
+    Primitive.ESHMGET: Privilege.USER,
+    Primitive.ESHMAT: Privilege.USER,
+    Primitive.ESHMDT: Privilege.USER,
+    Primitive.ESHMSHR: Privilege.USER,
+    Primitive.ESHMDES: Privilege.USER,
+    Primitive.EMEAS: Privilege.SUPERVISOR,
+    Primitive.EATTEST: Privilege.USER,
+}
+
+
+class EnclaveState(enum.Enum):
+    """Lifecycle states of an enclave control structure."""
+
+    CREATED = "created"        # ECREATE done, pages being EADDed
+    MEASURED = "measured"      # EMEAS done, ready for first EENTER
+    RUNNING = "running"        # currently executing on a CS core
+    SUSPENDED = "suspended"    # exited or interrupted, can ERESUME
+    DESTROYED = "destroyed"    # torn down; id is retired
+
+
+class AccessType(enum.Enum):
+    """Memory access types used by the PTW and permission checks."""
+
+    READ = "r"
+    WRITE = "w"
+    EXECUTE = "x"
+
+
+class Permission(enum.Flag):
+    """Page / shared-region permission bits."""
+
+    NONE = 0
+    READ = enum.auto()
+    WRITE = enum.auto()
+    EXECUTE = enum.auto()
+
+    RW = READ | WRITE
+    RX = READ | EXECUTE
+    RWX = READ | WRITE | EXECUTE
+
+    def allows(self, access: AccessType) -> bool:
+        """Return True when this permission set admits ``access``."""
+        needed = {
+            AccessType.READ: Permission.READ,
+            AccessType.WRITE: Permission.WRITE,
+            AccessType.EXECUTE: Permission.EXECUTE,
+        }[access]
+        return bool(self & needed)
+
+
+class AttackOutcome(enum.Enum):
+    """Result of one attack run in the harness (feeds Table VI).
+
+    ``DEFENDED`` — the attack observed nothing secret-correlated.
+    ``PARTIAL`` — some but not all channels leaked (paper's half-circle).
+    ``LEAKED`` — the attack recovered the victim secret.
+    """
+
+    DEFENDED = "defended"
+    PARTIAL = "partial"
+    LEAKED = "leaked"

@@ -1,0 +1,26 @@
+"""The assembled HyperTEE system: configuration, control structures, the
+SoC wiring (:class:`~repro.core.system.HyperTEESystem`), and the public
+user API (:mod:`repro.core.api`).
+
+``HyperTEESystem`` and the API facade are exposed lazily: the EMS modules
+import :mod:`repro.core.enclave`, and an eager import here would close an
+import cycle through :mod:`repro.core.system`.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig, EnclaveControl
+
+__all__ = ["SystemConfig", "EnclaveConfig", "EnclaveControl",
+           "HyperTEESystem", "HyperTEE"]
+
+
+def __getattr__(name: str):
+    if name == "HyperTEESystem":
+        from repro.core.system import HyperTEESystem
+
+        return HyperTEESystem
+    if name == "HyperTEE":
+        from repro.core.api import HyperTEE
+
+        return HyperTEE
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,112 @@
+"""Enclave configuration and control structures.
+
+:class:`EnclaveConfig` is the model's analogue of the configuration file
+in the HyperTEE programming model (paper Fig. 2): it declares the
+enclave's resource requirements — heap and stack sizes, shared-memory
+budget — before compilation.
+
+:class:`EnclaveControl` is the EMS-private control structure: lifecycle
+state, measurement, KeyID, the dedicated page table, and the virtual
+address-space cursors. It lives only inside the EMS; CS software never
+holds a reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
+from repro.common.types import EnclaveState
+from repro.errors import ConfigurationError
+from repro.hw.page_table import PageTable
+
+#: Enclave virtual layout (VPNs). Code at 1 MiB, heap at 256 MiB, the
+#: HostApp transfer buffer at 768 MiB, stack below 2 GiB growing down,
+#: shared-memory attachments at 1 GiB.
+CODE_BASE_VPN = 0x100
+HEAP_BASE_VPN = 0x10000
+HOST_SHM_BASE_VPN = 0x30000
+SHM_BASE_VPN = 0x40000
+STACK_TOP_VPN = 0x7FFFF
+
+
+@dataclasses.dataclass(frozen=True)
+class EnclaveConfig:
+    """Declared resource requirements (the Fig. 2 configuration file)."""
+
+    name: str = "enclave"
+    code_pages: int = 4
+    stack_pages: int = 4
+    heap_pages_max: int = 1024
+    shared_pages_max: int = 64
+    #: Size of the HostApp<->enclave transfer buffer (paper Section IV-A:
+    #: "the size of the shared memory can be declared in the
+    #: configuration file"). Zero means no transfer buffer.
+    host_shared_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.code_pages < 1:
+            raise ConfigurationError("an enclave needs at least one code page")
+        if self.stack_pages < 1:
+            raise ConfigurationError("an enclave needs at least one stack page")
+        if self.heap_pages_max < 0 or self.shared_pages_max < 0:
+            raise ConfigurationError("resource maxima cannot be negative")
+
+    @property
+    def static_pages(self) -> int:
+        """Pages allocated statically at ECREATE (code is EADDed into
+        this reservation; stack is mapped zeroed)."""
+        return self.code_pages + self.stack_pages
+
+
+@dataclasses.dataclass
+class EnclaveControl:
+    """EMS-private per-enclave control structure."""
+
+    enclave_id: int
+    config: EnclaveConfig
+    keyid: int
+    memory_key: bytes
+    page_table: PageTable
+    state: EnclaveState = EnclaveState.CREATED
+    measurement: bytes | None = None
+    #: All private frames owned by the enclave (code, stack, heap, table).
+    frames: list[int] = dataclasses.field(default_factory=list)
+    #: (vpn, content-hash) pairs accumulated by EADD; EMEAS folds them.
+    added_pages: list[tuple[int, bytes]] = dataclasses.field(default_factory=list)
+    code_next_vpn: int = CODE_BASE_VPN
+    heap_next_vpn: int = HEAP_BASE_VPN
+    shm_next_vpn: int = SHM_BASE_VPN
+    #: Heap regions by base vaddr for EFREE.
+    heap_regions: dict[int, list[int]] = dataclasses.field(default_factory=dict)
+    #: shm_id -> attach vaddr for this enclave.
+    shm_attachments: dict[int, int] = dataclasses.field(default_factory=dict)
+    #: Frames of the HostApp transfer buffer (host-visible, HOST_KEYID).
+    host_shared_frames: list[int] = dataclasses.field(default_factory=list)
+    #: Context-switch counter (EENTER + ERESUME), feeds Fig. 11 analysis.
+    entries: int = 0
+
+    @property
+    def heap_limit_vpn(self) -> int:
+        return HEAP_BASE_VPN + self.config.heap_pages_max
+
+    @property
+    def entry_vaddr(self) -> int:
+        return CODE_BASE_VPN << PAGE_SHIFT
+
+    def heap_pages_used(self) -> int:
+        """Heap pages consumed so far (budget accounting)."""
+        return self.heap_next_vpn - HEAP_BASE_VPN
+
+    def assert_state(self, *allowed: EnclaveState) -> None:
+        """Raise EnclaveStateError unless in one of ``allowed``."""
+        if self.state not in allowed:
+            from repro.errors import EnclaveStateError
+
+            raise EnclaveStateError(
+                f"enclave {self.enclave_id} is {self.state.value}; "
+                f"needs {' or '.join(s.value for s in allowed)}")
+
+    def image_bytes(self) -> int:
+        """Total bytes EADDed so far (what EMEAS hashes)."""
+        return len(self.added_pages) * PAGE_SIZE

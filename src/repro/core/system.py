@@ -1,0 +1,174 @@
+"""The assembled HyperTEE SoC (paper Fig. 1 / Fig. 4).
+
+:class:`HyperTEESystem` builds and boots a complete platform:
+
+1. physical memory with the multi-key encryption engine on its bus;
+2. the boot-time address partition (CS region / EMS-private region) and
+   the iHub enforcing unidirectional isolation, with the mailbox;
+3. the enclave bitmap in protected CS memory;
+4. manufacturing (eFuse roots, provisioned flash/EEPROM) and the secure
+   boot chain, yielding the platform measurement;
+5. the CS OS, CS cores (each with TLB + bitmap-checking PTW), and the
+   EMCall firmware holding the only CS-side mailbox port;
+6. the EMS: pool, ownership, key manager, lifecycle, page/swap/shm
+   managers, attestation, sealing, and the runtime dispatcher.
+
+Everything downstream (SDK, examples, benches, attacks) builds a system
+through this class.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
+from repro.common.rng import DeterministicRng
+from repro.core.config import SystemConfig
+from repro.crypto.engine import ENGINE_CRYPTO, SOFTWARE_CRYPTO, CryptoEngine
+from repro.cs.cpu import CSCore
+from repro.cs.emcall import EMCall
+from repro.cs.os import CSOperatingSystem
+from repro.ems import boot as secure_boot_mod
+from repro.ems.attestation import AttestationService, CertificateAuthority
+from repro.ems.key_mgmt import KeyManager
+from repro.ems.lifecycle import EnclaveManager
+from repro.ems.memory_pool import EnclaveMemoryPool
+from repro.ems.ownership import PageOwnershipTable
+from repro.ems.page_mgmt import PageManager
+from repro.ems.runtime import EMSRuntime
+from repro.ems.sealing import SealingService
+from repro.ems.shared_memory import SharedMemoryManager
+from repro.ems.swapping import SwapManager
+from repro.hw.bitmap import BitmapReader, EnclaveBitmap
+from repro.hw.core import CS_CORE, ems_config
+from repro.hw.devices import EEPROM, EFuse, PrivateFlash
+from repro.hw.encryption_engine import MemoryEncryptionEngine
+from repro.hw.fabric import AddressPartition, IHub
+from repro.hw.iommu import IOMMU
+from repro.hw.mailbox import Mailbox
+from repro.hw.memory import PhysicalMemory
+
+#: Frames reserved at the bottom of CS memory for EMCall firmware.
+FIRMWARE_FRAMES = 16
+
+#: Stand-in software images for the boot chain.
+_RUNTIME_IMAGE = b"ems-runtime-rust-image-v1" * 64
+_EMCALL_IMAGE = b"emcall-m-mode-firmware-v1" * 32
+
+
+class HyperTEESystem:
+    """One booted HyperTEE platform."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config if config is not None else SystemConfig()
+        cfg = self.config
+        self.rng = DeterministicRng(cfg.seed)
+
+        # -- memory, engine, partition, iHub ---------------------------------
+        cs_bytes = cfg.cs_memory_mb * 1024 * 1024
+        ems_bytes = cfg.ems_memory_mb * 1024 * 1024
+        self.memory = PhysicalMemory(cs_bytes + ems_bytes)
+        self.engine = MemoryEncryptionEngine(integrity_enabled=cfg.integrity)
+        self.memory.encryption_engine = self.engine
+        self.partition = AddressPartition(
+            cs_base=0, cs_size=cs_bytes, ems_base=cs_bytes, ems_size=ems_bytes)
+        self.mailbox = Mailbox()
+        self.ihub = IHub(self.partition, self.mailbox)
+
+        # -- enclave bitmap in protected CS memory -----------------------------
+        bitmap_base = FIRMWARE_FRAMES * PAGE_SIZE
+        self.bitmap = EnclaveBitmap(self.memory, bitmap_base)
+        bitmap_frames = (self.bitmap.size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+        first_free = FIRMWARE_FRAMES + bitmap_frames
+
+        # -- manufacturing + secure boot -----------------------------------------
+        self.efuse = EFuse()
+        self.efuse.burn("EK", self.rng.randbytes(32, stream="efuse"))
+        self.efuse.burn("SK", self.rng.randbytes(32, stream="efuse"))
+        self.efuse.lock()
+        self.flash = PrivateFlash()
+        self.eeprom = EEPROM()
+        secure_boot_mod.provision(self.efuse, self.flash, self.eeprom,
+                                  _RUNTIME_IMAGE, _EMCALL_IMAGE)
+        self.boot_report = secure_boot_mod.secure_boot(
+            self.efuse, self.flash, self.eeprom)
+
+        # -- CS side ------------------------------------------------------------------
+        self.os = CSOperatingSystem(
+            self.memory, first_free_frame=first_free,
+            frame_limit=cs_bytes >> PAGE_SHIFT)
+        reader = BitmapReader(self.bitmap) if cfg.bitmap_checking else None
+        self.cores = [CSCore(i, self.memory, self.ihub, reader, CS_CORE)
+                      for i in range(cfg.cs_cores)]
+        self.emcall = EMCall(self.mailbox, self.rng, self.cores)
+
+        # -- EMS side ------------------------------------------------------------------
+        profile = ENGINE_CRYPTO if cfg.crypto == "engine" else SOFTWARE_CRYPTO
+        self.crypto = CryptoEngine(profile)
+        self.keys = KeyManager(self.efuse, self.engine, self.rng)
+        self.pool = EnclaveMemoryPool(
+            self.os, self.memory, self.rng, bitmap=self.bitmap,
+            initial_pages=cfg.pool_initial_pages)
+        self.ownership = PageOwnershipTable()
+        self.enclaves = EnclaveManager(
+            self.memory, self.pool, self.ownership, self.bitmap,
+            self.keys, self.crypto, self.rng)
+        self.pages = PageManager(self.enclaves)
+        self.swap = SwapManager(self.pool, self.keys, self.crypto, self.rng)
+        self.iommu = IOMMU()
+        self.shm = SharedMemoryManager(self.enclaves, self.keys, self.ihub,
+                                       iommu=self.iommu)
+        self.attestation = AttestationService(self.enclaves, self.keys,
+                                              self.crypto)
+        self.attestation.set_platform_measurement(
+            self.boot_report.platform_measurement)
+        self.sealing = SealingService(self.keys, self.rng)
+        self.ems = EMSRuntime(
+            self.mailbox, ems_config(cfg.ems_core),
+            self.enclaves, self.pages, self.swap, self.shm,
+            self.attestation, self.rng, num_cores=cfg.ems_cores,
+            fabric_probe=self.ihub.probe)
+        self.emcall.attach_ems(self.ems.pump)
+
+        # Section IX extensions: VM-level TEE, CFI monitoring, and the
+        # Varys-style interrupt anomaly detector.
+        from repro.cvm.manager import CVMManager
+        from repro.ems.cfi import CFIMonitor
+        from repro.ems.monitor import InterruptAnomalyDetector
+
+        self.cvm = CVMManager(self.enclaves, self.keys, self.attestation,
+                              self.memory, self.crypto, self.rng)
+        self.cfi = CFIMonitor(self.enclaves)
+        self.interrupt_monitor = InterruptAnomalyDetector(self.enclaves)
+        self.emcall.attach_interrupt_observer(self.interrupt_monitor.observe)
+
+    # -- conveniences ----------------------------------------------------------------------
+
+    @property
+    def primary_core(self) -> CSCore:
+        return self.cores[0]
+
+    def stats_summary(self) -> dict[str, dict]:
+        """Aggregate counters from every subsystem, for diagnostics."""
+        import dataclasses as _dc
+
+        return {
+            "ems": _dc.asdict(self.ems.stats),
+            "mailbox": _dc.asdict(self.mailbox.stats),
+            "fabric": _dc.asdict(self.ihub.stats),
+            "pool": _dc.asdict(self.pool.stats),
+            "emcall": {"bitmap_flushes": self.emcall.bitmap_flush_count},
+            "tlb": {f"core{core.core_id}": _dc.asdict(core.tlb.stats)
+                    for core in self.cores},
+            "interrupts": _dc.asdict(self.interrupt_monitor.stats),
+        }
+
+    def certificate_authority(self) -> CertificateAuthority:
+        """The trusted CA's view of this device (remote-attestation side).
+
+        Models the manufacturing-time registration of the device with the
+        CA: the CA learns the platform key, the AK, and the golden
+        platform measurement.
+        """
+        return CertificateAuthority(
+            platform_key=self.keys.platform_signing_key(),
+            attestation_key=self.keys.attestation_key(),
+            expected_platform=self.boot_report.platform_measurement)

@@ -1,0 +1,26 @@
+"""Cryptographic substrate for the HyperTEE model.
+
+Everything here is a *behavioural* stand-in for the silicon crypto engine
+and the algorithms the paper names (AES memory encryption, SHA-3 MAC,
+RSA/ECDSA attestation signatures, ECDH local attestation). See DESIGN.md
+"Substitutions" for the exact mapping and why each substitution preserves
+the architecture-level behaviour the evaluation depends on.
+"""
+
+from repro.crypto.hashes import measure, truncated_mac
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.keys import KeyDerivation, RootKeys
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.engine import CryptoEngine, SOFTWARE_CRYPTO, ENGINE_CRYPTO
+
+__all__ = [
+    "measure",
+    "truncated_mac",
+    "KeystreamCipher",
+    "KeyDerivation",
+    "RootKeys",
+    "DiffieHellman",
+    "CryptoEngine",
+    "SOFTWARE_CRYPTO",
+    "ENGINE_CRYPTO",
+]

@@ -1,0 +1,59 @@
+"""Diffie-Hellman key exchange used by remote and local attestation.
+
+The paper uses classic DH for the SIGMA remote-attestation flow and ECDH
+(Curve25519) for local attestation. No elliptic-curve library ships
+offline, so both use finite-field DH over the RFC 3526 2048-bit MODP
+group — the protocol *shape* (ephemeral exchange, shared secret, key
+confirmation) is identical, which is all the architecture model needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+# RFC 3526, group 14 (2048-bit MODP). Generator 2.
+_MODP_2048_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF"
+)
+
+PRIME = int(_MODP_2048_HEX, 16)
+GENERATOR = 2
+
+
+class DiffieHellman:
+    """One party's ephemeral DH state.
+
+    >>> alice = DiffieHellman(private=12345)
+    >>> bob = DiffieHellman(private=67890)
+    >>> alice.shared_key(bob.public) == bob.shared_key(alice.public)
+    True
+    """
+
+    def __init__(self, private: int) -> None:
+        if not 1 < private < PRIME - 1:
+            raise ValueError("private exponent out of range")
+        self._private = private
+        self.public = pow(GENERATOR, private, PRIME)
+
+    @classmethod
+    def from_entropy(cls, rng_bytes) -> "DiffieHellman":
+        """Construct with a fresh exponent from an entropy callable."""
+        raw = int.from_bytes(rng_bytes(32), "little")
+        return cls(private=(raw % (PRIME - 3)) + 2)
+
+    def shared_key(self, peer_public: int) -> bytes:
+        """Derive the 256-bit symmetric key from the peer's public value."""
+        if not 1 < peer_public < PRIME - 1:
+            raise ValueError("peer public value out of range")
+        secret = pow(peer_public, self._private, PRIME)
+        return hashlib.sha3_256(secret.to_bytes(256, "little")).digest()

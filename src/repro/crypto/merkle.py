@@ -1,0 +1,108 @@
+"""Merkle tree over CVM memory pages (paper Section IX).
+
+VM-level TEE support protects whole-VM snapshots with a Merkle tree: the
+EMS keeps only the root hash in private memory; any page of a snapshot
+can later be verified (or proven to a migration peer) against that root.
+
+This is a full implementation: build, root, per-leaf inclusion proofs,
+proof verification, and single-leaf updates with O(log n) rehashing.
+Odd levels promote the unpaired node (Bitcoin-style duplication is
+avoided — promotion keeps proofs unambiguous).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.hashes import measure
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return measure(b"leaf", data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return measure(b"node", left, right)
+
+
+@dataclasses.dataclass(frozen=True)
+class MerkleProof:
+    """Inclusion proof for one leaf: sibling hashes bottom-up.
+
+    Each step is ``(sibling_hash, sibling_is_right)``.
+    """
+
+    leaf_index: int
+    steps: tuple[tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of page-sized byte leaves."""
+
+    def __init__(self, leaves: list[bytes]) -> None:
+        if not leaves:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        self._levels: list[list[bytes]] = [[_leaf_hash(x) for x in leaves]]
+        self._build()
+
+    def _build(self) -> None:
+        self._levels = self._levels[:1]
+        level = self._levels[0]
+        while len(level) > 1:
+            parent: list[bytes] = []
+            for i in range(0, len(level) - 1, 2):
+                parent.append(_node_hash(level[i], level[i + 1]))
+            if len(level) % 2:
+                parent.append(level[-1])  # promote the unpaired node
+            self._levels.append(parent)
+            level = parent
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_count(self) -> int:
+        return len(self._levels[0])
+
+    def prove(self, index: int) -> MerkleProof:
+        """Inclusion proof for leaf ``index``."""
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf {index} out of range")
+        steps: list[tuple[bytes, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling = position ^ 1
+            if sibling < len(level):
+                steps.append((level[sibling], bool(sibling > position)))
+            # else: promoted node, no sibling at this level
+            position //= 2
+        return MerkleProof(leaf_index=index, steps=tuple(steps))
+
+    @staticmethod
+    def verify(root: bytes, leaf_data: bytes, proof: MerkleProof) -> bool:
+        """Check ``leaf_data`` against ``root`` using ``proof``."""
+        current = _leaf_hash(leaf_data)
+        for sibling, sibling_is_right in proof.steps:
+            if sibling_is_right:
+                current = _node_hash(current, sibling)
+            else:
+                current = _node_hash(sibling, current)
+        return current == root
+
+    def update(self, index: int, leaf_data: bytes) -> None:
+        """Replace one leaf and rehash its path to the root."""
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf {index} out of range")
+        self._levels[0][index] = _leaf_hash(leaf_data)
+        position = index
+        for depth in range(len(self._levels) - 1):
+            level = self._levels[depth]
+            parent_pos = position // 2
+            left = level[parent_pos * 2]
+            if parent_pos * 2 + 1 < len(level):
+                self._levels[depth + 1][parent_pos] = _node_hash(
+                    left, level[parent_pos * 2 + 1])
+            else:
+                self._levels[depth + 1][parent_pos] = left
+            position = parent_pos

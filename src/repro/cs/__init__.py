@@ -1,0 +1,20 @@
+"""Computing Subsystem software: CPU core contexts, the (untrusted,
+possibly adversarial) CS operating system, the trusted EMCall firmware,
+and the HostApp-facing SDK."""
+
+from repro.cs.cpu import CSCore
+from repro.cs.os import CSOperatingSystem, HostProcess
+from repro.cs.emcall import EMCall, InvokeResult
+
+__all__ = ["CSCore", "CSOperatingSystem", "HostProcess", "EMCall",
+           "InvokeResult", "HostApp"]
+
+
+def __getattr__(name: str):
+    # HostApp pulls in the API facade, which itself imports this package;
+    # exporting it lazily keeps the import graph acyclic.
+    if name == "HostApp":
+        from repro.cs.sdk import HostApp
+
+        return HostApp
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

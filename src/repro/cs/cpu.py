@@ -1,0 +1,113 @@
+"""CS core execution context.
+
+A :class:`CSCore` bundles the per-core hardware state the model needs:
+the TLB, the page-table walker (with its ``IS_ENCLAVE`` register), the
+current privilege level, and the active address-space context. Loads and
+stores issued through a core traverse, in order: PTW (with bitmap check)
+-> iHub CS-access gate -> memory encryption engine. That is the full
+Fig. 5 path, so every test and attack exercises real translation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.common.types import AccessType, Privilege
+from repro.errors import ConfigurationError
+from repro.hw.bitmap import BitmapReader
+from repro.hw.core import CS_CORE, CoreConfig
+from repro.hw.fabric import IHub
+from repro.hw.memory import PhysicalMemory
+from repro.hw.page_table import PageTable, PageTableWalker, WalkResult
+from repro.hw.tlb import TLB
+
+
+@dataclasses.dataclass
+class SavedContext:
+    """Host context saved by EMCall across an enclave entry."""
+
+    table: PageTable | None
+    privilege: Privilege
+    extra: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class CSCore:
+    """One CS application core with its private translation hardware."""
+
+    def __init__(self, core_id: int, memory: PhysicalMemory, ihub: IHub,
+                 bitmap_reader: BitmapReader | None,
+                 config: CoreConfig = CS_CORE) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.memory = memory
+        self.ihub = ihub
+        self.tlb = TLB(entries=config.dtlb_entries, ways=4)
+        self.ptw = PageTableWalker(memory, self.tlb, bitmap_reader)
+        self.privilege = Privilege.SUPERVISOR
+        self.active_table: PageTable | None = None
+        self.current_enclave_id: int | None = None
+        self._saved: SavedContext | None = None
+        #: Cycle cost accumulated by loads/stores on this core.
+        self.cycles = 0
+
+    # -- context switching (driven only by EMCall / the OS scheduler) ---------------
+
+    def set_host_context(self, table: PageTable,
+                         privilege: Privilege = Privilege.USER) -> None:
+        """Run a host process: host table, bitmap checking active."""
+        self.active_table = table
+        self.privilege = privilege
+        self.current_enclave_id = None
+        self.ptw.is_enclave_mode = False
+
+    def enter_enclave_context(self, enclave_id: int, table: PageTable) -> None:
+        """Atomically installed by EMCall during EENTER/ERESUME."""
+        self._saved = SavedContext(table=self.active_table, privilege=self.privilege)
+        self.active_table = table
+        self.privilege = Privilege.USER
+        self.current_enclave_id = enclave_id
+        self.ptw.is_enclave_mode = True
+        self.tlb.flush_all()
+
+    def exit_enclave_context(self) -> None:
+        """Restore the host context on EEXIT (EMCall-driven)."""
+        if self._saved is None:
+            raise ConfigurationError("exit_enclave_context without a saved context")
+        self.active_table = self._saved.table
+        self.privilege = self._saved.privilege
+        self._saved = None
+        self.current_enclave_id = None
+        self.ptw.is_enclave_mode = False
+        self.tlb.flush_all()
+
+    @property
+    def in_enclave(self) -> bool:
+        return self.current_enclave_id is not None
+
+    # -- memory operations ------------------------------------------------------------
+
+    def _translate(self, vaddr: int, access: AccessType) -> WalkResult:
+        if self.active_table is None:
+            raise ConfigurationError("core has no active address space")
+        result = self.ptw.translate(self.active_table, vaddr, access)
+        self.cycles += result.cycles
+        return result
+
+    def load(self, vaddr: int, length: int) -> bytes:
+        """Load bytes; must not cross a page boundary."""
+        result = self._translate(vaddr, AccessType.READ)
+        self.ihub.check_cs_access(result.paddr, length)
+        return self.memory.read(result.paddr, length, result.keyid)
+
+    def store(self, vaddr: int, data: bytes) -> None:
+        """Store bytes; must not cross a page boundary."""
+        result = self._translate(vaddr, AccessType.WRITE)
+        self.ihub.check_cs_access(result.paddr, len(data))
+        self.memory.write(result.paddr, data, result.keyid)
+
+    def touch(self, vaddr: int, access: AccessType = AccessType.READ) -> WalkResult:
+        """Translate-only access (workload drivers use this for footprints)."""
+        result = self._translate(vaddr, access)
+        self.ihub.check_cs_access(result.paddr, 1)
+        return result

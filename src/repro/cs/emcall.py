@@ -1,0 +1,201 @@
+"""EMCall — the trusted call gate between CS software and the EMS.
+
+EMCall is firmware at the highest CS privilege level (M-mode). It is the
+*only* component holding the CS-side mailbox port, and it implements the
+four protections of paper Section III-B:
+
+1. **Cross-privilege restriction** — each primitive may only be invoked
+   from its Table II privilege level; EMCall checks the core's current
+   privilege register and rejects anything else.
+2. **Forgery prevention** — the ``enclaveID`` stamped into every request
+   is read from the core's hardware context, never from caller arguments.
+3. **Sanity checking** happens on the EMS side (see
+   :mod:`repro.ems.runtime`); EMCall transports arguments opaquely.
+4. **Atomic CS register updates** — context installs for EENTER/ERESUME
+   and restores for EEXIT are performed by EMCall with interrupts
+   modelled as deferred, including the TLB flushes required on enclave
+   context switches and bitmap changes (Section IV-B).
+
+Exception routing (Section III-B): page faults raised during enclave
+execution are forwarded to the EMS as allocation requests; other traps go
+to the CS OS.
+
+Responses are retrieved by *polling* with jitter, never via the untrusted
+CS interrupt path (Section III-C).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Callable
+
+from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+from repro.common.packets import PrimitiveRequest, PrimitiveResponse
+from repro.common.rng import DeterministicRng
+from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive, Privilege
+from repro.cs.cpu import CSCore
+from repro.errors import EMCallError, PrivilegeViolation
+from repro.eval.calibration import (
+    EMCALL_DISPATCH_CYCLES,
+    EMCALL_POLL_JITTER_CYCLES,
+)
+from repro.hw.mailbox import Mailbox
+
+
+@dataclasses.dataclass(frozen=True)
+class InvokeResult:
+    """Response plus the CS-visible latency of the whole invocation."""
+
+    response: PrimitiveResponse
+    cs_cycles: int
+
+    @property
+    def ok(self) -> bool:
+        return self.response.ok
+
+    def result(self, name: str, default: Any = None) -> Any:
+        """Field from the response's result dict."""
+        return self.response.result.get(name, default)
+
+
+class EMCall:
+    """The M-mode call gate instance of one SoC."""
+
+    def __init__(self, mailbox: Mailbox, rng: DeterministicRng,
+                 cores: list[CSCore]) -> None:
+        self.mailbox = mailbox
+        self._rng = rng
+        self._cores = cores
+        self._request_ids = itertools.count(1)
+        #: Synchronous EMS pump, attached by the SoC after the EMS boots.
+        self._ems_pump: Callable[[], None] | None = None
+        #: Count of TLB flushes triggered by bitmap updates (Fig. 11 input).
+        self.bitmap_flush_count = 0
+        #: Optional anomaly-detector callback (enclave_id, cycle).
+        self._interrupt_observer = None
+
+    def attach_ems(self, pump: Callable[[], None]) -> None:
+        """Wire the EMS runtime's pump (done after secure boot)."""
+        self._ems_pump = pump
+
+    # -- the invocation path ---------------------------------------------------------------
+
+    def invoke(self, primitive: Primitive, args: dict[str, Any], *,
+               core: CSCore) -> InvokeResult:
+        """Invoke one enclave primitive on behalf of ``core``'s context."""
+        required = PRIMITIVE_PRIVILEGE[primitive]
+        if core.privilege is not required:
+            raise PrivilegeViolation(
+                f"{primitive.value} requires {required.name}, "
+                f"core {core.core_id} is at {core.privilege.name}")
+
+        request = PrimitiveRequest(
+            request_id=next(self._request_ids),
+            primitive=primitive,
+            enclave_id=core.current_enclave_id,   # hardware-stamped identity
+            privilege=core.privilege,
+            args=dict(args),
+        )
+        self.mailbox.push_request(request)
+        if self._ems_pump is None:
+            raise EMCallError("EMS not attached; secure boot incomplete?")
+        self._ems_pump()
+
+        response = self.mailbox.poll_response(request.request_id)
+        polls = 1
+        while response is None:
+            self._ems_pump()
+            response = self.mailbox.poll_response(request.request_id)
+            polls += 1
+            if polls > 64:
+                raise EMCallError(f"no response for request {request.request_id}")
+
+        self._apply_cs_actions(core, response)
+
+        jitter = self._rng.randint(0, EMCALL_POLL_JITTER_CYCLES, stream="emcall-jitter")
+        ems_to_cs = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
+        cs_cycles = (EMCALL_DISPATCH_CYCLES
+                     + 2 * Mailbox.TRANSFER_CYCLES
+                     + int(response.service_cycles * ems_to_cs)
+                     + jitter)
+        return InvokeResult(response=response, cs_cycles=cs_cycles)
+
+    # -- CS-side effects the EMS cannot perform itself ------------------------------------------
+
+    def _apply_cs_actions(self, core: CSCore, response: PrimitiveResponse) -> None:
+        """Perform register/TLB updates the response requests, atomically.
+
+        The EMS manages enclave control structures, but CS core registers
+        are unreachable from the EMS; EMCall applies those updates with
+        interrupts deferred (Section III-B, mechanism 4).
+        """
+        actions = response.result.get("cs_actions")
+        if not actions:
+            return
+        enter = actions.get("enter_context")
+        if enter is not None:
+            core.enter_enclave_context(enter["enclave_id"], enter["page_table"])
+        if actions.get("exit_context"):
+            core.exit_enclave_context()
+        frames = actions.get("flush_frames")
+        if frames:
+            self.flush_tlbs_for_bitmap_change(frames)
+        if actions.get("flush_all"):
+            for other in self._cores:
+                other.tlb.flush_all()
+
+    def flush_tlbs_for_bitmap_change(self, frames: list[int]) -> None:
+        """Selective TLB shootdown after enclave bitmap bits changed."""
+        self.bitmap_flush_count += 1
+        for other in self._cores:
+            for frame in frames:
+                other.tlb.flush_frame(frame)
+
+    # -- exception routing (Section III-B) ----------------------------------------------------------
+
+    def handle_interrupt(self, core: CSCore, cause: str,
+                         cycle: int = 0) -> str:
+        """First-level handler for interrupts during enclave execution.
+
+        EMCall records the cause/PC and routes by type (Section III-B):
+        memory-management exceptions go to the EMS; timer interrupts and
+        illegal instructions go to the CS OS — after EMCall suspends the
+        enclave (atomic register save + context restore) so the untrusted
+        handler never sees enclave state. Enclave interrupts also feed the
+        Varys-style anomaly detector when one is attached.
+
+        Returns the routing decision: ``"ems"`` or ``"cs"``.
+        """
+        if not core.in_enclave:
+            return "cs"  # plain host interrupt: straight to the OS
+        if self._interrupt_observer is not None:
+            flagged = self._interrupt_observer(core.current_enclave_id, cycle)
+            if flagged:
+                # The detector suspended the enclave EMS-side; EMCall
+                # restores the host context (the CS-register half of the
+                # suspension) and hands the core to the OS.
+                core.exit_enclave_context()
+                return "cs"
+        if cause in ("page-fault", "misaligned-access"):
+            return "ems"
+        # Timer / illegal-instruction / external: suspend the enclave and
+        # hand the (enclave-state-free) core to the CS OS.
+        self.invoke(Primitive.EEXIT, {}, core=core)
+        return "cs"
+
+    def attach_interrupt_observer(self, observer) -> None:
+        """Hook for the interrupt anomaly detector (Section IX)."""
+        self._interrupt_observer = observer
+
+    def handle_enclave_page_fault(self, core: CSCore, vaddr: int) -> InvokeResult:
+        """Route an in-enclave page fault to the EMS as a demand allocation.
+
+        The faulting core is in user mode inside the enclave; EMCall
+        records cause/PC and forwards a memory-management request (the
+        paper routes page faults and misaligned accesses to EMS, timer
+        interrupts and illegal instructions to the CS OS).
+        """
+        if not core.in_enclave:
+            raise EMCallError("enclave page-fault path taken outside an enclave")
+        return self.invoke(Primitive.EALLOC, {"fault_vaddr": vaddr}, core=core)

@@ -1,0 +1,167 @@
+"""The CS operating system — untrusted, and in attack scenarios, hostile.
+
+The OS owns the CS free-frame list, host processes and their page tables,
+and the host ``malloc`` path whose latency is the Fig. 8a baseline. It is
+deliberately given full introspection over everything it manages:
+
+* :attr:`CSOperatingSystem.allocation_log` records every frame-allocation
+  event with requestor and size — the *allocation-based controlled
+  channel*. Under HyperTEE the only entries relating to enclaves are the
+  EMS pool's bulk, demand-decoupled requests.
+* Host page tables are ordinary :class:`~repro.hw.page_table.PageTable`
+  objects under ``HOST_KEYID`` — the OS can read PTEs, clear A/D bits,
+  and observe walker updates (the *page-table channel*). Enclave tables
+  are EMS-owned and never registered here.
+* :meth:`request_enclave_swap` invokes EWB and records what the OS learns
+  (the *swap channel*).
+
+The attack harness drives these capabilities against both HyperTEE and
+the baseline TEE models.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import itertools
+
+from repro.common.constants import HOST_KEYID, PAGE_SHIFT, PAGE_SIZE
+from repro.common.types import Permission
+from repro.errors import ConfigurationError, HyperTEEError
+from repro.eval.calibration import (
+    HOST_MALLOC_BASE_CYCLES,
+    HOST_MALLOC_PER_PAGE_CYCLES,
+)
+from repro.hw.memory import PhysicalMemory
+from repro.hw.page_table import PageTable
+
+
+@dataclasses.dataclass(frozen=True)
+class AllocationEvent:
+    """One entry in the OS's allocation log (the observation channel)."""
+
+    seq: int
+    requestor: str
+    pages: int
+    frames: tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class SwapEvent:
+    """What the OS learns from one EWB round."""
+
+    seq: int
+    enclave_hint: str
+    frames: tuple[int, ...]
+
+
+class HostProcess:
+    """A non-enclave process: page table plus a bump heap."""
+
+    #: Heap starts at 16 MiB virtual.
+    HEAP_BASE_VPN = 0x1000
+
+    def __init__(self, pid: int, name: str, table: PageTable) -> None:
+        self.pid = pid
+        self.name = name
+        self.table = table
+        self.heap_next_vpn = self.HEAP_BASE_VPN
+        #: vaddr -> list of frames, for free().
+        self.heap_regions: dict[int, list[int]] = {}
+
+
+class CSOperatingSystem:
+    """Frame allocator + process manager + (attack-capable) observer."""
+
+    def __init__(self, memory: PhysicalMemory, first_free_frame: int,
+                 frame_limit: int | None = None) -> None:
+        self.memory = memory
+        limit = frame_limit if frame_limit is not None else memory.num_frames
+        if first_free_frame >= limit:
+            raise ConfigurationError("no free frames left for the OS")
+        self._free: collections.deque[int] = collections.deque(
+            range(first_free_frame, limit))
+        self._pid_counter = itertools.count(1)
+        self._seq = itertools.count()
+        self.processes: dict[int, HostProcess] = {}
+        self.allocation_log: list[AllocationEvent] = []
+        self.swap_log: list[SwapEvent] = []
+
+    # -- frame management -------------------------------------------------------------
+
+    def free_frame_count(self) -> int:
+        """Frames currently on the OS free list."""
+        return len(self._free)
+
+    def alloc_frames(self, n: int, requestor: str = "os") -> list[int]:
+        """Hand out ``n`` frames, logging the event (observable!)."""
+        if n <= 0:
+            raise ValueError("must allocate a positive number of frames")
+        if len(self._free) < n:
+            raise HyperTEEError("CS OS out of physical frames")
+        frames = [self._free.popleft() for _ in range(n)]
+        self.allocation_log.append(AllocationEvent(
+            seq=next(self._seq), requestor=requestor,
+            pages=n, frames=tuple(frames)))
+        return frames
+
+    def release_frames(self, frames: list[int]) -> None:
+        """Return frames to the free list."""
+        self._free.extend(frames)
+
+    # -- processes ---------------------------------------------------------------------
+
+    def create_process(self, name: str) -> HostProcess:
+        """Spawn a host process with a fresh OS-owned page table."""
+        pid = next(self._pid_counter)
+        root = self.alloc_frames(1, requestor=f"pid{pid}-pagetable")[0]
+        table = PageTable(
+            self.memory, root,
+            allocate_frame=lambda: self.alloc_frames(
+                1, requestor=f"pid{pid}-pagetable")[0],
+            table_keyid=HOST_KEYID, asid=pid)
+        process = HostProcess(pid, name, table)
+        self.processes[pid] = process
+        return process
+
+    # -- host allocation path (Fig. 8a baseline) -----------------------------------------
+
+    def malloc(self, process: HostProcess, nbytes: int,
+               perm: Permission = Permission.RW) -> tuple[int, int]:
+        """Allocate and map ``nbytes`` for a host process.
+
+        Returns ``(vaddr, cs_cycles)``. The cycle model is the calibrated
+        host path: a fixed syscall/allocator cost plus per-page zeroing
+        and PTE setup.
+        """
+        pages = max(1, (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT)
+        frames = self.alloc_frames(pages, requestor=f"pid{process.pid}-malloc")
+        vpn = process.heap_next_vpn
+        for offset, frame in enumerate(frames):
+            self.memory.zero_frame(frame)
+            process.table.map(vpn + offset, frame, perm, HOST_KEYID)
+        process.heap_next_vpn += pages
+        vaddr = vpn << PAGE_SHIFT
+        process.heap_regions[vaddr] = frames
+        cycles = HOST_MALLOC_BASE_CYCLES + pages * HOST_MALLOC_PER_PAGE_CYCLES
+        return vaddr, cycles
+
+    def free(self, process: HostProcess, vaddr: int) -> int:
+        """Unmap and release a malloc'd region; returns cycle cost."""
+        frames = process.heap_regions.pop(vaddr, None)
+        if frames is None:
+            raise ValueError(f"{vaddr:#x} is not an allocated region")
+        vpn = vaddr >> PAGE_SHIFT
+        for offset in range(len(frames)):
+            process.table.unmap(vpn + offset)
+        self.release_frames(frames)
+        return HOST_MALLOC_BASE_CYCLES // 2 + len(frames) * 80
+
+    # -- enclave page swapping (OS side of EWB, Section IV-A) ------------------------------
+
+    def record_swap_result(self, enclave_hint: str, frames: list[int]) -> None:
+        """Log what an EWB round revealed, then reclaim the frames."""
+        self.swap_log.append(SwapEvent(
+            seq=next(self._seq), enclave_hint=enclave_hint,
+            frames=tuple(frames)))
+        self.release_frames(frames)

@@ -1,0 +1,142 @@
+"""Preemptive CS scheduler: time-slicing hosts and enclaves together.
+
+The CS OS timeshares its cores among ordinary processes and enclaves.
+Enclave preemption goes through the architecture's full path: the timer
+interrupt lands in EMCall (`handle_interrupt`), which suspends the
+enclave via EEXIT — atomically restoring the host context — before the
+untrusted scheduler ever runs; resumption is an ERESUME. The scheduler
+itself never touches enclave state, which is precisely the paper's
+division of labour.
+
+Tasks implement a cooperative ``step`` (one quantum's worth of work);
+the scheduler provides the preemption machinery around it.
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+import dataclasses
+
+from repro.common.types import Privilege
+from repro.core.api import Enclave, HyperTEE
+from repro.cs.cpu import CSCore
+from repro.cs.os import HostProcess
+
+#: Default quantum: 10 ms at the CS clock (a 100 Hz timer tick).
+DEFAULT_QUANTUM_CYCLES = 25_000_000
+
+
+class Task(abc.ABC):
+    """One schedulable entity."""
+
+    name: str
+
+    @abc.abstractmethod
+    def step(self, core: CSCore) -> bool:
+        """Run one quantum of work; return True when finished."""
+
+    @abc.abstractmethod
+    def install(self, core: CSCore, scheduler: "Scheduler") -> None:
+        """Put this task's context on the core."""
+
+    @abc.abstractmethod
+    def preempt(self, core: CSCore, scheduler: "Scheduler") -> None:
+        """Timer fired: save context and vacate the core."""
+
+
+class HostTask(Task):
+    """A host process running a step function under its page table."""
+
+    def __init__(self, name: str, process: HostProcess, program) -> None:
+        self.name = name
+        self.process = process
+        self._program = program
+
+    def install(self, core: CSCore, scheduler: "Scheduler") -> None:
+        """Switch the core to this process's address space."""
+        core.set_host_context(self.process.table, Privilege.USER)
+
+    def step(self, core: CSCore) -> bool:
+        """Run the program for one quantum."""
+        return self._program(core)
+
+    def preempt(self, core: CSCore, scheduler: "Scheduler") -> None:
+        """Host preemption: nothing enclave-sensitive to protect."""
+
+
+class EnclaveTask(Task):
+    """An enclave; entry/exit goes through EMCall on every slice."""
+
+    def __init__(self, name: str, enclave: Enclave, program) -> None:
+        self.name = name
+        self.enclave = enclave
+        self._program = program
+        self._started = False
+
+    def install(self, core: CSCore, scheduler: "Scheduler") -> None:
+        """EENTER on the first slice, ERESUME afterwards."""
+        if not self._started:
+            self.enclave.enter()
+            self._started = True
+        else:
+            self.enclave.resume()
+
+    def step(self, core: CSCore) -> bool:
+        """Run the enclave program for one quantum."""
+        return self._program(self.enclave)
+
+    def preempt(self, core: CSCore, scheduler: "Scheduler") -> None:
+        """Deliver the timer through EMCall: suspend via EEXIT."""
+        if core.in_enclave:
+            route = scheduler.tee.system.emcall.handle_interrupt(
+                core, "timer", cycle=scheduler.now_cycles)
+            assert route == "cs"
+        self.enclave._entered = False  # facade state follows the suspend
+
+
+@dataclasses.dataclass
+class SchedulerStats:
+    slices: int = 0
+    timer_interrupts: int = 0
+    completed: int = 0
+
+
+class Scheduler:
+    """Round-robin over all CS cores with a fixed quantum."""
+
+    def __init__(self, tee: HyperTEE,
+                 quantum_cycles: int = DEFAULT_QUANTUM_CYCLES) -> None:
+        self.tee = tee
+        self.quantum_cycles = quantum_cycles
+        self.now_cycles = 0
+        self._ready: collections.deque[Task] = collections.deque()
+        self.stats = SchedulerStats()
+
+    def add(self, task: Task) -> None:
+        """Enqueue a task for execution."""
+        self._ready.append(task)
+
+    def run(self, max_slices: int = 10_000) -> None:
+        """Drive everything to completion (or the slice bound)."""
+        core = self.tee.system.primary_core
+        while self._ready and self.stats.slices < max_slices:
+            task = self._ready.popleft()
+            task.install(core, self)
+            finished = task.step(core)
+            self.stats.slices += 1
+            self.now_cycles += self.quantum_cycles
+            if finished:
+                # Let the task exit cleanly (enclaves EEXIT themselves).
+                if isinstance(task, EnclaveTask) and core.in_enclave:
+                    task.enclave.exit()
+                self.stats.completed += 1
+                continue
+            self.stats.timer_interrupts += 1
+            task.preempt(core, self)
+            self._ready.append(task)
+
+    @property
+    def pending(self) -> int:
+        """Tasks still in the ready queue."""
+        return len(self._ready)

@@ -1,0 +1,20 @@
+"""VM-level TEE support (paper Section IX, "Support for VM-level TEEs").
+
+The paper's discussion: HyperTEE naturally extends to confidential VMs
+(CVMs) by adding dedicated primitives in the EMS — lifecycle management
+of CVMs from encrypted VM images, CVM memory isolation and encryption,
+protected shared memory between CVMs, snapshot/save/restore protected by
+AES + a Merkle tree whose key and root hash live in EMS private memory,
+and migration over a channel established by remote attestation between
+the source and destination EMS.
+
+This subpackage implements that design: :mod:`repro.cvm.image` (encrypted
+image deployment), :mod:`repro.cvm.manager` (the EMS-side CVM manager),
+and :mod:`repro.cvm.migration` (the attested migration protocol).
+"""
+
+from repro.cvm.image import CVMImage, VMOwner
+from repro.cvm.manager import CVMManager, CVMSnapshot
+from repro.cvm.migration import migrate
+
+__all__ = ["CVMImage", "VMOwner", "CVMManager", "CVMSnapshot", "migrate"]

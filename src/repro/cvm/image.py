@@ -1,0 +1,91 @@
+"""Encrypted CVM image deployment.
+
+A VM owner never ships plaintext: the image is encrypted under an
+owner-chosen image key, and the image key is released only to a platform
+the owner has *remotely attested* (Section IX: "deployment of encrypted
+VM images"). The flow:
+
+1. owner builds :class:`CVMImage` (ciphertext + plaintext measurement);
+2. owner challenges the platform with an ephemeral DH value;
+3. the EMS answers with its own DH value and a platform certificate
+   binding that value (same SIGMA shape as enclave remote attestation);
+4. owner verifies the certificate against the CA, derives the channel
+   key, and wraps the image key under it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.constants import PAGE_SIZE
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.dh import DiffieHellman
+from repro.crypto.hashes import keyed_mac, measure
+from repro.ems.attestation import Certificate, CertificateAuthority
+from repro.errors import AttestationError
+
+
+@dataclasses.dataclass(frozen=True)
+class CVMImage:
+    """An encrypted VM image as it travels through untrusted storage."""
+
+    name: str
+    ciphertext: bytes
+    #: Measurement of the *plaintext* image — what attestation reports.
+    measurement: bytes
+    pages: int
+
+
+@dataclasses.dataclass(frozen=True)
+class WrappedImageKey:
+    """The image key, wrapped under an attested channel key."""
+
+    wrapped: bytes
+    tag: bytes
+
+
+class VMOwner:
+    """The tenant deploying a confidential VM."""
+
+    def __init__(self, name: str, entropy) -> None:
+        self.name = name
+        self._entropy = entropy
+        self._image_keys: dict[str, bytes] = {}
+        self._dh: DiffieHellman | None = None
+
+    def build_image(self, name: str, content: bytes) -> CVMImage:
+        """Encrypt a VM image under a fresh owner-held image key."""
+        key = self._entropy(32)
+        self._image_keys[name] = key
+        padded = content.ljust(
+            ((len(content) + PAGE_SIZE - 1) // PAGE_SIZE) * PAGE_SIZE, b"\0")
+        return CVMImage(
+            name=name,
+            ciphertext=KeystreamCipher(key).encrypt(padded),
+            measurement=measure(padded),
+            pages=len(padded) // PAGE_SIZE)
+
+    def challenge(self) -> int:
+        """Step 2: the owner's ephemeral DH public value."""
+        self._dh = DiffieHellman.from_entropy(self._entropy)
+        return self._dh.public
+
+    def release_key(self, image_name: str, ca: CertificateAuthority,
+                    ems_public: int,
+                    platform_cert: Certificate) -> WrappedImageKey:
+        """Steps 4: verify the platform, wrap the image key.
+
+        Raises :class:`AttestationError` when the platform certificate
+        does not verify — the key is never released to an unattested
+        platform.
+        """
+        if self._dh is None:
+            raise AttestationError("challenge() must run before release_key()")
+        if not ca.verify_platform_binding(platform_cert, ems_public):
+            raise AttestationError("platform attestation failed; "
+                                   "image key not released")
+        channel = self._dh.shared_key(ems_public)
+        key = self._image_keys[image_name]
+        wrapped = KeystreamCipher(keyed_mac(channel, b"wrap")).encrypt(key)
+        tag = keyed_mac(keyed_mac(channel, b"wrap-mac"), wrapped)
+        return WrappedImageKey(wrapped=wrapped, tag=tag)

@@ -1,0 +1,79 @@
+"""CVM migration between two HyperTEE platforms (paper Section IX).
+
+The paper's sketch: the source and destination EMS remote-attest each
+other, establish an encrypted channel, transfer the CVM encryption key
+and Merkle root hash over it, then move the encrypted CVM. The snapshot
+ciphertext itself travels over untrusted transport — only the wrapped
+secrets need the attested channel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.hashes import constant_time_equal, keyed_mac
+from repro.cvm.manager import CVMSnapshot, SnapshotSecrets
+from repro.errors import AttestationError
+
+
+@dataclasses.dataclass(frozen=True)
+class WrappedSecrets:
+    """Snapshot key + Merkle root, sealed under the channel key."""
+
+    wrapped: bytes
+    tag: bytes
+
+
+def _wrap(channel: bytes, secrets: SnapshotSecrets) -> WrappedSecrets:
+    payload = secrets.key + secrets.merkle_root
+    wrapped = KeystreamCipher(keyed_mac(channel, b"migrate")).encrypt(payload)
+    return WrappedSecrets(
+        wrapped=wrapped,
+        tag=keyed_mac(keyed_mac(channel, b"migrate-mac"), wrapped))
+
+
+def _unwrap(channel: bytes, sealed: WrappedSecrets) -> SnapshotSecrets:
+    expected = keyed_mac(keyed_mac(channel, b"migrate-mac"), sealed.wrapped)
+    if not constant_time_equal(expected, sealed.tag):
+        raise AttestationError("migration secrets failed authentication")
+    payload = KeystreamCipher(keyed_mac(channel, b"migrate")).decrypt(
+        sealed.wrapped)
+    return SnapshotSecrets(key=payload[:32], merkle_root=payload[32:])
+
+
+def migrate(source, destination, cvm_id: int) -> int:
+    """Move a CVM from ``source`` to ``destination`` (HyperTEESystems).
+
+    Returns the CVM's id on the destination. Raises
+    :class:`AttestationError` if either platform fails attestation, and
+    Merkle verification failures surface from the destination's restore.
+    The source CVM is destroyed only after the destination restores.
+    """
+    # 1. Mutual remote attestation with DH-bound platform certificates.
+    dest_public, dest_cert = destination.cvm.platform_challenge(0)
+    source_public, source_cert = source.cvm.platform_challenge(0)
+
+    if not destination.certificate_authority().verify_platform_binding(
+            dest_cert, dest_public):
+        raise AttestationError("destination platform failed attestation")
+    if not source.certificate_authority().verify_platform_binding(
+            source_cert, source_public):
+        raise AttestationError("source platform failed attestation")
+
+    channel_source = source.cvm._dh.shared_key(dest_public)
+    channel_dest = destination.cvm._dh.shared_key(source_public)
+
+    # 2. Source snapshots the CVM and wraps the secrets for the channel.
+    snapshot: CVMSnapshot = source.cvm.snapshot(cvm_id)
+    secrets = source.cvm.export_secrets(snapshot.snapshot_id)
+    sealed = _wrap(channel_source, secrets)
+
+    # 3. Ciphertext travels untrusted; secrets unwrap only on the
+    #    attested destination, which verifies the Merkle root on restore.
+    restored_id = destination.cvm.restore(
+        snapshot, _unwrap(channel_dest, sealed))
+
+    # 4. Source side tears down its copy.
+    source.cvm.cvm_destroy(cvm_id)
+    return restored_id

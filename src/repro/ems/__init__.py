@@ -1,0 +1,17 @@
+"""The Enclave Management Subsystem — the paper's core contribution.
+
+Every enclave management task lives here, on the physically isolated side
+of the iHub: lifecycle, the enclave memory pool, dedicated page tables,
+randomized swapping, page ownership, shared-memory communication, key
+management, attestation, sealing, and secure boot. The CS reaches these
+services only as primitives through EMCall and the mailbox.
+"""
+
+from repro.ems.runtime import EMSRuntime
+from repro.ems.memory_pool import EnclaveMemoryPool
+from repro.ems.ownership import PageOwnershipTable, Owner
+from repro.ems.cfi import CFIMonitor
+from repro.ems.monitor import InterruptAnomalyDetector
+
+__all__ = ["EMSRuntime", "EnclaveMemoryPool", "PageOwnershipTable", "Owner",
+           "CFIMonitor", "InterruptAnomalyDetector"]

@@ -1,0 +1,62 @@
+"""Secure boot chain (paper Section VI).
+
+Order: chip initialization -> EMS BootROM -> EMS Runtime -> CS firmware
+(EMCall) -> CS OS. Each stage's hash is verified against the golden value
+in on-chip EEPROM before control transfers; the EMS Runtime image is
+additionally stored *encrypted* in private flash. Any mismatch aborts
+with :class:`~repro.errors.SecureBootError` — the tamper-detection tests
+flip flash bytes and assert the boot refuses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.hashes import constant_time_equal, keyed_mac, measure
+from repro.errors import SecureBootError
+from repro.hw.devices import EEPROM, EFuse, PrivateFlash
+
+RUNTIME_IMAGE = "ems-runtime"
+EMCALL_IMAGE = "emcall-firmware"
+
+
+@dataclasses.dataclass(frozen=True)
+class BootReport:
+    """What a successful boot yields."""
+
+    runtime_image: bytes
+    emcall_image: bytes
+    platform_measurement: bytes
+
+
+def _flash_key(efuse: EFuse) -> bytes:
+    return keyed_mac(efuse.read("SK"), b"flash-image-key")
+
+
+def provision(efuse: EFuse, flash: PrivateFlash, eeprom: EEPROM,
+              runtime_image: bytes, emcall_image: bytes) -> None:
+    """Manufacturing step: encrypt images into flash, burn golden hashes."""
+    cipher = KeystreamCipher(_flash_key(efuse))
+    flash.store(RUNTIME_IMAGE, cipher.encrypt(runtime_image, tweak=1))
+    flash.store(EMCALL_IMAGE, cipher.encrypt(emcall_image, tweak=2))
+    eeprom.write("runtime-hash", measure(runtime_image))
+    eeprom.write("emcall-hash", measure(emcall_image))
+
+
+def secure_boot(efuse: EFuse, flash: PrivateFlash, eeprom: EEPROM) -> BootReport:
+    """BootROM behaviour: decrypt, verify, measure the software TCB."""
+    cipher = KeystreamCipher(_flash_key(efuse))
+
+    runtime = cipher.decrypt(flash.load(RUNTIME_IMAGE), tweak=1)
+    if not constant_time_equal(measure(runtime), eeprom.read("runtime-hash")):
+        raise SecureBootError("EMS Runtime image failed hash verification")
+
+    emcall = cipher.decrypt(flash.load(EMCALL_IMAGE), tweak=2)
+    if not constant_time_equal(measure(emcall), eeprom.read("emcall-hash")):
+        raise SecureBootError("EMCall firmware failed hash verification")
+
+    platform_measurement = measure(b"platform-tcb", measure(runtime),
+                                   measure(emcall))
+    return BootReport(runtime_image=runtime, emcall_image=emcall,
+                      platform_measurement=platform_measurement)

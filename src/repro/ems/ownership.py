@@ -1,0 +1,103 @@
+"""Page ownership table (paper Sections IV-B and V-B).
+
+The EMS records, in its private memory, the owner of every physical page
+it manages: a specific enclave, a shared region, or a peripheral binding.
+Before mapping a page anywhere, the EMS verifies the page is not already
+owned — isolating enclaves from *each other*, which the bitmap (which
+only separates enclave from non-enclave) cannot do alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import OwnershipError
+
+
+class OwnerKind(enum.Enum):
+    """The kinds of parties that can own a physical page."""
+    ENCLAVE = "enclave"
+    SHARED = "shared"
+    PERIPHERAL = "peripheral"
+    EMS = "ems"          # EMS metadata (e.g. enclave page-table frames)
+
+
+@dataclasses.dataclass(frozen=True)
+class Owner:
+    """The recorded owner of one physical page."""
+
+    kind: OwnerKind
+    ident: int | str
+
+    @classmethod
+    def enclave(cls, enclave_id: int) -> "Owner":
+        return cls(OwnerKind.ENCLAVE, enclave_id)
+
+    @classmethod
+    def shared(cls, shm_id: int) -> "Owner":
+        return cls(OwnerKind.SHARED, shm_id)
+
+    @classmethod
+    def peripheral(cls, device_id: str) -> "Owner":
+        return cls(OwnerKind.PERIPHERAL, device_id)
+
+    @classmethod
+    def ems(cls, tag: str = "metadata") -> "Owner":
+        return cls(OwnerKind.EMS, tag)
+
+
+class PageOwnershipTable:
+    """frame number -> :class:`Owner`, with exclusive-claim semantics."""
+
+    def __init__(self) -> None:
+        self._owners: dict[int, Owner] = {}
+
+    def owner_of(self, frame: int) -> Owner | None:
+        """The recorded owner of a frame, or None."""
+        return self._owners.get(frame)
+
+    def claim(self, frame: int, owner: Owner) -> None:
+        """Record ownership; an existing different owner is a violation."""
+        existing = self._owners.get(frame)
+        if existing is not None and existing != owner:
+            raise OwnershipError(
+                f"frame {frame} owned by {existing}, cannot assign {owner}")
+        self._owners[frame] = owner
+
+    def claim_all(self, frames: list[int], owner: Owner) -> None:
+        # Verify-then-commit so a conflict does not leave partial claims.
+        """Atomically claim a batch (all-or-nothing)."""
+        for frame in frames:
+            existing = self._owners.get(frame)
+            if existing is not None and existing != owner:
+                raise OwnershipError(
+                    f"frame {frame} owned by {existing}, cannot assign {owner}")
+        for frame in frames:
+            self._owners[frame] = owner
+
+    def release(self, frame: int, owner: Owner) -> None:
+        """Drop ownership; only the recorded owner may release."""
+        existing = self._owners.get(frame)
+        if existing is None:
+            return
+        if existing != owner:
+            raise OwnershipError(
+                f"{owner} tried to release frame {frame} owned by {existing}")
+        del self._owners[frame]
+
+    def release_all(self, frames: list[int], owner: Owner) -> None:
+        """Release a batch of frames held by ``owner``."""
+        for frame in frames:
+            self.release(frame, owner)
+
+    def frames_owned_by(self, owner: Owner) -> list[int]:
+        """All frames recorded for one owner."""
+        return [f for f, o in self._owners.items() if o == owner]
+
+    def verify_unowned(self, frames: list[int]) -> None:
+        """Raise if any of ``frames`` already has an owner."""
+        for frame in frames:
+            if frame in self._owners:
+                raise OwnershipError(
+                    f"frame {frame} already owned by {self._owners[frame]}")

@@ -1,0 +1,116 @@
+"""Enclave memory management: EALLOC, EFREE, page-fault service.
+
+All dynamic enclave memory flows through the EMS (paper Section IV-A):
+
+* **EALLOC** hands out zeroed pool frames, maps them in the enclave's
+  dedicated page table, marks the bitmap, and claims ownership. The CS OS
+  observes nothing per-request — the pool decouples demand from OS-level
+  allocation (the anti-allocation-channel property tested by the attack
+  harness).
+* **EFREE** unmaps and returns frames to the pool (zeroed there).
+* **Page faults** raised while an enclave runs are routed here by EMCall;
+  within the enclave's declared heap budget they become single-page
+  demand allocations.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import PAGE_SHIFT
+from repro.common.types import EnclaveState, Permission
+from repro.core.enclave import HEAP_BASE_VPN
+from repro.ems.lifecycle import EnclaveManager, HandlerOutput
+from repro.ems.ownership import Owner
+from repro.errors import SanityCheckError
+from repro.eval.calibration import (
+    EALLOC_BASE_INSTR,
+    EALLOC_PER_PAGE_INSTR,
+    PRIMITIVE_BASE_INSTR,
+)
+
+
+class PageManager:
+    """EALLOC / EFREE / demand-fault service on top of the pool."""
+
+    def __init__(self, enclaves: EnclaveManager) -> None:
+        self._enclaves = enclaves
+
+    def ealloc(self, enclave_id: int, pages: int,
+               perm: Permission = Permission.RW) -> HandlerOutput:
+        """Allocate ``pages`` of heap for a running enclave."""
+        control = self._enclaves.get(enclave_id)
+        control.assert_state(EnclaveState.RUNNING, EnclaveState.MEASURED,
+                             EnclaveState.SUSPENDED)
+        self._enclaves.ensure_keyid(control)
+        if pages <= 0:
+            raise SanityCheckError("EALLOC needs a positive page count")
+        if control.heap_pages_used() + pages > control.config.heap_pages_max:
+            raise SanityCheckError(
+                f"EALLOC exceeds declared heap budget "
+                f"({control.config.heap_pages_max} pages)")
+
+        flush: list[int] = []
+        frames = self._enclaves.grant_frames(
+            pages, Owner.enclave(enclave_id), flush)
+        self._enclaves.zero_under(frames, control.keyid)
+        base_vpn = control.heap_next_vpn
+        for offset, frame in enumerate(frames):
+            control.page_table.map(base_vpn + offset, frame, perm, control.keyid)
+        control.heap_next_vpn += pages
+        control.frames.extend(frames)
+        vaddr = base_vpn << PAGE_SHIFT
+        control.heap_regions[vaddr] = frames
+
+        instr = EALLOC_BASE_INSTR + pages * EALLOC_PER_PAGE_INSTR
+        return {"vaddr": vaddr, "pages": pages,
+                "cs_actions": {"flush_frames": flush}}, instr, 0
+
+    def efree(self, enclave_id: int, vaddr: int) -> HandlerOutput:
+        """Release a heap region back to the pool."""
+        control = self._enclaves.get(enclave_id)
+        self._enclaves.ensure_keyid(control)
+        frames = control.heap_regions.pop(vaddr, None)
+        if frames is None:
+            raise SanityCheckError(f"EFREE of unknown region {vaddr:#x}")
+        base_vpn = vaddr >> PAGE_SHIFT
+        for offset in range(len(frames)):
+            control.page_table.unmap(base_vpn + offset)
+        flush: list[int] = []
+        self._enclaves.reclaim_frames(frames, Owner.enclave(enclave_id), flush)
+        control.frames = [f for f in control.frames if f not in set(frames)]
+
+        instr = (PRIMITIVE_BASE_INSTR["EFREE"]
+                 + len(frames) * PRIMITIVE_BASE_INSTR["EFREE_PER_PAGE"])
+        return {"pages": len(frames),
+                "cs_actions": {"flush_frames": flush, "flush_all": True}}, instr, 0
+
+    def service_fault(self, enclave_id: int, fault_vaddr: int) -> HandlerOutput:
+        """Demand-allocate the single faulting heap page.
+
+        Pages are zeroed before being mapped (Section IV-A). Faults
+        outside the declared heap budget are rejected — the enclave gets
+        a real fault instead of silent growth.
+        """
+        control = self._enclaves.get(enclave_id)
+        control.assert_state(EnclaveState.RUNNING)
+        self._enclaves.ensure_keyid(control)
+        vpn = fault_vaddr >> PAGE_SHIFT
+        if not HEAP_BASE_VPN <= vpn < control.heap_limit_vpn:
+            raise SanityCheckError(
+                f"fault at {fault_vaddr:#x} outside the enclave heap range")
+        if control.page_table.lookup(vpn) is not None:
+            raise SanityCheckError(
+                f"fault at {fault_vaddr:#x} on an already-mapped page")
+
+        flush: list[int] = []
+        frame = self._enclaves.grant_frames(
+            1, Owner.enclave(enclave_id), flush)[0]
+        self._enclaves.zero_under([frame], control.keyid)
+        control.page_table.map(vpn, frame, Permission.RW, control.keyid)
+        control.frames.append(frame)
+        control.heap_regions[vpn << PAGE_SHIFT] = [frame]
+        if vpn >= control.heap_next_vpn:
+            control.heap_next_vpn = vpn + 1
+
+        instr = EALLOC_BASE_INSTR + EALLOC_PER_PAGE_INSTR
+        return {"vaddr": vpn << PAGE_SHIFT, "pages": 1,
+                "cs_actions": {"flush_frames": flush}}, instr, 0

@@ -1,0 +1,52 @@
+"""Data sealing (paper Section VI).
+
+The EMS derives a sealing key from the enclave measurement and the
+device-unique SK, encrypts the enclave's data under it, and hands the
+ciphertext to HostApp memory; HostApp persists it. Only the *same*
+enclave (same measurement) on the *same* device can unseal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.rng import DeterministicRng
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.hashes import constant_time_equal, keyed_mac
+from repro.ems.key_mgmt import KeyManager
+from repro.errors import SealingError
+
+
+@dataclasses.dataclass(frozen=True)
+class SealedBlob:
+    """Ciphertext + authentication tag + nonce, safe to store anywhere."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+
+class SealingService:
+    """Seal/unseal bound to (enclave measurement, device SK)."""
+
+    def __init__(self, keys: KeyManager, rng: DeterministicRng) -> None:
+        self._keys = keys
+        self._rng = rng
+
+    def seal(self, measurement: bytes, plaintext: bytes) -> SealedBlob:
+        """Encrypt + authenticate data under the sealing key."""
+        key = self._keys.sealing_key(measurement)
+        nonce = self._rng.randbytes(16, stream="seal-nonce")
+        cipher = KeystreamCipher(keyed_mac(key, b"enc" + nonce))
+        ciphertext = cipher.encrypt(plaintext)
+        tag = keyed_mac(keyed_mac(key, b"mac" + nonce), ciphertext)
+        return SealedBlob(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+    def unseal(self, measurement: bytes, blob: SealedBlob) -> bytes:
+        """Verify and decrypt; raises SealingError on mismatch."""
+        key = self._keys.sealing_key(measurement)
+        expected = keyed_mac(keyed_mac(key, b"mac" + blob.nonce), blob.ciphertext)
+        if not constant_time_equal(expected, blob.tag):
+            raise SealingError("sealed blob failed authentication")
+        cipher = KeystreamCipher(keyed_mac(key, b"enc" + blob.nonce))
+        return cipher.decrypt(blob.ciphertext)

@@ -1,0 +1,304 @@
+"""Enclave communication via encrypted shared memory (paper Section V).
+
+The EMS manages every shared region end to end:
+
+* **Key assignment** (V-A): each region gets a dedicated key derived from
+  the initial sender's EnclaveID and the ShmID, separate from any private
+  memory key; the KeyID/key pair goes straight into the encryption
+  engine and is never visible to CS software.
+* **Brute-force protection** (V-A): a receiver may attach only after the
+  *sender* registered it on the region's **legal connection list**
+  (ESHMSHR) — guessing ShmIDs achieves nothing.
+* **Ownership** (V-B): shared pages are marked in the page ownership
+  table as owned by the region, so they can never also be mapped as
+  private enclave memory.
+* **Access control** (V-C): per-receiver permissions bounded by the
+  sender's declared maximum; release/reclaim restricted to the initial
+  sender and only with no active connections; device (DMA) access goes
+  through the iHub whitelist the EMS configures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
+from repro.common.types import Permission
+from repro.ems.key_mgmt import KeyManager
+from repro.ems.lifecycle import EnclaveManager, HandlerOutput
+from repro.ems.ownership import Owner
+from repro.errors import (
+    ActiveConnectionsRemain,
+    ConnectionNotAuthorized,
+    NotRegionOwner,
+    SanityCheckError,
+    SharedMemoryError,
+)
+from repro.eval.calibration import PRIMITIVE_BASE_INSTR
+from repro.hw.fabric import IHub, WhitelistEntry
+
+
+@dataclasses.dataclass
+class ShmControl:
+    """The EMS-private *shm control structure* (Section V-C)."""
+
+    shm_id: int
+    owner_enclave_id: int
+    frames: list[int]
+    max_perm: Permission
+    keyid: int
+    key: bytes
+    #: receiver enclave id -> granted permission (the legal connection list).
+    legal_connections: dict[int, Permission] = dataclasses.field(default_factory=dict)
+    #: enclave id -> attach vaddr (active connections).
+    attachments: dict[int, int] = dataclasses.field(default_factory=dict)
+    #: device ids granted DMA access through the whitelist.
+    device_bindings: set[str] = dataclasses.field(default_factory=set)
+    #: device ids granted access through EMS-managed IOMMU tables.
+    iommu_bindings: set[str] = dataclasses.field(default_factory=set)
+    #: Set when the initial sender was destroyed: the EMS reclaims the
+    #: region as soon as the last remaining attachment drops.
+    orphaned: bool = False
+
+    @property
+    def base_paddr(self) -> int:
+        return self.frames[0] << PAGE_SHIFT
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.frames) * PAGE_SIZE
+
+
+class SharedMemoryManager:
+    """ESHMGET / ESHMSHR / ESHMAT / ESHMDT / ESHMDES plus device grants."""
+
+    def __init__(self, enclaves: EnclaveManager, keys: KeyManager,
+                 ihub: IHub, iommu=None) -> None:
+        self._enclaves = enclaves
+        self._keys = keys
+        self._ihub = ihub
+        self._iommu = iommu
+        self._ids = itertools.count(1)
+        self.regions: dict[int, ShmControl] = {}
+        enclaves.on_destroy_hooks.append(self.on_enclave_destroyed)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _region(self, shm_id: int | None) -> ShmControl:
+        if shm_id is None or shm_id not in self.regions:
+            raise SharedMemoryError(f"unknown shared region {shm_id}")
+        return self.regions[shm_id]
+
+    def _granted_perm(self, region: ShmControl, enclave_id: int) -> Permission:
+        if enclave_id == region.owner_enclave_id:
+            return region.max_perm
+        perm = region.legal_connections.get(enclave_id)
+        if perm is None:
+            raise ConnectionNotAuthorized(
+                f"enclave {enclave_id} is not on the legal connection list "
+                f"of region {region.shm_id}")
+        return perm
+
+    # -- primitives ---------------------------------------------------------------------
+
+    def eshmget(self, sender_id: int | None, pages: int,
+                max_perm: Permission = Permission.RW) -> HandlerOutput:
+        """Create a shared region: contiguous frames, dedicated key."""
+        sender = self._enclaves.get(sender_id)
+        if pages <= 0:
+            raise SanityCheckError("ESHMGET needs a positive page count")
+        if pages > sender.config.shared_pages_max:
+            raise SanityCheckError(
+                "ESHMGET exceeds the enclave's declared shared-memory budget")
+
+        shm_id = next(self._ids)
+        key = self._keys.shared_memory_key(sender.enclave_id, shm_id)
+        keyid = self._keys.allocate_keyid(key)
+
+        flush: list[int] = []
+        frames = self._enclaves.pool.take_contiguous(pages)
+        self._enclaves.ownership.claim_all(frames, Owner.shared(shm_id))
+        self._enclaves.zero_under(frames, keyid)
+        flush.extend(self._enclaves.pool.drain_flush_list())
+
+        self.regions[shm_id] = ShmControl(
+            shm_id=shm_id, owner_enclave_id=sender.enclave_id,
+            frames=frames, max_perm=max_perm, keyid=keyid, key=key)
+        return ({"shm_id": shm_id, "pages": pages,
+                 "cs_actions": {"flush_frames": flush}},
+                PRIMITIVE_BASE_INSTR["ESHMGET"], 0)
+
+    def eshmshr(self, caller_id: int | None, shm_id: int, receiver_id: int,
+                perm: Permission) -> HandlerOutput:
+        """Sender registers a receiver on the legal connection list."""
+        caller = self._enclaves.get(caller_id)
+        region = self._region(shm_id)
+        if caller.enclave_id != region.owner_enclave_id:
+            raise NotRegionOwner(
+                "only the initial sender may authorize receivers")
+        self._enclaves.get(receiver_id)  # must exist and be alive
+        if perm & ~region.max_perm:
+            raise SharedMemoryError(
+                f"requested permission {perm} exceeds the region maximum "
+                f"{region.max_perm}")
+        region.legal_connections[receiver_id] = perm
+        return {"receiver": receiver_id}, PRIMITIVE_BASE_INSTR["ESHMSHR"], 0
+
+    def eshmat(self, caller_id: int | None, shm_id: int) -> HandlerOutput:
+        """Attach the region into the calling enclave's address space."""
+        caller = self._enclaves.get(caller_id)
+        self._enclaves.ensure_keyid(caller)
+        region = self._region(shm_id)
+        perm = self._granted_perm(region, caller.enclave_id)
+        if caller.enclave_id in region.attachments:
+            raise SharedMemoryError(
+                f"enclave {caller.enclave_id} already attached to {shm_id}")
+
+        base_vpn = caller.shm_next_vpn
+        for offset, frame in enumerate(region.frames):
+            caller.page_table.map(base_vpn + offset, frame, perm, region.keyid)
+        caller.shm_next_vpn += len(region.frames)
+        vaddr = base_vpn << PAGE_SHIFT
+        region.attachments[caller.enclave_id] = vaddr
+        caller.shm_attachments[shm_id] = vaddr
+        return ({"vaddr": vaddr, "pages": len(region.frames)},
+                PRIMITIVE_BASE_INSTR["ESHMAT"], 0)
+
+    def eshmdt(self, caller_id: int | None, shm_id: int) -> HandlerOutput:
+        """Detach: unmap and drop the active connection."""
+        caller = self._enclaves.get(caller_id)
+        self._enclaves.ensure_keyid(caller)
+        region = self._region(shm_id)
+        vaddr = region.attachments.pop(caller.enclave_id, None)
+        if vaddr is None:
+            raise SharedMemoryError(
+                f"enclave {caller.enclave_id} is not attached to {shm_id}")
+        base_vpn = vaddr >> PAGE_SHIFT
+        for offset in range(len(region.frames)):
+            caller.page_table.unmap(base_vpn + offset)
+        caller.shm_attachments.pop(shm_id, None)
+        flush: list[int] = []
+        self._maybe_reclaim_orphan(region, flush)
+        return ({"detached": True,
+                 "cs_actions": {"flush_frames": flush}},
+                PRIMITIVE_BASE_INSTR["ESHMDT"], 0)
+
+    def eshmdes(self, caller_id: int | None, shm_id: int) -> HandlerOutput:
+        """Destroy a region — initial sender only, no active connections."""
+        caller = self._enclaves.get(caller_id)
+        region = self._region(shm_id)
+        if caller.enclave_id != region.owner_enclave_id:
+            raise NotRegionOwner(
+                "only the initial sender may destroy the region")
+        if region.attachments:
+            raise ActiveConnectionsRemain(
+                f"region {shm_id} still has {len(region.attachments)} "
+                f"active connections")
+        flush: list[int] = []
+        self._reclaim_region(region, flush)
+        return ({"destroyed": True,
+                 "cs_actions": {"flush_frames": flush, "flush_all": True}},
+                PRIMITIVE_BASE_INSTR["ESHMDES"], 0)
+
+    def _reclaim_region(self, region: ShmControl, flush: list[int]) -> None:
+        """Tear a region down: device grants, frames, key, record."""
+        for device_id in region.device_bindings:
+            self._ihub.clear_dma_whitelist(device_id, from_ems=True)
+        for device_id in region.iommu_bindings:
+            self._iommu.clear_device(device_id, from_ems=True)
+        self._enclaves.ownership.release_all(region.frames,
+                                             Owner.shared(region.shm_id))
+        self._enclaves.pool.give_back(region.frames)
+        flush.extend(self._enclaves.pool.drain_flush_list())
+        self._keys.release_keyid(region.keyid)
+        del self.regions[region.shm_id]
+
+    def _maybe_reclaim_orphan(self, region: ShmControl,
+                              flush: list[int]) -> None:
+        """Reclaim an owner-less region once nothing is attached."""
+        if region.orphaned and not region.attachments \
+                and region.shm_id in self.regions:
+            self._reclaim_region(region, flush)
+
+    def on_enclave_destroyed(self, enclave_id: int) -> None:
+        """Lifecycle hook: scrub a destroyed enclave out of every region.
+
+        Its attachments drop (the dedicated page table is already gone),
+        its legal-connection entries are revoked, and regions it owned
+        become orphaned — reclaimed immediately if nothing else is
+        attached, or on the last detach otherwise.
+        """
+        flush: list[int] = []
+        for region in list(self.regions.values()):
+            region.attachments.pop(enclave_id, None)
+            region.legal_connections.pop(enclave_id, None)
+            if region.owner_enclave_id == enclave_id:
+                region.orphaned = True
+            self._maybe_reclaim_orphan(region, flush)
+
+    # -- enclave-peripheral sharing (Section V-B/C) ------------------------------------------
+
+    def grant_device(self, caller_id: int | None, shm_id: int,
+                     device_id: str, perm: Permission) -> HandlerOutput:
+        """Driver enclave grants a DMA device access to the region.
+
+        The EMS writes the device's whitelist registers in the fabric to
+        exactly the region's contiguous physical range; anything outside
+        is discarded by the iHub check.
+        """
+        caller = self._enclaves.get(caller_id)
+        region = self._region(shm_id)
+        # The granter must itself hold access to the region.
+        self._granted_perm(region, caller.enclave_id)
+        if perm & ~region.max_perm:
+            raise SharedMemoryError(
+                "device permission exceeds the region maximum")
+        self._ihub.configure_dma_whitelist(
+            device_id,
+            [WhitelistEntry(base=region.base_paddr,
+                            size=region.size_bytes, perm=perm)],
+            from_ems=True)
+        region.device_bindings.add(device_id)
+        return {"device": device_id}, PRIMITIVE_BASE_INSTR["ESHMSHR"], 0
+
+    def grant_device_iommu(self, caller_id: int | None, shm_id: int,
+                           device_id: str, perm: Permission) -> HandlerOutput:
+        """Grant an IOMMU-backed device (e.g. a GPU) access to a region.
+
+        The EMS installs IOVA mappings for exactly the region's frames
+        (Section IX: "IOMMU being managed by EMS for security, including
+        register configuration, IOTLB cache invalidation, and address
+        translation table maintenance"). The device sees the region at
+        IOVA page 0 onward; everything else faults in the IOMMU.
+        """
+        if self._iommu is None:
+            raise SharedMemoryError("no IOMMU present on this platform")
+        caller = self._enclaves.get(caller_id)
+        region = self._region(shm_id)
+        self._granted_perm(region, caller.enclave_id)
+        if perm & ~region.max_perm:
+            raise SharedMemoryError(
+                "device permission exceeds the region maximum")
+        for iovn, frame in enumerate(region.frames):
+            self._iommu.map(device_id, iovn, frame, perm, region.keyid,
+                            from_ems=True)
+        region.iommu_bindings.add(device_id)
+        return {"device": device_id}, PRIMITIVE_BASE_INSTR["ESHMSHR"], 0
+
+    def revoke_device_iommu(self, caller_id: int | None, shm_id: int,
+                            device_id: str) -> HandlerOutput:
+        """Tear down a device's IOMMU view of the region, with IOTLB
+        invalidation (no stale-entry window)."""
+        if self._iommu is None:
+            raise SharedMemoryError("no IOMMU present on this platform")
+        caller = self._enclaves.get(caller_id)
+        region = self._region(shm_id)
+        self._granted_perm(region, caller.enclave_id)
+        if device_id not in region.iommu_bindings:
+            raise SharedMemoryError(
+                f"device {device_id!r} was never granted region {shm_id}")
+        for iovn in range(len(region.frames)):
+            self._iommu.unmap(device_id, iovn, from_ems=True)
+        region.iommu_bindings.discard(device_id)
+        return {"device": device_id}, PRIMITIVE_BASE_INSTR["ESHMDT"], 0

@@ -1,0 +1,71 @@
+"""EWB: enclave page swapping under EMS control (paper Section IV-A).
+
+When the CS OS is short on memory it cannot pick enclave victim pages —
+it cannot even see enclave address mappings. Instead it invokes EWB and
+the EMS decides what to surrender:
+
+1. the EMS selects a **random number** of pages (at least the requested
+   count, with random overshoot) — obscuring how much pressure the
+   enclaves are actually under;
+2. the selected pages come from the **unused part of the enclave memory
+   pool**, never from any enclave's working set — so no victim access
+   pattern is ever disturbed or revealed;
+3. selected pages are encrypted, their bitmap bits cleared, and their
+   physical addresses returned to the OS for the actual disk swap.
+
+The swap-based controlled channel thus observes only pool-level noise.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.rng import DeterministicRng
+from repro.crypto.engine import CryptoEngine
+from repro.ems.key_mgmt import KeyManager
+from repro.ems.lifecycle import HandlerOutput
+from repro.ems.memory_pool import EnclaveMemoryPool
+from repro.errors import SanityCheckError
+from repro.eval.calibration import PRIMITIVE_BASE_INSTR
+
+#: EWB surrenders between N and N + EWB_OVERSHOOT_MAX pages for a request
+#: of N (random, per round).
+EWB_OVERSHOOT_MAX = 8
+
+
+class SwapManager:
+    """The EMS side of enclave page swapping."""
+
+    def __init__(self, pool: EnclaveMemoryPool, keys: KeyManager,
+                 crypto: CryptoEngine, rng: DeterministicRng) -> None:
+        self._pool = pool
+        self._keys = keys
+        self._crypto = crypto
+        self._rng = rng
+        #: Swap-out rounds performed (diagnostics).
+        self.rounds = 0
+
+    def ewb(self, requested_pages: int) -> HandlerOutput:
+        """Surrender pages for the OS to swap out."""
+        if requested_pages <= 0:
+            raise SanityCheckError("EWB needs a positive page count")
+        overshoot = self._rng.randint(0, EWB_OVERSHOOT_MAX, stream="ewb")
+        target = requested_pages + overshoot
+        frames = self._pool.surrender_random(target)
+        if not frames:
+            raise SanityCheckError("pool has no surrenderable pages")
+
+        # Encrypt the surrendered contents under a swap key before the OS
+        # sees the frames. (Pool frames are zeroed; the encryption still
+        # runs so the OS always receives ciphertext of uniform cost.)
+        swap_key = self._keys.sealing_key(b"ewb-swap")
+        crypto_cycles = 0
+        for frame in frames:
+            _, cycles = self._crypto.bulk_encrypt(
+                swap_key, bytes(PAGE_SIZE), tweak=frame)
+            crypto_cycles += cycles
+
+        self.rounds += 1
+        instr = (PRIMITIVE_BASE_INSTR["EWB"]
+                 + len(frames) * PRIMITIVE_BASE_INSTR["EWB_PER_PAGE"])
+        return {"frames": frames, "pages": len(frames),
+                "cs_actions": {"flush_frames": list(frames)}}, instr, crypto_cycles

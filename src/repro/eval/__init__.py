@@ -1,0 +1,2 @@
+"""Evaluation support: calibration constants, scenario names, the SLO
+queueing simulation, the area model, and table/series rendering."""

@@ -1,0 +1,246 @@
+"""Regenerate the paper's evaluation section as text.
+
+``python -m repro`` prints every table and figure through the model —
+the same computations the bench suite runs, without pytest. Individual
+artifacts can be selected: ``python -m repro table4 fig7``.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import pct, render_table, times
+
+
+def table2() -> str:
+    """Table II: the primitive set and privilege levels."""
+    from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive
+
+    groups = {
+        "Life Cycle": ["ECREATE", "EADD", "EENTER", "ERESUME", "EEXIT",
+                       "EDESTROY"],
+        "Memory": ["EALLOC", "EFREE", "EWB"],
+        "Communication": ["ESHMGET", "ESHMAT", "ESHMDT", "ESHMSHR",
+                          "ESHMDES"],
+        "Key/Attestation": ["EMEAS", "EATTEST"],
+    }
+    rows = []
+    for group, names in groups.items():
+        for name in names:
+            privilege = PRIMITIVE_PRIVILEGE[Primitive(name)]
+            rows.append([group, name,
+                         "OS" if privilege.name == "SUPERVISOR" else "User"])
+    return render_table("Table II — HyperTEE primitives",
+                        ["group", "primitive", "privilege"], rows)
+
+
+def table3() -> str:
+    """Table III: CS/EMS core configurations."""
+    from repro.hw.core import CS_CORE, EMS_MEDIUM, EMS_STRONG, EMS_WEAK
+
+    rows = []
+    for config in (CS_CORE, EMS_WEAK, EMS_MEDIUM, EMS_STRONG):
+        rows.append([config.name, config.pipeline,
+                     f"{config.fetch_width}/{config.decode_width}",
+                     config.rob_entries or "-",
+                     f"{config.l1i_kb}/{config.l1d_kb}KB",
+                     f"{config.l2_kb}KB",
+                     f"{config.freq_hz / 1e9:.2f}GHz"])
+    return render_table("Table III — core configurations",
+                        ["core", "pipeline", "fetch/decode", "ROB",
+                         "L1 I/D", "L2", "fmax"], rows)
+
+
+def table4() -> str:
+    """Table IV: primitive execution time vs Host-Native."""
+    from repro.eval.scenarios import ENCLAVE_CRYPTO, ENCLAVE_NONCRYPTO
+    from repro.workloads.runner import host_baseline, run_workload
+    from repro.workloads.rv8 import RV8_WORKLOADS
+
+    rows = []
+    for name, profile in RV8_WORKLOADS.items():
+        base = host_baseline(profile).total_cycles
+        nc = run_workload(profile, ENCLAVE_NONCRYPTO)
+        cr = run_workload(profile, ENCLAVE_CRYPTO)
+        rows.append([name, pct(nc.primitive_cycles / base, 1),
+                     pct(nc.emeas_cycles / base, 1),
+                     pct(cr.primitive_cycles / base, 1),
+                     pct(cr.emeas_cycles / base, 2)])
+    return render_table(
+        "Table IV — primitive time vs Host-Native",
+        ["workload", "noncrypto all", "noncrypto EMEAS",
+         "crypto all", "crypto EMEAS"], rows)
+
+
+def table5() -> str:
+    """Table V: EMS area overhead per SoC size."""
+    from repro.eval.area import table5_rows
+
+    return render_table(
+        "Table V — EMS area overhead",
+        ["CS cores", "CS mm^2", "EMS config", "EMS mm^2", "overhead"],
+        [[r.cs_cores, f"{r.cs_area:.0f}", f"{r.ems_cores}x{r.ems_name}",
+          f"{r.ems_area:.2f}", f"{r.overhead_pct:.2f}%"]
+         for r in table5_rows()])
+
+
+def table6() -> str:
+    """Table VI: the computed attack-defense matrix."""
+    from repro.attacks.harness import CHANNELS, defense_matrix, matrix_outcomes
+
+    glyph = {"leaked": "O", "defended": "#", "partial": "~"}
+    outcomes = matrix_outcomes(defense_matrix())
+    return render_table(
+        "Table VI — defense matrix (O=leaked  #=defended  ~=partial)",
+        ["TEE", *CHANNELS],
+        [[tee, *(glyph[outcomes[tee][ch].value] for ch in CHANNELS)]
+         for tee in outcomes])
+
+
+def fig6() -> str:
+    """Fig. 6: SLO of concurrent primitives per EMS config."""
+    from repro.eval.slo import SLO_FACTOR, meets_slo, simulate
+
+    grid = [(4, 1, "weak"), (16, 2, "weak"), (32, 2, "medium"),
+            (64, 1, "medium"), (64, 2, "medium"), (64, 4, "medium")]
+    rows = []
+    for cs, n, name in grid:
+        result = simulate(cs, n, name)
+        rows.append([cs, f"{n}x{name}", f"{result.p99_factor():.2f}x",
+                     "yes" if meets_slo(result) else "NO"])
+    return render_table(
+        f"Fig. 6 — SLO (p99 latency / baseline; met = 99% within "
+        f"{SLO_FACTOR:.0f}x)",
+        ["CS cores", "EMS", "p99", "SLO met"], rows)
+
+
+def fig7() -> str:
+    """Fig. 7: enclave overhead per EMS configuration."""
+    from repro.eval.scenarios import ENCLAVE_FULL
+    from repro.hw.core import EMS_MEDIUM, EMS_STRONG, EMS_WEAK
+    from repro.workloads.runner import host_baseline, run_workload
+    from repro.workloads.rv8 import rv8_suite
+
+    rows = []
+    for profile in rv8_suite():
+        base = host_baseline(profile)
+        cells = [pct(run_workload(profile, ENCLAVE_FULL, ems).overhead_vs(base), 1)
+                 for ems in (EMS_WEAK, EMS_MEDIUM, EMS_STRONG)]
+        rows.append([profile.name, *cells])
+    return render_table("Fig. 7 — enclave overhead by EMS config",
+                        ["workload", "weak", "medium", "strong"], rows)
+
+
+def fig8a() -> str:
+    """Fig. 8a: EALLOC vs malloc latency sweep."""
+    from repro.hw.core import EMS_MEDIUM
+    from repro.workloads import costs
+
+    rows = []
+    for kb in (128, 256, 512, 1024, 2048):
+        pages = kb * 1024 // 4096
+        host = costs.host_malloc_cycles(pages)
+        enclave = costs.ealloc_cycles(pages, EMS_MEDIUM)
+        rows.append([f"{kb}KB", f"{host}", f"{enclave:.0f}",
+                     pct(enclave / host - 1, 1)])
+    return render_table("Fig. 8a — EALLOC vs malloc latency (cycles)",
+                        ["size", "malloc", "EALLOC", "overhead"], rows)
+
+
+def fig8b() -> str:
+    """Fig. 8b: MemStream encryption latency sweep."""
+    from repro.workloads.memstream import memstream_points
+
+    return render_table(
+        "Fig. 8b — MemStream latency under encryption+integrity",
+        ["size", "base cycles", "encrypted cycles", "overhead"],
+        [[f"{p.size_mb}MB", f"{p.average_latency(False):.1f}",
+          f"{p.average_latency(True):.1f}", pct(p.latency_overhead(), 2)]
+         for p in memstream_points()])
+
+
+def fig9() -> str:
+    """Fig. 9: wolfSSL all-memory-management overhead."""
+    from repro.eval.scenarios import ENCLAVE_M_ENCRYPT
+    from repro.workloads.runner import host_baseline, run_workload
+    from repro.workloads.rv8 import WOLFSSL
+
+    base = host_baseline(WOLFSSL)
+    run = run_workload(WOLFSSL, ENCLAVE_M_ENCRYPT)
+    alloc_delta = run.allocation_cycles - base.allocation_cycles
+    total = (alloc_delta + run.encryption_cycles) / base.total_cycles
+    return render_table(
+        "Fig. 9 — wolfSSL all memory management",
+        ["component", "share"],
+        [["EALLOC vs malloc", pct(alloc_delta / base.total_cycles, 2)],
+         ["encryption+integrity",
+          pct(run.encryption_cycles / base.total_cycles, 2)],
+         ["total", pct(total, 2)]])
+
+
+def fig10() -> str:
+    """Fig. 10: bitmap-checking overhead on SPEC CPU2017."""
+    from repro.eval.scenarios import HOST_BITMAP
+    from repro.workloads.runner import host_baseline, run_workload
+    from repro.workloads.spec import spec_suite
+
+    rows = [[p.name, pct(run_workload(p, HOST_BITMAP).overhead_vs(
+        host_baseline(p)), 2)] for p in spec_suite()]
+    return render_table("Fig. 10 — bitmap checking on SPEC CPU2017",
+                        ["benchmark", "overhead"], rows)
+
+
+def fig11() -> str:
+    """Fig. 11: TLB-flush overhead grid."""
+    from repro.eval.overhead import context_switch_flush_overhead
+
+    frequencies = (100, 150, 200, 400)
+    rows = [[f"{mb}MB", *[pct(context_switch_flush_overhead(mb, hz), 2)
+                          for hz in frequencies]]
+            for mb in (2, 4, 8, 16, 32)]
+    return render_table("Fig. 11 — TLB flush overhead (miniz)",
+                        ["memory", *[f"{hz}Hz" for hz in frequencies]], rows)
+
+
+def fig12() -> str:
+    """Fig. 12: enclave communication speedups."""
+    from repro.workloads.dnn import ALL_DNN_MODELS, conventional_timing, speedup
+    from repro.workloads.nic import NICTransfer
+
+    rows = [[m.name, pct(conventional_timing(m).crypto_share, 1),
+             times(speedup(m))] for m in ALL_DNN_MODELS]
+    nic = NICTransfer(total_bytes=100e6)
+    rows.append(["nic-stream", pct(nic.crypto_share(), 1),
+                 times(nic.speedup())])
+    return render_table("Fig. 12 — enclave communication",
+                        ["workload", "crypto share (conv.)", "speedup"], rows)
+
+
+def tcb() -> str:
+    """Section VIII-A: the software-TCB inventory of this model."""
+    from repro.eval.tcb import tcb_inventory, tcb_total_lines
+
+    rows = [[e.component, len(e.modules), e.code_lines]
+            for e in tcb_inventory()]
+    rows.append(["TOTAL", "-", tcb_total_lines()])
+    return render_table("TCB inventory (Section VIII-A; paper runtime: "
+                        "3843 LoC of Rust)",
+                        ["component", "modules", "code lines"], rows)
+
+
+#: Artifact name -> generator, in paper order.
+ARTIFACTS = {
+    "table2": table2, "table3": table3,
+    "table4": table4, "table5": table5, "table6": table6,
+    "tcb": tcb,
+    "fig6": fig6, "fig7": fig7, "fig8a": fig8a, "fig8b": fig8b,
+    "fig9": fig9, "fig10": fig10, "fig11": fig11, "fig12": fig12,
+}
+
+
+def regenerate(names: list[str] | None = None) -> str:
+    """Render the selected artifacts (all of them by default)."""
+    selected = names if names else list(ARTIFACTS)
+    unknown = [n for n in selected if n not in ARTIFACTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown artifacts {unknown}; choose from {list(ARTIFACTS)}")
+    return "\n\n".join(ARTIFACTS[name]() for name in selected)

@@ -1,0 +1,43 @@
+"""Named evaluation scenarios (paper Section VII-A).
+
+The paper names scenarios "running environment-security mechanism":
+*Host-Native* (the baseline), *Host-Bitmap*, *Enclave-M_encrypt*,
+*Enclave-Noncrypto* / *Enclave-Crypto* (Table IV), and the full enclave
+configuration used by Fig. 7. Each scenario is a set of flags the runner
+interprets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """One 'running environment-security mechanism' combination."""
+
+    name: str
+    in_enclave: bool
+    #: Bitmap checking affects only non-enclave execution (Section VII-C).
+    bitmap_checking: bool = False
+    #: Memory encryption + integrity on the DRAM path.
+    memory_encryption: bool = False
+    #: Crypto engine available for primitives ("engine") or not ("software").
+    crypto: str = "engine"
+
+
+HOST_NATIVE = Scenario("Host-Native", in_enclave=False)
+HOST_BITMAP = Scenario("Host-Bitmap", in_enclave=False, bitmap_checking=True)
+ENCLAVE_NONCRYPTO = Scenario("Enclave-Noncrypto", in_enclave=True,
+                             crypto="software")
+ENCLAVE_CRYPTO = Scenario("Enclave-Crypto", in_enclave=True, crypto="engine")
+ENCLAVE_M_ENCRYPT = Scenario("Enclave-M_encrypt", in_enclave=True,
+                             memory_encryption=True)
+#: The deployed configuration: enclave with engine + memory encryption
+#: (what Fig. 7 reports against Host-Native).
+ENCLAVE_FULL = Scenario("Enclave-Full", in_enclave=True,
+                        memory_encryption=True, crypto="engine")
+
+ALL_SCENARIOS = {s.name: s for s in (
+    HOST_NATIVE, HOST_BITMAP, ENCLAVE_NONCRYPTO, ENCLAVE_CRYPTO,
+    ENCLAVE_M_ENCRYPT, ENCLAVE_FULL)}

@@ -1,0 +1,149 @@
+"""Fig. 6: SLO for concurrent primitive requests, by EMS configuration.
+
+The paper (like us) could not put a 64-core CS on the FPGA, so it ran a
+software simulation: processes standing in for CS cores issue primitive
+requests (enclave creation + 16384 dynamic 2 MB allocations) to processes
+standing in for EMS cores, using service latencies sampled from the
+prototype. We reproduce that as a closed-loop discrete-event queueing
+simulation:
+
+* each CS core issues a creation burst, then EALLOC(2 MB) requests with
+  think time between completion and next issue;
+* the EMS is a k-server queue whose service time is the calibrated
+  EALLOC(512 pages) latency on the chosen core configuration;
+* the *baseline* is the non-enclave p99 (a host malloc of 2 MB, no
+  queueing), and each curve point reports the fraction of primitives
+  resolved within x times that baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+from repro.common.rng import DeterministicRng
+from repro.eval.calibration import (
+    EALLOC_BASE_INSTR,
+    EALLOC_PER_PAGE_INSTR,
+    SLO_BASELINE_SECONDS,
+    SLO_THINK_TIME_SECONDS,
+)
+from repro.hw.core import CoreConfig, ems_config
+from repro.workloads import costs
+
+#: 2 MB allocations, as in the paper's experiment.
+ALLOC_PAGES = 512
+
+#: Requests per CS core (paper: 16384 total across the machine; we issue
+#: a fixed count per core and report distribution statistics, which is
+#: what the CDF needs).
+DEFAULT_REQUESTS_PER_CORE = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOResult:
+    """One simulated (CS cores, EMS cores, EMS config) point."""
+
+    cs_cores: int
+    ems_cores: int
+    ems_name: str
+    latencies: tuple[float, ...]
+
+    @property
+    def baseline(self) -> float:
+        return SLO_BASELINE_SECONDS
+
+    def percentile(self, p: float) -> float:
+        """Latency at percentile ``p`` (0..1)."""
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1, int(p * len(ordered)))
+        return ordered[index]
+
+    def p99_factor(self) -> float:
+        """The p99 latency as a multiple of the non-enclave baseline."""
+        return self.percentile(0.99) / self.baseline
+
+    def fraction_within(self, factor: float) -> float:
+        """CDF point: share of primitives resolved within factor x baseline."""
+        bound = factor * self.baseline
+        return sum(1 for lat in self.latencies if lat <= bound) / len(self.latencies)
+
+    def cdf_curve(self, factors: list[float]) -> list[tuple[float, float]]:
+        """(factor, fraction-resolved) points for one Fig. 6 curve."""
+        return [(x, self.fraction_within(x)) for x in factors]
+
+
+def _service_seconds(ems: CoreConfig) -> float:
+    """EMS-side service time of one EALLOC(2 MB) on one EMS core."""
+    instr = EALLOC_BASE_INSTR + ALLOC_PAGES * EALLOC_PER_PAGE_INSTR
+    return instr / ems.sustained_ipc / ems.freq_hz
+
+
+def simulate(cs_cores: int, ems_cores: int, ems_name: str,
+             requests_per_core: int = DEFAULT_REQUESTS_PER_CORE,
+             seed: int = 42) -> SLOResult:
+    """Closed-loop simulation of one Fig. 6 configuration."""
+    ems = ems_config(ems_name)
+    service = _service_seconds(ems)
+    transport = costs.TRANSPORT_CS_CYCLES / 2.5e9
+    rng = DeterministicRng(seed).stream("slo")
+
+    # Event queue of (time, seq, kind, payload). Kinds: "issue" -> a CS
+    # core emits a request; "done" -> a server finishes one.
+    events: list[tuple[float, int, str, int]] = []
+    seq = 0
+    for core in range(cs_cores):
+        # Stagger the creation burst so cores do not arrive in lockstep.
+        start = rng.uniform(0.0, SLO_THINK_TIME_SECONDS)
+        heapq.heappush(events, (start, seq, "issue", core))
+        seq += 1
+
+    waiting: list[tuple[float, int]] = []  # (arrival_time, core)
+    busy_servers = 0
+    remaining = {core: requests_per_core for core in range(cs_cores)}
+    latencies: list[float] = []
+
+    def think() -> float:
+        return SLO_THINK_TIME_SECONDS * rng.uniform(0.8, 1.2)
+
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if kind == "issue":
+            waiting.append((now, payload))
+        else:  # "done": a server freed up; payload unused
+            busy_servers -= 1
+        # Dispatch while servers are free.
+        while waiting and busy_servers < ems_cores:
+            arrival, core = waiting.pop(0)
+            busy_servers += 1
+            finish = now + service
+            latencies.append(finish - arrival + 2 * transport)
+            heapq.heappush(events, (finish, seq, "done", core))
+            seq += 1
+            remaining[core] -= 1
+            if remaining[core] > 0:
+                heapq.heappush(events, (finish + think(), seq, "issue", core))
+                seq += 1
+
+    return SLOResult(cs_cores=cs_cores, ems_cores=ems_cores,
+                     ems_name=ems_name, latencies=tuple(latencies))
+
+
+#: The paper's conclusions (Section VII-B), as (CS cores -> adequate EMS).
+ADEQUATE_EMS = {
+    4: (1, "weak"),      # high-end embedded: single in-order core
+    16: (2, "weak"),     # desktop: dual in-order
+    32: (2, "medium"),   # high-performance: dual out-of-order
+    64: (2, "medium"),
+}
+
+#: SLO acceptance: 99% of primitives resolved within this multiple of the
+#: non-enclave baseline. (A weak in-order EMS core's unqueued EALLOC(2 MB)
+#: service alone is ~2.6x the host baseline, so adequacy is about keeping
+#: queueing bounded, not matching host latency.)
+SLO_FACTOR = 6.0
+
+
+def meets_slo(result: SLOResult, factor: float = SLO_FACTOR) -> bool:
+    """Does this configuration resolve 99% of primitives within bound?"""
+    return result.fraction_within(factor) >= 0.99

@@ -1,0 +1,152 @@
+"""Sensitivity analyses around the design's tunables.
+
+The paper fixes its parameters (pool sizing, jitter window, EMS core
+count); these sweeps show how the security/performance conclusions move
+when they change — the analyses a deployer would run before picking
+different values:
+
+* :func:`pool_exposure_sweep` — initial pool size vs how many OS-visible
+  refill events a fixed enclave workload produces (the residual signal
+  the allocation channel could ever see);
+* :func:`slo_load_sweep` — per-core primitive rate vs p99 latency for a
+  fixed EMS configuration (where a dual-OoO EMS stops sufficing);
+* :func:`jitter_sweep` — the EMCall jitter window vs the latency spread
+  an attacker must overcome.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.rng import DeterministicRng
+from repro.core.config import SystemConfig
+from repro.core.system import HyperTEESystem
+from repro.cs.os import CSOperatingSystem
+from repro.ems.memory_pool import EnclaveMemoryPool
+from repro.hw.bitmap import EnclaveBitmap
+from repro.hw.memory import PhysicalMemory
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolExposurePoint:
+    """One pool-size design point."""
+
+    initial_pages: int
+    refill_events: int
+    frames_requested: int
+
+
+def pool_exposure_sweep(demand_pages: int = 2048,
+                        chunk: int = 8,
+                        initial_sizes: tuple[int, ...] = (64, 128, 256, 512,
+                                                          1024, 2048),
+                        ) -> list[PoolExposurePoint]:
+    """How pool sizing trades memory footprint against OS-visible events.
+
+    Serves ``demand_pages`` of enclave allocations in ``chunk``-page
+    requests from pools of different initial sizes and counts the bulk
+    refills the OS observes.
+    """
+    points = []
+    for initial in initial_sizes:
+        memory = PhysicalMemory(64 * 1024 * 1024)
+        os_ = CSOperatingSystem(memory, first_free_frame=16)
+        bitmap = EnclaveBitmap(memory, base_paddr=0)
+        pool = EnclaveMemoryPool(os_, memory, DeterministicRng(3),
+                                 bitmap=bitmap, initial_pages=initial)
+        served = 0
+        while served < demand_pages:
+            pool.take(chunk)
+            served += chunk
+        points.append(PoolExposurePoint(
+            initial_pages=initial,
+            refill_events=pool.stats.refills,
+            frames_requested=pool.stats.frames_requested_from_os))
+    return points
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadPoint:
+    """One offered-load design point of the SLO sweep."""
+
+    think_time_seconds: float
+    p99_factor: float
+    slo_met: bool
+
+
+def slo_load_sweep(cs_cores: int = 64, ems_cores: int = 2,
+                   ems_name: str = "medium",
+                   think_times: tuple[float, ...] = (40e-3, 20e-3, 10e-3,
+                                                     5e-3, 2.5e-3),
+                   ) -> list[LoadPoint]:
+    """p99 latency vs per-core primitive rate for one EMS configuration.
+
+    Shorter think time = higher offered load; the sweep locates the knee
+    where the paper's dual-OoO recommendation saturates.
+    """
+    import repro.eval.slo as slo_module
+
+    points = []
+    original = slo_module.SLO_THINK_TIME_SECONDS
+    try:
+        for think in think_times:
+            # simulate() reads the constant through its module global,
+            # so rebinding it sweeps the offered load.
+            slo_module.SLO_THINK_TIME_SECONDS = think
+            result = slo_module.simulate(cs_cores, ems_cores, ems_name)
+            points.append(LoadPoint(think_time_seconds=think,
+                                    p99_factor=result.p99_factor(),
+                                    slo_met=slo_module.meets_slo(result)))
+    finally:
+        slo_module.SLO_THINK_TIME_SECONDS = original
+    return points
+
+
+@dataclasses.dataclass(frozen=True)
+class JitterPoint:
+    """One jitter-window design point."""
+
+    window_cycles: int
+    latency_spread: int
+
+
+def jitter_sweep(windows: tuple[int, ...] = (0, 50, 200, 800),
+                 samples: int = 32) -> list[JitterPoint]:
+    """Observed primitive-latency spread per jitter window.
+
+    A zero window gives deterministic latencies (ideal for a timing
+    observer); wider windows raise the noise floor the attacker must
+    average away.
+    """
+    from repro.common.types import Permission, Primitive, Privilege
+
+    points = []
+    for window in windows:
+        system = HyperTEESystem(SystemConfig(cs_memory_mb=64,
+                                             ems_memory_mb=4))
+        # EMCall reads the window through its module global; rebinding it
+        # sweeps the obfuscation strength.
+        import repro.cs.emcall as emcall_module
+
+        original = emcall_module.EMCALL_POLL_JITTER_CYCLES
+        emcall_module.EMCALL_POLL_JITTER_CYCLES = window
+        try:
+            from repro.core.api import HyperTEE
+            from repro.core.enclave import EnclaveConfig
+
+            tee = HyperTEE(system=system)
+            enclave = tee.launch_enclave(
+                b"probe", EnclaveConfig(heap_pages_max=4096))
+            latencies = []
+            with enclave.running():
+                for _ in range(samples):
+                    before = tee.primitive_cycles
+                    tee.invoke_user(Primitive.EALLOC,
+                                    {"pages": 1, "perm": Permission.RW},
+                                    enclave.core)
+                    latencies.append(tee.primitive_cycles - before)
+        finally:
+            emcall_module.EMCALL_POLL_JITTER_CYCLES = original
+        points.append(JitterPoint(window_cycles=window,
+                                  latency_spread=max(latencies) - min(latencies)))
+    return points

@@ -1,0 +1,83 @@
+"""TCB inventory (paper Section VIII-A).
+
+The paper's trust argument leans on the EMS Runtime being small — 3843
+lines of memory-safe Rust, "small enough to be formally verified by
+state-of-the-art frameworks". This module computes the same inventory
+for the model: which components are in the TCB, which module implements
+each, and how large each is — so the smallness claim stays checkable as
+the codebase evolves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+#: TCB component -> modules implementing it (paths relative to repro/).
+TCB_COMPONENTS: dict[str, tuple[str, ...]] = {
+    "EMS runtime (dispatch + managers)": (
+        "ems/runtime.py", "ems/lifecycle.py", "ems/page_mgmt.py",
+        "ems/memory_pool.py", "ems/swapping.py", "ems/ownership.py",
+        "ems/shared_memory.py", "ems/key_mgmt.py", "ems/attestation.py",
+        "ems/sealing.py", "ems/boot.py",
+    ),
+    "EMS extension services (§IX)": (
+        "ems/cfi.py", "ems/monitor.py", "cvm/manager.py",
+        "cvm/migration.py", "cvm/image.py",
+    ),
+    "EMCall firmware": ("cs/emcall.py",),
+    "Crypto (engine-backed)": (
+        "crypto/hashes.py", "crypto/cipher.py", "crypto/keys.py",
+        "crypto/dh.py", "crypto/engine.py", "crypto/merkle.py",
+    ),
+}
+
+#: Explicitly *outside* the TCB: the pieces attackers control.
+UNTRUSTED_MODULES = ("cs/os.py", "cs/sdk.py", "cs/scheduler.py",
+                     "attacks", "baselines")
+
+
+@dataclasses.dataclass(frozen=True)
+class TCBEntry:
+    """One TCB component's size."""
+
+    component: str
+    modules: tuple[str, ...]
+    code_lines: int
+
+
+def _count_code_lines(path: pathlib.Path) -> int:
+    """Non-blank, non-comment lines (the conventional LoC measure)."""
+    count = 0
+    in_docstring = False
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if in_docstring:
+            if line.endswith('"""') or line.endswith("'''"):
+                in_docstring = False
+            continue
+        if line.startswith(('"""', "'''")):
+            # Single-line docstrings close themselves.
+            if not (len(line) > 3 and line.endswith(('"""', "'''"))):
+                in_docstring = True
+            continue
+        if not line or line.startswith("#"):
+            continue
+        count += 1
+    return count
+
+
+def tcb_inventory() -> list[TCBEntry]:
+    """Compute the per-component TCB size of this model."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    entries = []
+    for component, modules in TCB_COMPONENTS.items():
+        lines = sum(_count_code_lines(root / module) for module in modules)
+        entries.append(TCBEntry(component=component, modules=modules,
+                                code_lines=lines))
+    return entries
+
+
+def tcb_total_lines() -> int:
+    """The whole software-TCB size, for the smallness check."""
+    return sum(entry.code_lines for entry in tcb_inventory())

@@ -1,0 +1,31 @@
+"""Hardware models: memory, encryption engine, TLB, PTW, caches, cores,
+fabric/iHub, mailbox, and devices.
+
+These are behavioural models with cycle accounting, not RTL. Each module's
+docstring names the paper section and figure it implements.
+"""
+
+from repro.hw.memory import PhysicalMemory
+from repro.hw.encryption_engine import MemoryEncryptionEngine
+from repro.hw.bitmap import EnclaveBitmap
+from repro.hw.tlb import TLB
+from repro.hw.page_table import PageTable, PageTableWalker
+from repro.hw.core import CoreConfig, CS_CORE, EMS_WEAK, EMS_MEDIUM, EMS_STRONG
+from repro.hw.mailbox import Mailbox
+from repro.hw.fabric import IHub
+
+__all__ = [
+    "PhysicalMemory",
+    "MemoryEncryptionEngine",
+    "EnclaveBitmap",
+    "TLB",
+    "PageTable",
+    "PageTableWalker",
+    "CoreConfig",
+    "CS_CORE",
+    "EMS_WEAK",
+    "EMS_MEDIUM",
+    "EMS_STRONG",
+    "Mailbox",
+    "IHub",
+]

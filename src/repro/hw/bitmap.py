@@ -1,0 +1,81 @@
+"""Enclave memory bitmap (paper Section IV-B, Fig. 5).
+
+One bit per physical page records whether the page belongs to enclave
+memory. The bitmap enables *non-contiguous* enclave memory — the paper's
+argument against contiguous-region (SGX EPC) or range-register (CURE,
+Penglai-style) isolation — and is checked by the CS page-table walker
+after every PTE load for non-enclave accesses.
+
+The bitmap lives in real modelled memory at ``BM_BASE``, and its own
+backing pages are themselves marked as enclave memory so untrusted CS
+software cannot read or flip bits directly.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import HOST_KEYID, PAGE_SHIFT, PAGE_SIZE
+from repro.hw.memory import PhysicalMemory
+
+
+class EnclaveBitmap:
+    """The page-granular enclave-ownership bitmap in physical memory."""
+
+    def __init__(self, memory: PhysicalMemory, base_paddr: int) -> None:
+        if base_paddr % PAGE_SIZE:
+            raise ValueError("bitmap base must be page aligned")
+        self.memory = memory
+        self.base_paddr = base_paddr
+        self.size_bytes = (memory.num_frames + 7) // 8
+        self._self_protect()
+
+    def _self_protect(self) -> None:
+        """Mark the bitmap's own backing pages as enclave memory."""
+        first = self.base_paddr >> PAGE_SHIFT
+        last = (self.base_paddr + self.size_bytes - 1) >> PAGE_SHIFT
+        for frame in range(first, last + 1):
+            self.set_enclave(frame, True)
+
+    def _locate(self, frame_number: int) -> tuple[int, int]:
+        if not 0 <= frame_number < self.memory.num_frames:
+            raise ValueError(f"frame {frame_number} out of range")
+        return self.base_paddr + (frame_number >> 3), frame_number & 7
+
+    def is_enclave(self, frame_number: int) -> bool:
+        """True when ``frame_number`` is marked as enclave memory."""
+        byte_addr, bit = self._locate(frame_number)
+        value = self.memory.read_raw(byte_addr, 1)[0]
+        return bool((value >> bit) & 1)
+
+    def set_enclave(self, frame_number: int, flag: bool) -> None:
+        """Set/clear the enclave bit. Callers must be EMS or EMCall.
+
+        The model enforces that discipline structurally: untrusted CS
+        software only ever receives the :class:`BitmapReader` view below.
+        """
+        byte_addr, bit = self._locate(frame_number)
+        value = self.memory.read_raw(byte_addr, 1)[0]
+        if flag:
+            value |= 1 << bit
+        else:
+            value &= ~(1 << bit)
+        self.memory.write_raw(byte_addr, bytes([value]))
+
+    def enclave_frames(self) -> list[int]:
+        """All frames currently marked enclave (test/diagnostic helper)."""
+        return [f for f in range(self.memory.num_frames) if self.is_enclave(f)]
+
+
+class BitmapReader:
+    """Read-only bitmap view handed to the PTW checking logic.
+
+    Models the hardware check path: the PTW may *retrieve* bitmap bits
+    (one extra memory read, performed in parallel with the permission
+    check per the paper) but can never update them.
+    """
+
+    def __init__(self, bitmap: EnclaveBitmap) -> None:
+        self._bitmap = bitmap
+
+    def is_enclave(self, frame_number: int) -> bool:
+        """Retrieve one bitmap bit (the PTW check path)."""
+        return self._bitmap.is_enclave(frame_number)

@@ -1,0 +1,184 @@
+"""Cache models: a functional set-associative simulator and an analytic
+memory-hierarchy latency model.
+
+Two consumers:
+
+* The functional :class:`SetAssociativeCache` backs tests of the
+  unidirectional-coherence argument (Section III-D): EMS-private data
+  bypasses the CS LLC, so a CS-resident prime+probe observer sees no
+  eviction signal from EMS activity (exercised in the attack tests).
+* :class:`MemoryHierarchyModel` converts a workload profile's miss rates
+  into an average memory-access latency, including the encryption +
+  integrity adder measured in Fig. 8(b).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.constants import CACHE_LINE_SIZE
+
+
+@dataclasses.dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A tag-only set-associative cache (no data payload, LRU replacement)."""
+
+    def __init__(self, size_kb: int, ways: int = 8,
+                 line_size: int = CACHE_LINE_SIZE) -> None:
+        size_bytes = size_kb * 1024
+        self.num_sets = size_bytes // (ways * line_size)
+        if self.num_sets == 0:
+            raise ValueError("cache too small for its associativity")
+        self.ways = ways
+        self.line_size = line_size
+        self._sets: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def _locate(self, paddr: int) -> tuple[int, int]:
+        line = paddr // self.line_size
+        return line % self.num_sets, line // self.num_sets
+
+    def access(self, paddr: int) -> bool:
+        """Touch one address; returns True on hit."""
+        self._tick += 1
+        index, tag = self._locate(paddr)
+        bucket = self._sets[index]
+        if tag in bucket:
+            bucket[tag] = self._tick
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(bucket) >= self.ways:
+            victim = min(bucket, key=bucket.get)
+            del bucket[victim]
+            self.stats.evictions += 1
+        bucket[tag] = self._tick
+        return False
+
+    def contains(self, paddr: int) -> bool:
+        """Probe without updating LRU (prime+probe observer primitive)."""
+        index, tag = self._locate(paddr)
+        return tag in self._sets[index]
+
+    def flush(self) -> None:
+        """Drop every line (context-switch isolation)."""
+        for bucket in self._sets:
+            bucket.clear()
+
+    def resident_lines(self) -> int:
+        """Number of lines currently cached."""
+        return sum(len(bucket) for bucket in self._sets)
+
+
+class PartitionedCache:
+    """A way-partitioned shared cache (Intel CAT-style, paper Section IX).
+
+    Each security domain receives an exclusive subset of the ways; a
+    line allocated by domain A can never evict a line of domain B, which
+    removes the cross-domain eviction signal prime+probe needs. This is
+    one of the orthogonal countermeasures the paper notes can be layered
+    under HyperTEE for the enclaves' *own* execution.
+    """
+
+    def __init__(self, size_kb: int, ways: int = 8,
+                 line_size: int = CACHE_LINE_SIZE) -> None:
+        size_bytes = size_kb * 1024
+        self.num_sets = size_bytes // (ways * line_size)
+        if self.num_sets == 0:
+            raise ValueError("cache too small for its associativity")
+        self.ways = ways
+        self.line_size = line_size
+        #: domain -> allocated way indices.
+        self._allocations: dict[str, tuple[int, ...]] = {}
+        self._free_ways = list(range(ways))
+        #: (set index, way) -> (domain, tag, tick)
+        self._lines: dict[tuple[int, int], tuple[str, int, int]] = {}
+        self._tick = 0
+        self.stats = CacheStats()
+
+    def allocate_ways(self, domain: str, count: int) -> None:
+        """Assign ``count`` exclusive ways to a domain (CAT CLOS setup)."""
+        if domain in self._allocations:
+            raise ValueError(f"domain {domain!r} already allocated")
+        if count > len(self._free_ways):
+            raise ValueError("not enough free ways")
+        ways = tuple(self._free_ways[:count])
+        del self._free_ways[:count]
+        self._allocations[domain] = ways
+
+    def _domain_ways(self, domain: str) -> tuple[int, ...]:
+        try:
+            return self._allocations[domain]
+        except KeyError:
+            raise ValueError(f"domain {domain!r} has no ways") from None
+
+    def access(self, domain: str, paddr: int) -> bool:
+        """Touch one address within the domain's partition; True on hit."""
+        self._tick += 1
+        line = paddr // self.line_size
+        index, tag = line % self.num_sets, line // self.num_sets
+        ways = self._domain_ways(domain)
+        for way in ways:
+            entry = self._lines.get((index, way))
+            if entry is not None and entry[0] == domain and entry[1] == tag:
+                self._lines[(index, way)] = (domain, tag, self._tick)
+                self.stats.hits += 1
+                return True
+        self.stats.misses += 1
+        # Fill into the domain's LRU way only — never another domain's.
+        victim = min(ways, key=lambda w: self._lines.get((index, w),
+                                                         ("", 0, -1))[2])
+        if (index, victim) in self._lines:
+            self.stats.evictions += 1
+        self._lines[(index, victim)] = (domain, tag, self._tick)
+        return False
+
+    def contains(self, domain: str, paddr: int) -> bool:
+        """Probe without touching LRU (the observer primitive)."""
+        line = paddr // self.line_size
+        index, tag = line % self.num_sets, line // self.num_sets
+        return any(
+            self._lines.get((index, way), ("", None, 0))[:2] == (domain, tag)
+            for way in self._domain_ways(domain))
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryHierarchyModel:
+    """Average-latency model of the L1/L2/DRAM path.
+
+    Latencies are in core cycles. ``encryption_adder_cycles`` is the extra
+    DRAM-path latency for encrypted + integrity-protected lines; it only
+    applies to off-chip accesses, which is why MemStream (miss-heavy)
+    shows the worst case (~3.1% avg, Fig. 8b) and cache-friendly programs
+    show nearly nothing.
+    """
+
+    l1_hit_cycles: float = 3.0
+    l2_hit_cycles: float = 14.0
+    dram_cycles: float = 160.0
+    encryption_adder_cycles: float = 0.0
+
+    def average_access_cycles(self, l1_miss_rate: float, l2_miss_rate: float) -> float:
+        """Expected cycles per memory access given local miss rates."""
+        dram = self.dram_cycles + self.encryption_adder_cycles
+        return (self.l1_hit_cycles
+                + l1_miss_rate * (self.l2_hit_cycles + l2_miss_rate * (dram - 0.0)))
+
+    def with_encryption(self, adder_cycles: float) -> "MemoryHierarchyModel":
+        """A copy with the given DRAM-path encryption adder."""
+        return dataclasses.replace(self, encryption_adder_cycles=adder_cycles)

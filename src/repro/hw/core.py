@@ -1,0 +1,98 @@
+"""Core configurations and the cycle-cost model (paper Table III).
+
+The FPGA prototype pairs a large BOOM-class CS core with one of three EMS
+core configurations (weak in-order Rocket-class, medium 2-wide OoO,
+strong 4-wide OoO). We model each as a :class:`CoreConfig` carrying the
+Table III parameters plus a sustained-IPC estimate for management-style
+code, from which primitive service times are computed.
+
+Frequencies come from the paper's timing analysis (Section VII-E): CS
+cores close at 2.5 GHz, EMS cores at 750 MHz.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreConfig:
+    """One core design point (a column of paper Table III)."""
+
+    name: str
+    pipeline: str            # "in-order" | "ooo"
+    fetch_width: int
+    decode_width: int
+    rob_entries: int         # 0 for in-order
+    l1i_kb: int
+    l1d_kb: int
+    l2_kb: int
+    itlb_entries: int
+    dtlb_entries: int
+    freq_hz: float
+    #: Sustained IPC on pointer-chasing management code; drives primitive
+    #: service-time and workload-runtime estimates.
+    sustained_ipc: float
+
+    def cycles_for_instructions(self, instructions: int | float) -> int:
+        """Cycles to retire ``instructions`` at the sustained IPC."""
+        return int(instructions / self.sustained_ipc)
+
+    def seconds_for_instructions(self, instructions: int | float) -> float:
+        """Wall time to retire ``instructions`` on this core."""
+        return self.cycles_for_instructions(instructions) / self.freq_hz
+
+    def cycles_from_seconds(self, seconds: float) -> int:
+        """Convert wall time to this core's cycles."""
+        return int(seconds * self.freq_hz)
+
+
+#: The CS application core (Table III "CS core" column).
+CS_CORE = CoreConfig(
+    name="cs-boom", pipeline="ooo", fetch_width=8, decode_width=4,
+    rob_entries=128, l1i_kb=64, l1d_kb=64, l2_kb=1024,
+    itlb_entries=32, dtlb_entries=32,
+    freq_hz=CS_CORE_FREQ_HZ, sustained_ipc=2.4,
+)
+
+#: EMS "Weak": single-issue in-order Rocket-class core.
+EMS_WEAK = CoreConfig(
+    name="ems-weak", pipeline="in-order", fetch_width=1, decode_width=1,
+    rob_entries=0, l1i_kb=16, l1d_kb=16, l2_kb=256,
+    itlb_entries=8, dtlb_entries=8,
+    freq_hz=EMS_CORE_FREQ_HZ, sustained_ipc=0.56,
+)
+
+#: EMS "Medium": 2-wide out-of-order core.
+EMS_MEDIUM = CoreConfig(
+    name="ems-medium", pipeline="ooo", fetch_width=4, decode_width=2,
+    rob_entries=96, l1i_kb=32, l1d_kb=32, l2_kb=512,
+    itlb_entries=16, dtlb_entries=16,
+    freq_hz=EMS_CORE_FREQ_HZ, sustained_ipc=1.38,
+)
+
+#: EMS "Strong": 4-wide out-of-order core (CS-class pipeline at EMS clock).
+EMS_STRONG = CoreConfig(
+    name="ems-strong", pipeline="ooo", fetch_width=8, decode_width=4,
+    rob_entries=128, l1i_kb=64, l1d_kb=64, l2_kb=512,
+    itlb_entries=32, dtlb_entries=32,
+    freq_hz=EMS_CORE_FREQ_HZ, sustained_ipc=1.43,
+)
+
+EMS_CONFIGS: dict[str, CoreConfig] = {
+    "weak": EMS_WEAK,
+    "medium": EMS_MEDIUM,
+    "strong": EMS_STRONG,
+}
+
+
+def ems_config(name: str) -> CoreConfig:
+    """Look up an EMS core config by its paper name (weak/medium/strong)."""
+    try:
+        return EMS_CONFIGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown EMS config {name!r}; expected one of {sorted(EMS_CONFIGS)}"
+        ) from None

@@ -1,0 +1,170 @@
+"""Multi-key memory encryption engine with integrity (paper Section IV-C).
+
+Models a commercial MK-TME/SME-style engine:
+
+* a KeyID -> key slot table, configurable **only by the EMS via iHub**
+  (the engine refuses configuration from any other master);
+* per-cache-line encryption tweaked by physical address;
+* a 28-bit SHA-3-based MAC per line for integrity; violation raises
+  :class:`~repro.errors.IntegrityViolation`;
+* KeyID slot exhaustion, which the EMS resolves by suspending an enclave
+  and reclaiming its slot (exercised in tests).
+
+KeyID 0 (``HOST_KEYID``) is plaintext passthrough for non-enclave memory.
+
+MACs are computed over the *full stored line*, so the engine exposes
+``record_macs`` / ``verify_macs`` hooks that :class:`PhysicalMemory` calls
+with a raw-line reader after the store has landed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.constants import (
+    CACHE_LINE_SIZE,
+    DEFAULT_KEY_SLOTS,
+    HOST_KEYID,
+    MAC_BITS,
+)
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.hashes import truncated_mac
+from repro.errors import IntegrityViolation, IsolationViolation, KeySlotExhausted
+
+LineReader = Callable[[int, int], bytes]
+
+
+class MemoryEncryptionEngine:
+    """The per-SoC encryption + integrity engine on the memory path."""
+
+    def __init__(self, key_slots: int = DEFAULT_KEY_SLOTS,
+                 integrity_enabled: bool = True) -> None:
+        self.key_slots = key_slots
+        self.integrity_enabled = integrity_enabled
+        self._ciphers: dict[int, KeystreamCipher] = {}
+        self._mac_keys: dict[int, bytes] = {}
+        #: line physical address -> (keyid, mac over stored line content)
+        self._macs: dict[int, tuple[int, int]] = {}
+
+    # -- configuration (iHub-gated) ---------------------------------------------
+
+    def program_key(self, keyid: int, key: bytes, *, from_ems: bool) -> None:
+        """Install ``key`` in slot ``keyid``.
+
+        Only the EMS, through its iHub configuration path, may program
+        keys; any other master raises :class:`IsolationViolation` —
+        "configured only by EMS via iHub" (paper Section IV-C).
+        """
+        if not from_ems:
+            raise IsolationViolation("only EMS may program encryption keys")
+        if keyid == HOST_KEYID:
+            raise ValueError("KeyID 0 is reserved for host plaintext")
+        if keyid not in self._ciphers and len(self._ciphers) >= self.key_slots:
+            raise KeySlotExhausted(f"all {self.key_slots} KeyID slots in use")
+        self._ciphers[keyid] = KeystreamCipher(key)
+        self._mac_keys[keyid] = key
+
+    def release_key(self, keyid: int, *, from_ems: bool) -> None:
+        """Free a KeyID slot (enclave destroyed or suspended)."""
+        if not from_ems:
+            raise IsolationViolation("only EMS may release encryption keys")
+        self._ciphers.pop(keyid, None)
+        self._mac_keys.pop(keyid, None)
+
+    def slots_in_use(self) -> int:
+        """Programmed KeyID slots."""
+        return len(self._ciphers)
+
+    def has_key(self, keyid: int) -> bool:
+        """Is ``keyid`` currently programmed?"""
+        return keyid in self._ciphers
+
+    # -- data transform -----------------------------------------------------------
+
+    def encrypt_access(self, paddr: int, data: bytes, keyid: int) -> bytes:
+        """Transform a store on its way to DRAM."""
+        if keyid == HOST_KEYID:
+            return data
+        return self._cipher_for(keyid).encrypt(data, tweak=paddr)
+
+    def decrypt_access(self, paddr: int, raw: bytes, keyid: int) -> bytes:
+        """Transform a load on its way from DRAM."""
+        if keyid == HOST_KEYID:
+            return raw
+        return self._cipher_for(keyid).decrypt(raw, tweak=paddr)
+
+    # -- integrity ------------------------------------------------------------------
+
+    @staticmethod
+    def _lines(paddr: int, length: int):
+        line = paddr - (paddr % CACHE_LINE_SIZE)
+        end = paddr + length
+        while line < end:
+            yield line
+            line += CACHE_LINE_SIZE
+
+    def record_macs(self, paddr: int, length: int, keyid: int,
+                    read_raw: LineReader) -> None:
+        """Record MACs over every stored line a write touched.
+
+        Host-KeyID writes drop any stale enclave MAC on the line instead
+        (the line now holds host data).
+        """
+        if keyid == HOST_KEYID:
+            for line in self._lines(paddr, length):
+                self._macs.pop(line, None)
+            return
+        if not self.integrity_enabled:
+            return
+        mac_key = self._mac_keys.get(keyid)
+        if mac_key is None:
+            return
+        for line in self._lines(paddr, length):
+            content = read_raw(line, CACHE_LINE_SIZE)
+            self._macs[line] = (keyid, truncated_mac(mac_key, content, MAC_BITS))
+
+    def verify_macs(self, paddr: int, length: int, keyid: int,
+                    read_raw: LineReader) -> None:
+        """Verify MACs before a load's data is released to the core.
+
+        Raises :class:`IntegrityViolation` on mismatch — the paper's
+        response to physical tampering (Section IV-C). Lines never written
+        under this keyid (freshly zeroed pages) carry no MAC and pass.
+        """
+        if keyid == HOST_KEYID or not self.integrity_enabled:
+            return
+        mac_key = self._mac_keys.get(keyid)
+        if mac_key is None:
+            return
+        for line in self._lines(paddr, length):
+            recorded = self._macs.get(line)
+            if recorded is None:
+                continue
+            rec_keyid, rec_mac = recorded
+            if rec_keyid != keyid:
+                # The line belongs to a different key domain: the access
+                # simply decrypts to garbage (MK-TME behaviour); the MAC
+                # guards the *owning* domain against tampering, not
+                # cross-domain reads.
+                continue
+            content = read_raw(line, CACHE_LINE_SIZE)
+            if truncated_mac(mac_key, content, MAC_BITS) != rec_mac:
+                raise IntegrityViolation(
+                    f"MAC mismatch at line {line:#x} (keyid {keyid})"
+                )
+
+    def drop_block_macs(self, paddr: int, length: int) -> None:
+        """Forget MACs over a range (page zeroed / reassigned by EMS)."""
+        for line in self._lines(paddr, length):
+            self._macs.pop(line, None)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _cipher_for(self, keyid: int) -> KeystreamCipher:
+        cipher = self._ciphers.get(keyid)
+        if cipher is None:
+            # Unknown KeyID: decrypt-to-garbage via a keyid-bound throwaway
+            # cipher. Accesses under a wrong/unprogrammed KeyID yield noise
+            # rather than faulting, matching MK-TME behaviour.
+            cipher = KeystreamCipher(b"unprogrammed-keyid-" + keyid.to_bytes(8, "little"))
+        return cipher

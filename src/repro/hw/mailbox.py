@@ -1,0 +1,110 @@
+"""The dedicated mailbox between CS and EMS (paper Fig. 3, Section III-C).
+
+Traffic flows::
+
+    EMCall Tx ring  --transmitter-->  mailbox request queue  --irq--> EMS Rx
+    EMS workers     --------------->  mailbox response queue <--poll-- EMCall
+
+Security properties enforced structurally:
+
+* The queues are invisible to CS software: only :class:`MailboxPort`
+  handles are exported, and the CS-side port can *only* push requests and
+  pop the response matching a request id it issued. There is no "peek all
+  responses" on the CS side (exclusive request/response binding).
+* Only EMCall holds the CS-side port (constructed by the SoC and handed
+  to the firmware), which is what blocks direct request forgery from
+  untrusted software.
+* Response retrieval is by polling, never via CS interrupt handlers
+  (whose code is untrusted).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+
+from repro.common.packets import PrimitiveRequest, PrimitiveResponse
+from repro.errors import MailboxError
+
+
+@dataclasses.dataclass
+class MailboxStats:
+    requests_sent: int = 0
+    responses_delivered: int = 0
+    poll_attempts: int = 0
+    irqs_raised: int = 0
+
+
+class Mailbox:
+    """The hardware FIFO pair inside iHub."""
+
+    #: Cycles (CS clock) for one packet to cross the fabric into a queue.
+    TRANSFER_CYCLES = 60
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._requests: collections.deque[PrimitiveRequest] = collections.deque()
+        self._responses: dict[int, PrimitiveResponse] = {}
+        self._outstanding: set[int] = set()
+        self.stats = MailboxStats()
+        #: Set by push_request; the EMS runtime's interrupt line.
+        self.irq_pending = False
+
+    # -- CS side (used exclusively by EMCall) -----------------------------------
+
+    def push_request(self, request: PrimitiveRequest) -> None:
+        """Transmitter moves one Tx packet into the request queue."""
+        if len(self._requests) >= self.capacity:
+            raise MailboxError("request queue full")
+        if request.request_id in self._outstanding:
+            raise MailboxError(f"duplicate request id {request.request_id}")
+        self._requests.append(request)
+        self._outstanding.add(request.request_id)
+        self.irq_pending = True
+        self.stats.requests_sent += 1
+        self.stats.irqs_raised += 1
+
+    def poll_response(self, request_id: int) -> PrimitiveResponse | None:
+        """EMCall polls for *its own* response; None while pending.
+
+        A request id that was never issued (or was already collected)
+        raises — a foreign requester cannot fish for others' responses.
+        """
+        self.stats.poll_attempts += 1
+        if request_id not in self._outstanding:
+            raise MailboxError(f"request id {request_id} unknown or already collected")
+        response = self._responses.pop(request_id, None)
+        if response is not None:
+            self._outstanding.discard(request_id)
+            self.stats.responses_delivered += 1
+        return response
+
+    # -- EMS side -----------------------------------------------------------------
+
+    def fetch_requests(self, max_count: int | None = None) -> list[PrimitiveRequest]:
+        """EMS drains pending requests into its Rx task queue."""
+        self.irq_pending = False
+        out: list[PrimitiveRequest] = []
+        while self._requests and (max_count is None or len(out) < max_count):
+            out.append(self._requests.popleft())
+        return out
+
+    def push_response(self, response: PrimitiveResponse) -> None:
+        """EMS posts a completed primitive's response packet."""
+        if response.request_id not in self._outstanding:
+            raise MailboxError(
+                f"response for unknown request id {response.request_id}")
+        if response.request_id in self._responses:
+            raise MailboxError(
+                f"duplicate response for request id {response.request_id}")
+        self._responses[response.request_id] = response
+
+    # -- introspection (tests only) -------------------------------------------------
+
+    def pending_request_count(self) -> int:
+        """Requests waiting for the EMS (tests only)."""
+        return len(self._requests)
+
+    def pending_response_count(self) -> int:
+        """Responses awaiting collection (tests only)."""
+        return len(self._responses)

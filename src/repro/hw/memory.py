@@ -1,0 +1,116 @@
+"""Physical memory model: frames, byte storage, per-access KeyID.
+
+The front-side bus carries 56 bits: low 40 = physical address, high 16 =
+KeyID (paper Section IV-C). The memory model therefore takes a KeyID on
+every access and routes data through the memory encryption engine, so data
+written under one KeyID reads back as garbage under another — the property
+the paper relies on to make PTW-based exfiltration useless (Section
+VIII-C, "CS PTW").
+
+Storage is sparse (dict of frame -> bytearray): modelled memories can be
+"64 MB" without allocating 64 MB of host RAM until touched.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import HOST_KEYID, PAGE_SHIFT, PAGE_SIZE
+from repro.errors import PhysicalAddressError
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory organised in 4 KiB frames."""
+
+    def __init__(self, size_bytes: int) -> None:
+        if size_bytes <= 0 or size_bytes % PAGE_SIZE:
+            raise ValueError("memory size must be a positive multiple of the page size")
+        self.size_bytes = size_bytes
+        self.num_frames = size_bytes >> PAGE_SHIFT
+        self._frames: dict[int, bytearray] = {}
+        #: Optional encryption engine; attached by the SoC at construction.
+        self.encryption_engine = None
+
+    # -- frame helpers ---------------------------------------------------------
+
+    def _frame(self, frame_number: int) -> bytearray:
+        if not 0 <= frame_number < self.num_frames:
+            raise PhysicalAddressError(f"frame {frame_number} out of range")
+        if frame_number not in self._frames:
+            self._frames[frame_number] = bytearray(PAGE_SIZE)
+        return self._frames[frame_number]
+
+    def check_range(self, paddr: int, length: int) -> None:
+        """Raise PhysicalAddressError on out-of-range accesses."""
+        if paddr < 0 or paddr + length > self.size_bytes:
+            raise PhysicalAddressError(
+                f"access [{paddr:#x}, {paddr + length:#x}) beyond {self.size_bytes:#x}"
+            )
+
+    # -- raw access (what lands on the DRAM bus: ciphertext) -------------------
+
+    def read_raw(self, paddr: int, length: int) -> bytes:
+        """Read stored (post-engine, i.e. ciphertext) bytes."""
+        self.check_range(paddr, length)
+        out = bytearray()
+        while length:
+            frame_number, offset = paddr >> PAGE_SHIFT, paddr & (PAGE_SIZE - 1)
+            take = min(length, PAGE_SIZE - offset)
+            out += self._frame(frame_number)[offset:offset + take]
+            paddr += take
+            length -= take
+        return bytes(out)
+
+    def write_raw(self, paddr: int, data: bytes) -> None:
+        """Write bytes as-is, bypassing the encryption engine.
+
+        This is the physical-attack surface: a cold-boot attacker reads
+        and writes raw DRAM contents through these methods.
+        """
+        self.check_range(paddr, len(data))
+        view = memoryview(data)
+        while view:
+            frame_number, offset = paddr >> PAGE_SHIFT, paddr & (PAGE_SIZE - 1)
+            take = min(len(view), PAGE_SIZE - offset)
+            self._frame(frame_number)[offset:offset + take] = view[:take]
+            paddr += take
+            view = view[take:]
+
+    # -- bus access (through the encryption engine) ----------------------------
+
+    def read(self, paddr: int, length: int, keyid: int = HOST_KEYID) -> bytes:
+        """Read through the memory encryption engine under ``keyid``.
+
+        Integrity MACs are verified before data leaves the engine; a
+        mismatch raises :class:`~repro.errors.IntegrityViolation`.
+        """
+        raw = self.read_raw(paddr, length)
+        if self.encryption_engine is None:
+            return raw
+        self.encryption_engine.verify_macs(paddr, length, keyid, self.read_raw)
+        return self.encryption_engine.decrypt_access(paddr, raw, keyid)
+
+    def write(self, paddr: int, data: bytes, keyid: int = HOST_KEYID) -> None:
+        """Write through the memory encryption engine under ``keyid``."""
+        if self.encryption_engine is None:
+            self.write_raw(paddr, data)
+            return
+        self.write_raw(paddr, self.encryption_engine.encrypt_access(paddr, data, keyid))
+        self.encryption_engine.record_macs(paddr, len(data), keyid, self.read_raw)
+
+    # -- page-granularity conveniences ------------------------------------------
+
+    def zero_frame(self, frame_number: int) -> None:
+        """Zero one frame (EMS zeroes pages before pool return / mapping)."""
+        frame = self._frame(frame_number)
+        frame[:] = bytes(PAGE_SIZE)
+        if self.encryption_engine is not None:
+            self.encryption_engine.drop_block_macs(frame_number << PAGE_SHIFT, PAGE_SIZE)
+
+    def read_frame(self, frame_number: int, keyid: int = HOST_KEYID) -> bytes:
+        """Read one full frame under ``keyid``."""
+        return self.read(frame_number << PAGE_SHIFT, PAGE_SIZE, keyid)
+
+    def write_frame(self, frame_number: int, data: bytes, keyid: int = HOST_KEYID) -> None:
+        """Write one full frame under ``keyid``."""
+        if len(data) != PAGE_SIZE:
+            raise ValueError("frame writes must be exactly one page")
+        self.write(frame_number << PAGE_SHIFT, data, keyid)

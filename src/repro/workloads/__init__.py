@@ -1,0 +1,23 @@
+"""Workload profiles and the scenario runner.
+
+Profiles are synthetic stand-ins for the paper's benchmark binaries (RV8,
+wolfSSL, MemStream, SPEC CPU2017 int, DNN models, NIC streaming): each
+carries the aggregate characteristics the evaluation actually consumes —
+instruction counts, CPI, cache/TLB miss rates, allocation behaviour,
+enclave image size — calibrated to the paper's own characterization (see
+DESIGN.md substitutions). The runner executes a profile under a named
+scenario on a system configuration and returns cycle counts.
+"""
+
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.rv8 import RV8_WORKLOADS, WOLFSSL, rv8_suite
+from repro.workloads.runner import ScenarioRun, run_workload
+
+__all__ = [
+    "WorkloadProfile",
+    "RV8_WORKLOADS",
+    "WOLFSSL",
+    "rv8_suite",
+    "ScenarioRun",
+    "run_workload",
+]

@@ -1,0 +1,112 @@
+"""DNN inference workloads for the enclave-communication study (Fig. 12).
+
+Scenario (paper Section VII-D): model code and weights are confidential
+inside a *user enclave*; a *driver enclave* owns the Gemmini accelerator.
+Every layer's inputs/outputs cross the enclave boundary to the device.
+
+* **Conventional** TEEs communicate through non-enclave memory, so each
+  crossing pays software encryption on one side and decryption on the
+  other.
+* **HyperTEE** communicates through EMS-managed shared enclave memory:
+  plaintext-speed, protected by the memory encryption engine and the DMA
+  whitelist; only a one-time setup (ESHMGET/ESHMSHR/ESHMAT + local
+  attestation) is paid.
+
+MAC counts are the published model complexities; boundary volumes are
+per-layer weight+activation traffic consistent with the paper's measured
+crypto shares (ResNet50 >74.7%, MLPs higher because they have fewer
+layers relative to their data).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.eval.calibration import (
+    CS_SOFTWARE_CRYPTO_BYTES_PER_SEC,
+    SHM_SETUP_SECONDS,
+)
+from repro.hw.devices import AcceleratorSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class DNNModel:
+    """One inference workload of Fig. 12."""
+
+    name: str
+    #: Multiply-accumulates per inference.
+    macs: float
+    #: Bytes crossing the enclave<->accelerator boundary per inference
+    #: (weights streamed per layer + activations both ways).
+    boundary_bytes: float
+    #: DMA/setup overhead per inference beyond compute, seconds.
+    dma_seconds: float = 200e-6
+
+
+#: ResNet50 [77]: 4.1 GFLOPs ~= 2.05 GMACs; heavy weight traffic.
+RESNET50 = DNNModel("resnet50", macs=2.05e9, boundary_bytes=16.5e6)
+
+#: MobileNet [78]: 0.57 GMACs, compact weights.
+MOBILENET = DNNModel("mobilenet", macs=0.57e9, boundary_bytes=3.6e6)
+
+#: The four MLPs [79]-[82]: few layers, so boundary data dominates compute.
+MLP_MODELS = (
+    DNNModel("mlp-mnist", macs=15e6, boundary_bytes=2.0e6, dma_seconds=30e-6),
+    DNNModel("mlp-committee", macs=24e6, boundary_bytes=3.2e6, dma_seconds=30e-6),
+    DNNModel("mlp-denoise", macs=18e6, boundary_bytes=2.6e6, dma_seconds=30e-6),
+    DNNModel("mlp-multimodal", macs=30e6, boundary_bytes=4.0e6, dma_seconds=30e-6),
+)
+
+ALL_DNN_MODELS = (RESNET50, MOBILENET, *MLP_MODELS)
+
+
+@dataclasses.dataclass(frozen=True)
+class CommunicationTiming:
+    """Per-inference timing under one communication design."""
+
+    compute_seconds: float
+    transfer_seconds: float
+    crypto_seconds: float
+    setup_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.compute_seconds + self.transfer_seconds
+                + self.crypto_seconds + self.setup_seconds)
+
+    @property
+    def crypto_share(self) -> float:
+        return self.crypto_seconds / self.total_seconds
+
+
+def accelerator_compute_seconds(model: DNNModel,
+                                spec: AcceleratorSpec | None = None,
+                                utilization: float = 0.55) -> float:
+    """Systolic-array compute time for one inference."""
+    spec = spec if spec is not None else AcceleratorSpec()
+    return model.macs / (spec.macs_per_second * utilization)
+
+
+def conventional_timing(model: DNNModel) -> CommunicationTiming:
+    """Non-enclave-memory communication: encrypt out, decrypt in."""
+    crypto = 2.0 * model.boundary_bytes / CS_SOFTWARE_CRYPTO_BYTES_PER_SEC
+    return CommunicationTiming(
+        compute_seconds=accelerator_compute_seconds(model),
+        transfer_seconds=model.dma_seconds,
+        crypto_seconds=crypto,
+        setup_seconds=0.0)
+
+
+def hypertee_timing(model: DNNModel) -> CommunicationTiming:
+    """Shared-enclave-memory communication: plaintext speed, no crypto."""
+    return CommunicationTiming(
+        compute_seconds=accelerator_compute_seconds(model),
+        transfer_seconds=model.dma_seconds,
+        crypto_seconds=0.0,
+        setup_seconds=SHM_SETUP_SECONDS)
+
+
+def speedup(model: DNNModel) -> float:
+    """HyperTEE speedup over the conventional design (a Fig. 12 bar)."""
+    return (conventional_timing(model).total_seconds
+            / hypertee_timing(model).total_seconds)

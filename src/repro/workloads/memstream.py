@@ -1,0 +1,57 @@
+"""MemStream: the memory-latency stress workload of Fig. 8(b).
+
+MemStream streams over a working set several times larger than the LLC,
+so nearly every access goes off-chip — the worst case for the memory
+encryption + integrity adder. The paper sweeps 4 MB to 64 MB (the LLC is
+1 MB; the recommendation is >= 4x LLC) and reports a 3.1% average latency
+overhead.
+
+Profiles here carry per-size miss rates: the 1 MB L2 covers progressively
+less of the stream as the footprint grows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.eval.calibration import ENCRYPTION_DRAM_ADDER_CYCLES
+from repro.hw.cache import MemoryHierarchyModel
+
+#: Footprints the paper sweeps (MB).
+MEMSTREAM_SIZES_MB = (4, 8, 16, 32, 64)
+
+
+@dataclasses.dataclass(frozen=True)
+class MemStreamPoint:
+    """One MemStream configuration (a bar of Fig. 8b)."""
+
+    size_mb: int
+    l1_miss_rate: float
+    l2_miss_rate: float
+
+    def average_latency(self, encrypted: bool) -> float:
+        """Average memory-access latency in cycles."""
+        adder = ENCRYPTION_DRAM_ADDER_CYCLES if encrypted else 0.0
+        model = MemoryHierarchyModel(encryption_adder_cycles=adder)
+        return model.average_access_cycles(self.l1_miss_rate, self.l2_miss_rate)
+
+    def latency_overhead(self) -> float:
+        """Relative latency overhead of encryption + integrity."""
+        return self.average_latency(True) / self.average_latency(False) - 1.0
+
+
+def _l2_miss_for(size_mb: int) -> float:
+    """Local L2 miss rate of a stream over ``size_mb`` with a 1 MB L2.
+
+    Streaming reuse gives the L2 roughly (L2 size / footprint) worth of
+    hits; the rest go to DRAM.
+    """
+    l2_mb = 1.0
+    return min(0.97, 1.0 - l2_mb / (2.0 * size_mb))
+
+
+def memstream_points() -> list[MemStreamPoint]:
+    """The Fig. 8b sweep: 4..64 MB, miss rates rising with footprint."""
+    return [MemStreamPoint(size_mb=mb, l1_miss_rate=0.55 + 0.002 * mb,
+                           l2_miss_rate=_l2_miss_for(mb))
+            for mb in MEMSTREAM_SIZES_MB]

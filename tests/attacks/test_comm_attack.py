@@ -1,0 +1,30 @@
+"""Communication-management attacks."""
+
+from __future__ import annotations
+
+from repro.attacks.comm_attack import communication_attack
+from repro.baselines.catalog import make_baseline
+from repro.baselines.hypertee_adapter import HyperTEEAdapter
+from repro.common.types import AttackOutcome
+
+
+def test_leaks_on_every_baseline():
+    """No baseline manages communication: all three attacks land."""
+    for name in ("sgx", "sev", "tdx", "trustzone", "keystone"):
+        result = communication_attack(make_baseline(name))
+        assert result.outcome is AttackOutcome.LEAKED, name
+
+
+def test_defended_on_hypertee():
+    result = communication_attack(HyperTEEAdapter())
+    assert result.outcome is AttackOutcome.DEFENDED
+    assert result.accuracy == 0.0
+
+
+def test_hypertee_surface_details():
+    """Each of the three attacks is individually blocked, for its own
+    reason (bitmap+keys, legal list, DMA whitelist)."""
+    surface = HyperTEEAdapter().comm_attack_surface()
+    assert surface == {"plaintext_map": False,
+                       "unauthorized_attach": False,
+                       "rogue_dma": False}

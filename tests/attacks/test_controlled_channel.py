@@ -1,0 +1,81 @@
+"""Controlled-channel attacks: must LEAK on SGX and be DEFENDED on
+HyperTEE — both directions asserted."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.controlled_channel import (
+    allocation_attack,
+    make_secret,
+    page_table_attack,
+    swap_attack,
+)
+from repro.baselines.catalog import make_baseline
+from repro.baselines.hypertee_adapter import HyperTEEAdapter
+from repro.common.types import AttackOutcome
+
+
+@pytest.fixture(scope="module")
+def hypertee() -> HyperTEEAdapter:
+    return HyperTEEAdapter()
+
+
+def test_secret_is_deterministic():
+    assert make_secret(8) == make_secret(8)
+    assert len(make_secret(12)) == 12
+
+
+def test_allocation_attack_leaks_on_sgx():
+    result = allocation_attack(make_baseline("sgx"))
+    assert result.outcome is AttackOutcome.LEAKED
+    assert result.accuracy == 1.0
+
+
+def test_allocation_attack_defended_on_hypertee(hypertee):
+    result = allocation_attack(hypertee)
+    assert result.outcome is AttackOutcome.DEFENDED
+    assert result.accuracy <= 0.7
+
+
+def test_allocation_attack_defended_on_trustzone():
+    """Static carve-out: no demand allocations exist to observe."""
+    result = allocation_attack(make_baseline("trustzone"))
+    assert result.outcome is AttackOutcome.DEFENDED
+
+
+def test_page_table_attack_leaks_on_sgx():
+    result = page_table_attack(make_baseline("sgx"))
+    assert result.outcome is AttackOutcome.LEAKED
+
+
+def test_page_table_attack_defended_on_tdx():
+    """The TDX module owns the secure EPT: PTE channel closed."""
+    result = page_table_attack(make_baseline("tdx"))
+    assert result.outcome is AttackOutcome.DEFENDED
+
+
+def test_page_table_attack_defended_on_hypertee(hypertee):
+    result = page_table_attack(hypertee)
+    assert result.outcome is AttackOutcome.DEFENDED
+
+
+def test_swap_attack_leaks_on_sev():
+    result = swap_attack(make_baseline("sev"))
+    assert result.outcome is AttackOutcome.LEAKED
+
+
+def test_swap_attack_defended_on_hypertee(hypertee):
+    result = swap_attack(hypertee)
+    assert result.outcome is AttackOutcome.DEFENDED
+    assert "untargetable" in result.detail
+
+
+def test_swap_attack_defended_on_keystone():
+    result = swap_attack(make_baseline("keystone"))
+    assert result.outcome is AttackOutcome.DEFENDED
+
+
+def test_attacks_report_tee_name(hypertee):
+    assert allocation_attack(hypertee).tee == "hypertee"
+    assert page_table_attack(make_baseline("sgx")).tee == "sgx"

@@ -1,0 +1,53 @@
+"""The full defense matrix must equal the paper's Table VI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.harness import (
+    CHANNELS,
+    default_factories,
+    defense_matrix,
+    evaluate_tee,
+    expected_paper_matrix,
+    matrix_outcomes,
+)
+from repro.baselines.catalog import BASELINE_PROFILES
+
+
+@pytest.fixture(scope="module")
+def computed():
+    return matrix_outcomes(defense_matrix())
+
+
+def test_all_rows_present(computed):
+    assert set(computed) == set(BASELINE_PROFILES) | {"hypertee"}
+
+
+def test_all_channels_present(computed):
+    for row in computed.values():
+        assert set(row) == set(CHANNELS)
+
+
+def test_matrix_matches_paper_exactly(computed):
+    """Cell-for-cell agreement with published Table VI."""
+    expected = expected_paper_matrix()
+    mismatches = [
+        (tee, channel, expected[tee][channel].value, computed[tee][channel].value)
+        for tee in expected for channel in CHANNELS
+        if computed[tee][channel] is not expected[tee][channel]
+    ]
+    assert mismatches == []
+
+
+def test_hypertee_defends_everything(computed):
+    from repro.common.types import AttackOutcome
+
+    assert all(outcome is AttackOutcome.DEFENDED
+               for outcome in computed["hypertee"].values())
+
+
+def test_evaluate_single_tee():
+    results = evaluate_tee(default_factories()["sgx"])
+    assert set(results) == set(CHANNELS)
+    assert all(r.tee == "sgx" for r in results.values())

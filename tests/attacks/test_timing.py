@@ -1,0 +1,52 @@
+"""Timing side channel on primitive responses."""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.attacks.controlled_channel import make_secret
+from repro.attacks.timing import (
+    primitive_timing_attack,
+    shared_queue_timing_attack,
+)
+from repro.common.types import AttackOutcome
+
+
+def test_shared_queue_design_leaks():
+    """Without decoupling + jitter, latency reads the victim's volume."""
+    result = shared_queue_timing_attack(make_secret(24))
+    assert result.outcome is AttackOutcome.LEAKED
+    assert result.accuracy == 1.0
+
+
+def test_hypertee_latencies_uninformative():
+    """On HyperTEE the attacker's latency is independent of the victim:
+    the classifier does no better than a balanced-guess baseline."""
+    secret = make_secret(24)
+    result = primitive_timing_attack(secret)
+    assert result.outcome is AttackOutcome.DEFENDED
+
+
+def test_jitter_is_present():
+    """EMCall's polling jitter actually varies response latencies."""
+    from repro.common.types import Permission, Primitive
+    from repro.core.api import HyperTEE
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE()
+    enclave = tee.launch_enclave(b"jitter-probe",
+                                 EnclaveConfig(heap_pages_max=512))
+    latencies = []
+    with enclave.running():
+        for _ in range(24):
+            before = tee.primitive_cycles
+            tee.invoke_user(Primitive.EALLOC,
+                            {"pages": 1, "perm": Permission.RW},
+                            enclave.core)
+            latencies.append(tee.primitive_cycles - before)
+    assert statistics.pstdev(latencies) > 0
+    # The jitter spread covers a good share of the configured window.
+    from repro.eval.calibration import EMCALL_POLL_JITTER_CYCLES
+
+    assert max(latencies) - min(latencies) <= EMCALL_POLL_JITTER_CYCLES
+    assert max(latencies) - min(latencies) > EMCALL_POLL_JITTER_CYCLES / 10

@@ -1,0 +1,93 @@
+"""Baseline TEE model mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import (
+    BaselineTEE,
+    prime_cache_sets,
+    probe_cache_sets,
+    run_secret_dependent_task,
+)
+from repro.baselines.catalog import make_baseline
+from repro.hw.cache import SetAssociativeCache
+
+
+def test_victim_touch_bounds():
+    tee = make_baseline("sgx")
+    victim = tee.new_victim(heap_pages=4)
+    with pytest.raises(ValueError):
+        tee.victim_touch(victim, 4)
+
+
+def test_demand_allocation_events_in_order():
+    tee = make_baseline("sgx")
+    victim = tee.new_victim(heap_pages=8)
+    for page in (3, 1, 7):
+        tee.victim_touch(victim, page)
+    assert tee.attacker_allocation_events() == [3, 1, 7]
+
+
+def test_repeat_touch_not_reallocated():
+    tee = make_baseline("sgx")
+    victim = tee.new_victim(heap_pages=8)
+    tee.victim_touch(victim, 3)
+    tee.victim_touch(victim, 3)
+    assert tee.attacker_allocation_events() == [3]
+
+
+def test_static_paging_produces_no_events():
+    tee = make_baseline("trustzone")
+    victim = tee.new_victim(heap_pages=8)
+    tee.victim_touch(victim, 3)
+    assert tee.attacker_allocation_events() is None
+
+
+def test_accessed_bits_follow_touches():
+    tee = make_baseline("sgx")
+    victim = tee.new_victim(heap_pages=8)
+    tee.victim_touch(victim, 2)
+    assert tee.attacker_read_accessed(victim, 2) is True
+    assert tee.attacker_read_accessed(victim, 3) is False
+    assert tee.attacker_clear_accessed(victim)
+    assert tee.attacker_read_accessed(victim, 2) is False
+
+
+def test_protected_ptes_opaque():
+    tee = make_baseline("tdx")
+    victim = tee.new_victim(heap_pages=8)
+    tee.victim_touch(victim, 2)
+    assert tee.attacker_read_accessed(victim, 2) is None
+    assert not tee.attacker_clear_accessed(victim)
+
+
+def test_swap_and_swapin_observation():
+    tee = make_baseline("sgx")
+    victim = tee.new_victim(heap_pages=8)
+    tee.victim_touch(victim, 2)
+    assert tee.attacker_swap_out(victim, 2)
+    assert tee.attacker_observe_swap_in(victim, 2) is False
+    tee.victim_touch(victim, 2)
+    assert tee.attacker_observe_swap_in(victim, 2) is True
+
+
+def test_unknown_mgmt_task_rejected():
+    tee = make_baseline("sgx")
+    with pytest.raises(ValueError):
+        tee.run_mgmt_task("gardening", [1, 0])
+
+
+def test_prime_probe_game_detects_secret_sets():
+    cache = SetAssociativeCache(size_kb=256, ways=8)
+    prime_cache_sets(cache, 8)
+    run_secret_dependent_task(cache, [1, 0, 1, 1], probe_sets=8)
+    signal = probe_cache_sets(cache, 8)
+    # Bits 1,0,1,1 -> victim touched sets 1, 2, 5, 7.
+    assert signal == [False, True, True, False, False, True, False, True]
+
+
+def test_probe_is_silent_without_task():
+    cache = SetAssociativeCache(size_kb=256, ways=8)
+    prime_cache_sets(cache, 8)
+    assert probe_cache_sets(cache, 8) == [False] * 8

@@ -1,0 +1,58 @@
+"""Baseline catalog: profiles encode the Table VI architecture facts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import BaselineTEE
+from repro.baselines.catalog import (
+    BASELINE_PROFILES,
+    all_tee_models,
+    make_baseline,
+)
+
+
+def test_all_table6_rows_present():
+    assert set(BASELINE_PROFILES) == {
+        "sgx", "sev", "tdx", "cca", "trustzone", "keystone", "penglai", "cure"}
+
+
+def test_make_baseline():
+    tee = make_baseline("sgx")
+    assert isinstance(tee, BaselineTEE)
+    assert tee.name == "sgx"
+    with pytest.raises(ValueError):
+        make_baseline("nonexistent")
+
+
+def test_no_baseline_manages_communication():
+    assert not any(p.comm_managed for p in BASELINE_PROFILES.values())
+
+
+def test_sgx_fully_open():
+    p = BASELINE_PROFILES["sgx"]
+    assert p.os_sees_demand_allocations and p.os_reads_enclave_ptes
+    assert p.os_targets_swap and not p.attestation_isolated
+
+
+def test_tdx_closes_only_page_tables():
+    p = BASELINE_PROFILES["tdx"]
+    assert not p.os_reads_enclave_ptes
+    assert p.os_sees_demand_allocations and p.os_targets_swap
+
+
+def test_trustzone_static():
+    assert not BASELINE_PROFILES["trustzone"].dynamic_paging
+
+
+def test_sev_isolates_attestation_only():
+    p = BASELINE_PROFILES["sev"]
+    assert p.attestation_isolated and not p.paging_isolated
+
+
+def test_all_tee_models_includes_hypertee():
+    models = all_tee_models()
+    assert [m.name for m in models][-1] == "hypertee"
+    assert len(models) == len(BASELINE_PROFILES) + 1
+    without = all_tee_models(include_hypertee=False)
+    assert len(without) == len(BASELINE_PROFILES)

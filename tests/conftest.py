@@ -1,0 +1,43 @@
+"""Shared fixtures for the HyperTEE test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.core.api import HyperTEE
+from repro.core.config import SystemConfig
+from repro.core.system import HyperTEESystem
+from repro.hw.encryption_engine import MemoryEncryptionEngine
+from repro.hw.memory import PhysicalMemory
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    return DeterministicRng(seed=1234)
+
+
+@pytest.fixture
+def memory() -> PhysicalMemory:
+    """16 MiB of physical memory with an encryption engine attached."""
+    mem = PhysicalMemory(16 * 1024 * 1024)
+    mem.encryption_engine = MemoryEncryptionEngine()
+    return mem
+
+
+@pytest.fixture
+def plain_memory() -> PhysicalMemory:
+    """8 MiB of physical memory without an engine (plaintext path)."""
+    return PhysicalMemory(8 * 1024 * 1024)
+
+
+@pytest.fixture
+def system() -> HyperTEESystem:
+    """A small booted HyperTEE platform."""
+    return HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4))
+
+
+@pytest.fixture
+def tee(system: HyperTEESystem) -> HyperTEE:
+    """The user-facing facade over the booted platform."""
+    return HyperTEE(system=system)

@@ -1,0 +1,149 @@
+"""The public API facade: launch, run, memory, shm, attest, seal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import Permission
+from repro.core.api import APIError, HyperTEE, local_attest
+from repro.core.enclave import EnclaveConfig
+
+
+def test_launch_measures(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code bytes")
+    assert len(enclave.measurement) == 32
+
+
+def test_multi_page_code_splits(tee: HyperTEE):
+    code = b"x" * (2 * PAGE_SIZE + 100)
+    enclave = tee.launch_enclave(code)
+    assert enclave.config.code_pages == 3
+
+
+def test_measurement_deterministic_per_code(tee: HyperTEE):
+    a = tee.launch_enclave(b"same code", EnclaveConfig(name="a", code_pages=1))
+    b = tee.launch_enclave(b"same code", EnclaveConfig(name="b", code_pages=1))
+    assert a.measurement == b.measurement
+    c = tee.launch_enclave(b"diff code", EnclaveConfig(name="c", code_pages=1))
+    assert c.measurement != a.measurement
+
+
+def test_memory_requires_entered(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code")
+    with pytest.raises(APIError):
+        enclave.ealloc(1)
+    with pytest.raises(APIError):
+        enclave.read(0x100000, 4)
+
+
+def test_running_context_manager(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code")
+    with enclave.running():
+        assert enclave.core.in_enclave
+    assert not enclave.core.in_enclave
+
+
+def test_alloc_write_read(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code")
+    with enclave.running():
+        vaddr = enclave.ealloc(2)
+        enclave.write(vaddr + 100, b"deep secret")
+        assert enclave.read(vaddr + 100, 11) == b"deep secret"
+        enclave.efree(vaddr)
+
+
+def test_demand_fault_transparent(tee: HyperTEE):
+    """A write past the eager allocation demand-faults through EMCall."""
+    enclave = tee.launch_enclave(b"code")
+    with enclave.running():
+        vaddr = enclave.ealloc(1)
+        target = vaddr + 5 * PAGE_SIZE
+        enclave.write(target, b"faulted in")
+        assert enclave.read(target, 10) == b"faulted in"
+
+
+def test_enter_exit_resume_cycle(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code")
+    enclave.enter()
+    vaddr = enclave.ealloc(1)
+    enclave.write(vaddr, b"persist")
+    enclave.exit()
+    enclave.resume()
+    assert enclave.read(vaddr, 7) == b"persist"
+    enclave.exit()
+
+
+def test_data_survives_destroyed_context_not(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code")
+    with enclave.running():
+        vaddr = enclave.ealloc(1)
+        enclave.write(vaddr, b"gone soon")
+    enclave.destroy()
+    with pytest.raises(APIError):
+        enclave.enter()
+
+
+def test_shared_region_flow(tee: HyperTEE):
+    sender = tee.launch_enclave(b"sender", EnclaveConfig(name="s"))
+    receiver = tee.launch_enclave(b"receiver", EnclaveConfig(name="r"))
+    with sender.running():
+        region = sender.create_shared_region(2)
+        sender.share_with(region, receiver, Permission.RW)
+        va = sender.attach(region)
+        sender.write(va, b"broadcast!")
+    with receiver.running():
+        vb = receiver.attach(region)
+        assert receiver.read(vb, 10) == b"broadcast!"
+        receiver.write(vb, b"answered!!")
+        receiver.detach(region)
+    with sender.running():
+        assert sender.read(va, 10) == b"answered!!"
+        sender.detach(region)
+        sender.destroy_region(region)
+
+
+def test_readonly_receiver_cannot_write(tee: HyperTEE):
+    sender = tee.launch_enclave(b"sender", EnclaveConfig(name="s"))
+    receiver = tee.launch_enclave(b"receiver", EnclaveConfig(name="r"))
+    with sender.running():
+        region = sender.create_shared_region(1, Permission.RW)
+        sender.share_with(region, receiver, Permission.READ)
+    with receiver.running():
+        vb = receiver.attach(region)
+        receiver.read(vb, 4)
+        from repro.errors import AccessPermissionError
+
+        with pytest.raises(AccessPermissionError):
+            receiver.write(vb, b"tamper")
+
+
+def test_seal_unseal(tee: HyperTEE):
+    enclave = tee.launch_enclave(b"code")
+    with enclave.running():
+        blob = enclave.seal(b"disk data")
+        assert enclave.unseal(blob) == b"disk data"
+
+
+def test_seal_bound_to_identity(tee: HyperTEE):
+    a = tee.launch_enclave(b"code-a", EnclaveConfig(name="a", code_pages=1))
+    b = tee.launch_enclave(b"code-b", EnclaveConfig(name="b", code_pages=1))
+    with a.running():
+        blob = a.seal(b"for a only")
+    from repro.errors import SealingError
+
+    with b.running():
+        with pytest.raises(SealingError):
+            b.unseal(blob)
+
+
+def test_local_attest_via_api(tee: HyperTEE):
+    challenger = tee.launch_enclave(b"challenger")
+    verifier = tee.launch_enclave(b"verifier")
+    assert local_attest(challenger, verifier) == verifier.measurement
+
+
+def test_primitive_cycles_accumulate(tee: HyperTEE):
+    before = tee.primitive_cycles
+    tee.launch_enclave(b"code")
+    assert tee.primitive_cycles > before

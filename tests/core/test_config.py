@@ -1,0 +1,53 @@
+"""System and enclave configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.errors import ConfigurationError
+
+
+def test_default_system_config_valid():
+    config = SystemConfig()
+    assert config.ems_core == "medium"
+    assert config.crypto == "engine"
+
+
+def test_invalid_memory():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(cs_memory_mb=1)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(ems_memory_mb=0)
+
+
+def test_invalid_cores():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(cs_cores=0)
+    with pytest.raises(ConfigurationError):
+        SystemConfig(ems_cores=0)
+
+
+def test_invalid_ems_core_name():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(ems_core="mega")
+
+
+def test_invalid_crypto():
+    with pytest.raises(ConfigurationError):
+        SystemConfig(crypto="quantum")
+
+
+def test_enclave_config_defaults():
+    config = EnclaveConfig()
+    assert config.static_pages == config.code_pages + config.stack_pages
+
+
+def test_enclave_config_validation():
+    with pytest.raises(ConfigurationError):
+        EnclaveConfig(code_pages=0)
+    with pytest.raises(ConfigurationError):
+        EnclaveConfig(stack_pages=0)
+    with pytest.raises(ConfigurationError):
+        EnclaveConfig(heap_pages_max=-1)

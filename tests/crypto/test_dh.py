@@ -1,0 +1,50 @@
+"""Diffie-Hellman exchange used by attestation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.dh import GENERATOR, PRIME, DiffieHellman
+
+
+def test_shared_key_agreement():
+    alice = DiffieHellman(private=123456789)
+    bob = DiffieHellman(private=987654321)
+    assert alice.shared_key(bob.public) == bob.shared_key(alice.public)
+
+
+def test_distinct_privates_distinct_publics():
+    assert DiffieHellman(private=3).public != DiffieHellman(private=5).public
+
+
+def test_shared_key_is_256_bits():
+    alice = DiffieHellman(private=111)
+    bob = DiffieHellman(private=222)
+    assert len(alice.shared_key(bob.public)) == 32
+
+
+def test_rejects_out_of_range_private():
+    with pytest.raises(ValueError):
+        DiffieHellman(private=1)
+    with pytest.raises(ValueError):
+        DiffieHellman(private=PRIME - 1)
+
+
+def test_rejects_degenerate_peer_values():
+    alice = DiffieHellman(private=12345)
+    for bad in (0, 1, PRIME - 1, PRIME):
+        with pytest.raises(ValueError):
+            alice.shared_key(bad)
+
+
+def test_from_entropy_deterministic_source():
+    source = lambda n: b"\x07" * n
+    a = DiffieHellman.from_entropy(source)
+    b = DiffieHellman.from_entropy(source)
+    assert a.public == b.public
+
+
+def test_group_parameters_sane():
+    assert PRIME % 2 == 1
+    assert GENERATOR == 2
+    assert PRIME.bit_length() == 2048

@@ -1,0 +1,54 @@
+"""Measurement hashing and MAC primitives."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import MAC_BITS
+from repro.crypto.hashes import (
+    constant_time_equal,
+    keyed_mac,
+    measure,
+    truncated_mac,
+)
+
+
+def test_measure_deterministic():
+    assert measure(b"a", b"b") == measure(b"a", b"b")
+
+
+def test_measure_is_injective_on_chunking():
+    """Length framing: ("ab","c") must differ from ("a","bc")."""
+    assert measure(b"ab", b"c") != measure(b"a", b"bc")
+
+
+def test_measure_differs_on_content():
+    assert measure(b"image-v1") != measure(b"image-v2")
+
+
+def test_keyed_mac_depends_on_key_and_data():
+    assert keyed_mac(b"k1", b"data") != keyed_mac(b"k2", b"data")
+    assert keyed_mac(b"k1", b"data") != keyed_mac(b"k1", b"datb")
+
+
+def test_truncated_mac_width():
+    mac = truncated_mac(b"key", b"block")
+    assert 0 <= mac < (1 << MAC_BITS)
+
+
+def test_truncated_mac_custom_width():
+    assert 0 <= truncated_mac(b"key", b"block", bits=8) < 256
+
+
+def test_constant_time_equal():
+    assert constant_time_equal(b"same", b"same")
+    assert not constant_time_equal(b"same", b"diff")
+
+
+@given(st.binary(max_size=128), st.binary(max_size=128))
+@settings(max_examples=50, deadline=None)
+def test_mac_collision_resistance_smoke(a: bytes, b: bytes):
+    """Distinct inputs virtually never collide at full width."""
+    if a != b:
+        assert keyed_mac(b"key", a) != keyed_mac(b"key", b)

@@ -1,0 +1,63 @@
+"""Key derivation tree: separation, determinism, binding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.keys import KeyDerivation, RootKeys
+
+
+@pytest.fixture
+def kdf() -> KeyDerivation:
+    roots = RootKeys(endorsement_key=b"E" * 32, sealed_key=b"S" * 32)
+    return KeyDerivation(roots)
+
+
+def test_derivations_are_deterministic(kdf: KeyDerivation):
+    assert kdf.enclave_memory_key(b"m") == kdf.enclave_memory_key(b"m")
+
+
+def test_purpose_separation(kdf: KeyDerivation):
+    """The same context under different labels yields unrelated keys."""
+    measurement = b"m" * 32
+    keys = {
+        kdf.enclave_memory_key(measurement),
+        kdf.sealing_key(measurement),
+        kdf.report_key(measurement),
+        kdf.attestation_key(measurement),
+    }
+    assert len(keys) == 4
+
+
+def test_enclave_keys_bound_to_measurement(kdf: KeyDerivation):
+    assert kdf.enclave_memory_key(b"m1") != kdf.enclave_memory_key(b"m2")
+
+
+def test_shared_memory_key_binding(kdf: KeyDerivation):
+    """Shared keys derive from (sender EnclaveID, ShmID) — Section V-A."""
+    assert kdf.shared_memory_key(1, 10) != kdf.shared_memory_key(2, 10)
+    assert kdf.shared_memory_key(1, 10) != kdf.shared_memory_key(1, 11)
+    assert kdf.shared_memory_key(1, 10) == kdf.shared_memory_key(1, 10)
+
+
+def test_different_devices_derive_different_keys():
+    a = KeyDerivation(RootKeys(b"E" * 32, b"S" * 32))
+    b = KeyDerivation(RootKeys(b"E" * 32, b"T" * 32))
+    assert a.sealing_key(b"m") != b.sealing_key(b"m")
+
+
+def test_attestation_key_rotates_with_salt(kdf: KeyDerivation):
+    assert kdf.attestation_key(b"salt1") != kdf.attestation_key(b"salt2")
+
+
+def test_root_generation_uses_entropy_source():
+    calls = []
+
+    def fake_entropy(n: int) -> bytes:
+        calls.append(n)
+        return bytes(n)
+
+    roots = RootKeys.generate(fake_entropy)
+    assert len(roots.endorsement_key) == 32
+    assert len(roots.sealed_key) == 32
+    assert len(calls) == 2

@@ -1,0 +1,83 @@
+"""CS core: context switches and the full load/store path."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import Permission, Privilege
+from repro.cs.cpu import CSCore
+from repro.errors import ConfigurationError, IsolationViolation
+from repro.hw.bitmap import BitmapReader, EnclaveBitmap
+from repro.hw.fabric import AddressPartition, IHub
+from repro.hw.memory import PhysicalMemory
+from repro.hw.page_table import PageTable
+
+
+@pytest.fixture
+def rig(plain_memory: PhysicalMemory):
+    size = plain_memory.size_bytes
+    ihub = IHub(AddressPartition(0, size - 0x100000, size - 0x100000, 0x100000))
+    bitmap = EnclaveBitmap(plain_memory, base_paddr=0)
+    core = CSCore(0, plain_memory, ihub, BitmapReader(bitmap))
+    counter = itertools.count(10)
+    table = PageTable(plain_memory, next(counter),
+                      allocate_frame=lambda: next(counter), asid=1)
+    return core, table, bitmap
+
+
+def test_no_context_faults(rig):
+    core, _, _ = rig
+    with pytest.raises(ConfigurationError):
+        core.load(0x1000, 4)
+
+
+def test_load_store_roundtrip(rig):
+    core, table, _ = rig
+    table.map(0x100, 300, Permission.RW)
+    core.set_host_context(table)
+    core.store(0x100 * PAGE_SIZE, b"hello core")
+    assert core.load(0x100 * PAGE_SIZE, 10) == b"hello core"
+    assert core.cycles > 0
+
+
+def test_cs_core_cannot_reach_ems_region(rig):
+    core, table, _ = rig
+    ems_frame = (core.ihub.partition.ems_base // PAGE_SIZE) + 1
+    table.map(0x100, ems_frame, Permission.RW)
+    core.set_host_context(table)
+    with pytest.raises(IsolationViolation):
+        core.load(0x100 * PAGE_SIZE, 4)
+
+
+def test_enclave_context_switch(rig):
+    core, host_table, _ = rig
+    enclave_table = PageTable(core.memory, 200,
+                              allocate_frame=lambda: 201, asid=2)
+    core.set_host_context(host_table, Privilege.SUPERVISOR)
+    core.enter_enclave_context(7, enclave_table)
+    assert core.in_enclave and core.current_enclave_id == 7
+    assert core.privilege is Privilege.USER
+    assert core.ptw.is_enclave_mode
+    core.exit_enclave_context()
+    assert not core.in_enclave
+    assert core.active_table is host_table
+    assert core.privilege is Privilege.SUPERVISOR
+
+
+def test_context_switch_flushes_tlb(rig):
+    core, table, _ = rig
+    table.map(0x100, 300, Permission.RW)
+    core.set_host_context(table)
+    core.load(0x100 * PAGE_SIZE, 4)
+    assert core.tlb.entry_count() == 1
+    core.enter_enclave_context(1, table)
+    assert core.tlb.entry_count() == 0
+
+
+def test_exit_without_enter_faults(rig):
+    core, _, _ = rig
+    with pytest.raises(ConfigurationError):
+        core.exit_enclave_context()

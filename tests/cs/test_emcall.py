@@ -1,0 +1,66 @@
+"""EMCall: privilege checks, identity stamping, response handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive, Privilege
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.core.system import HyperTEESystem
+from repro.errors import PrivilegeViolation
+
+
+@pytest.fixture
+def sys_() -> HyperTEESystem:
+    return HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4))
+
+
+def test_cross_privilege_blocked(sys_: HyperTEESystem):
+    """Table II privilege assignments are enforced by EMCall, not EMS."""
+    core = sys_.primary_core
+    core.privilege = Privilege.USER
+    with pytest.raises(PrivilegeViolation):
+        sys_.emcall.invoke(Primitive.ECREATE,
+                           {"config": EnclaveConfig()}, core=core)
+    core.privilege = Privilege.SUPERVISOR
+    with pytest.raises(PrivilegeViolation):
+        sys_.emcall.invoke(Primitive.EALLOC, {"pages": 1}, core=core)
+
+
+def test_all_primitives_have_privilege_assignments():
+    assert set(PRIMITIVE_PRIVILEGE) == set(Primitive)
+
+
+def test_invoke_returns_latency(sys_: HyperTEESystem):
+    core = sys_.primary_core
+    core.privilege = Privilege.SUPERVISOR
+    result = sys_.emcall.invoke(Primitive.ECREATE,
+                                {"config": EnclaveConfig()}, core=core)
+    assert result.ok
+    assert result.cs_cycles > result.response.service_cycles  # transport added
+
+
+def test_enclave_identity_is_hardware_stamped(sys_: HyperTEESystem):
+    """A caller-supplied enclave_id argument cannot impersonate: the
+    request's identity comes from the core context."""
+    core = sys_.primary_core
+    core.privilege = Privilege.USER
+    core.current_enclave_id = None  # not in an enclave
+    result = sys_.emcall.invoke(
+        Primitive.EALLOC, {"pages": 1, "enclave_id": 12345}, core=core)
+    # The EMS rejects it: no stamped identity means no enclave caller.
+    assert not result.ok
+
+
+def test_bitmap_flush_counter(sys_: HyperTEESystem):
+    before = sys_.emcall.bitmap_flush_count
+    sys_.emcall.flush_tlbs_for_bitmap_change([1, 2, 3])
+    assert sys_.emcall.bitmap_flush_count == before + 1
+
+
+def test_page_fault_routing_requires_enclave(sys_: HyperTEESystem):
+    from repro.errors import EMCallError
+
+    with pytest.raises(EMCallError):
+        sys_.emcall.handle_enclave_page_fault(sys_.primary_core, 0x1000)

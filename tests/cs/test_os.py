@@ -1,0 +1,89 @@
+"""CS operating system: frames, processes, malloc path, observation logs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
+from repro.cs.os import CSOperatingSystem
+from repro.errors import ConfigurationError, HyperTEEError
+from repro.hw.memory import PhysicalMemory
+
+
+@pytest.fixture
+def os_(plain_memory: PhysicalMemory) -> CSOperatingSystem:
+    return CSOperatingSystem(plain_memory, first_free_frame=8)
+
+
+def test_rejects_empty_free_list(plain_memory: PhysicalMemory):
+    with pytest.raises(ConfigurationError):
+        CSOperatingSystem(plain_memory,
+                          first_free_frame=plain_memory.num_frames)
+
+
+def test_alloc_and_release(os_: CSOperatingSystem):
+    before = os_.free_frame_count()
+    frames = os_.alloc_frames(4, requestor="test")
+    assert len(frames) == 4
+    assert os_.free_frame_count() == before - 4
+    os_.release_frames(frames)
+    assert os_.free_frame_count() == before
+
+
+def test_alloc_logs_events(os_: CSOperatingSystem):
+    """The allocation log is the controlled-channel observation surface."""
+    os_.alloc_frames(2, requestor="ems-pool")
+    event = os_.allocation_log[-1]
+    assert event.requestor == "ems-pool" and event.pages == 2
+
+
+def test_alloc_exhaustion(os_: CSOperatingSystem):
+    with pytest.raises(HyperTEEError):
+        os_.alloc_frames(os_.free_frame_count() + 1)
+    with pytest.raises(ValueError):
+        os_.alloc_frames(0)
+
+
+def test_process_creation(os_: CSOperatingSystem):
+    proc = os_.create_process("app")
+    assert proc.pid in os_.processes
+    assert proc.table.asid == proc.pid
+
+
+def test_malloc_maps_and_zeroes(os_: CSOperatingSystem):
+    proc = os_.create_process("app")
+    vaddr, cycles = os_.malloc(proc, 3 * PAGE_SIZE)
+    assert cycles > 0
+    for offset in range(3):
+        pte = proc.table.lookup((vaddr >> PAGE_SHIFT) + offset)
+        assert pte is not None
+        assert os_.memory.read_raw(pte.ppn << PAGE_SHIFT, 8) == bytes(8)
+
+
+def test_malloc_cycle_model_scales_with_pages(os_: CSOperatingSystem):
+    proc = os_.create_process("app")
+    _, small = os_.malloc(proc, PAGE_SIZE)
+    _, large = os_.malloc(proc, 64 * PAGE_SIZE)
+    assert large > small
+
+
+def test_free_unmaps_and_recycles(os_: CSOperatingSystem):
+    proc = os_.create_process("app")
+    vaddr, _ = os_.malloc(proc, 2 * PAGE_SIZE)
+    before = os_.free_frame_count()
+    cycles = os_.free(proc, vaddr)
+    assert cycles > 0
+    assert os_.free_frame_count() == before + 2
+    assert proc.table.lookup(vaddr >> PAGE_SHIFT) is None
+
+
+def test_free_unknown_region(os_: CSOperatingSystem):
+    proc = os_.create_process("app")
+    with pytest.raises(ValueError):
+        os_.free(proc, 0xDEAD000)
+
+
+def test_swap_log(os_: CSOperatingSystem):
+    frames = os_.alloc_frames(3)
+    os_.record_swap_result("victim-hint", frames)
+    assert os_.swap_log[-1].frames == tuple(frames)

@@ -1,0 +1,85 @@
+"""Merkle tree: roots, proofs, updates."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleTree
+
+
+def leaves(n: int) -> list[bytes]:
+    return [bytes([i]) * 32 for i in range(n)]
+
+
+def test_single_leaf():
+    tree = MerkleTree(leaves(1))
+    proof = tree.prove(0)
+    assert proof.steps == ()
+    assert MerkleTree.verify(tree.root, leaves(1)[0], proof)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_root_changes_with_content():
+    assert MerkleTree(leaves(4)).root != MerkleTree(leaves(5)[1:]).root
+
+
+def test_root_changes_with_order():
+    data = leaves(4)
+    assert MerkleTree(data).root != MerkleTree(list(reversed(data))).root
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8, 9, 16, 33])
+def test_all_proofs_verify(n: int):
+    data = leaves(n)
+    tree = MerkleTree(data)
+    for i in range(n):
+        assert MerkleTree.verify(tree.root, data[i], tree.prove(i)), (n, i)
+
+
+def test_proof_rejects_wrong_leaf():
+    data = leaves(8)
+    tree = MerkleTree(data)
+    proof = tree.prove(3)
+    assert not MerkleTree.verify(tree.root, b"tampered" * 4, proof)
+
+
+def test_proof_rejects_wrong_position():
+    data = leaves(8)
+    tree = MerkleTree(data)
+    assert not MerkleTree.verify(tree.root, data[2], tree.prove(3))
+
+
+def test_out_of_range():
+    tree = MerkleTree(leaves(4))
+    with pytest.raises(IndexError):
+        tree.prove(4)
+    with pytest.raises(IndexError):
+        tree.update(7, b"x")
+
+
+def test_update_matches_rebuild():
+    data = leaves(9)
+    tree = MerkleTree(data)
+    data[5] = b"new content" * 3
+    tree.update(5, data[5])
+    assert tree.root == MerkleTree(data).root
+    assert MerkleTree.verify(tree.root, data[5], tree.prove(5))
+
+
+@given(n=st.integers(min_value=1, max_value=24),
+       index=st.integers(min_value=0, max_value=23),
+       payload=st.binary(min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_update_property(n: int, index: int, payload: bytes):
+    index %= n
+    data = leaves(n)
+    tree = MerkleTree(data)
+    data[index] = payload
+    tree.update(index, payload)
+    assert tree.root == MerkleTree(data).root

@@ -1,0 +1,68 @@
+"""CVM migration between two platforms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.core.config import SystemConfig
+from repro.core.system import HyperTEESystem
+from repro.cvm.image import VMOwner
+from repro.cvm.migration import _unwrap, _wrap, migrate
+from repro.cvm.manager import SnapshotSecrets
+from repro.errors import AttestationError
+
+VM_CONTENT = b"vm to be migrated across hosts " * 260
+
+
+def make_platform(seed: int) -> HyperTEESystem:
+    return HyperTEESystem(SystemConfig(cs_memory_mb=64, ems_memory_mb=4,
+                                       seed=seed))
+
+
+def deploy(sys_: HyperTEESystem) -> int:
+    owner = VMOwner("tenant",
+                    DeterministicRng(7).stream("owner").randbytes)
+    image = owner.build_image("vm", VM_CONTENT)
+    pub = owner.challenge()
+    ems_public, cert = sys_.cvm.platform_challenge(pub)
+    wrapped = owner.release_key("vm", sys_.certificate_authority(),
+                                ems_public, cert)
+    return sys_.cvm.cvm_create(image, wrapped, pub)
+
+
+def test_migration_moves_state():
+    source, dest = make_platform(1), make_platform(2)
+    cvm_id = deploy(source)
+    source.cvm.guest_write(cvm_id, 0x400, b"live migration payload")
+
+    new_id = migrate(source, dest, cvm_id)
+
+    assert dest.cvm.guest_read(new_id, 0x400, 22) == b"live migration payload"
+    assert dest.cvm.guest_read(new_id, 0, 16) == VM_CONTENT[:16]
+    # The source copy is gone.
+    assert source.cvm.cvms[cvm_id].state == "destroyed"
+
+
+def test_migrated_cvm_uses_destination_keys():
+    source, dest = make_platform(3), make_platform(4)
+    cvm_id = deploy(source)
+    new_id = migrate(source, dest, cvm_id)
+    control = dest.cvm.cvms[new_id]
+    assert dest.engine.has_key(control.keyid)
+
+
+def test_secrets_wrap_roundtrip_and_tamper():
+    secrets = SnapshotSecrets(key=b"k" * 32, merkle_root=b"r" * 32)
+    sealed = _wrap(b"c" * 32, secrets)
+    assert _unwrap(b"c" * 32, sealed) == secrets
+    with pytest.raises(AttestationError):
+        _unwrap(b"x" * 32, sealed)  # wrong channel key
+
+
+def test_measurement_preserved_across_migration():
+    source, dest = make_platform(5), make_platform(6)
+    cvm_id = deploy(source)
+    measurement = source.cvm.cvms[cvm_id].measurement
+    new_id = migrate(source, dest, cvm_id)
+    assert dest.cvm.cvms[new_id].measurement == measurement

@@ -1,0 +1,64 @@
+"""Secure boot chain: verification, tamper detection, encryption at rest."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ems.boot import EMCALL_IMAGE, RUNTIME_IMAGE, provision, secure_boot
+from repro.errors import SecureBootError
+from repro.hw.devices import EEPROM, EFuse, PrivateFlash
+
+RUNTIME = b"ems-runtime-image" * 10
+EMCALL = b"emcall-firmware" * 10
+
+
+@pytest.fixture
+def provisioned():
+    fuse = EFuse()
+    fuse.burn("EK", b"E" * 32)
+    fuse.burn("SK", b"S" * 32)
+    flash, eeprom = PrivateFlash(), EEPROM()
+    provision(fuse, flash, eeprom, RUNTIME, EMCALL)
+    return fuse, flash, eeprom
+
+
+def test_clean_boot(provisioned):
+    report = secure_boot(*provisioned)
+    assert report.runtime_image == RUNTIME
+    assert report.emcall_image == EMCALL
+    assert len(report.platform_measurement) == 32
+
+
+def test_flash_stores_ciphertext(provisioned):
+    _, flash, _ = provisioned
+    assert RUNTIME not in flash.load(RUNTIME_IMAGE)
+    assert EMCALL not in flash.load(EMCALL_IMAGE)
+
+
+def test_tampered_runtime_refused(provisioned):
+    fuse, flash, eeprom = provisioned
+    flash.tamper(RUNTIME_IMAGE, 5, 0xAA)
+    with pytest.raises(SecureBootError, match="Runtime"):
+        secure_boot(fuse, flash, eeprom)
+
+
+def test_tampered_emcall_refused(provisioned):
+    fuse, flash, eeprom = provisioned
+    flash.tamper(EMCALL_IMAGE, 5, 0xAA)
+    with pytest.raises(SecureBootError, match="EMCall"):
+        secure_boot(fuse, flash, eeprom)
+
+
+def test_swapped_golden_hash_refused(provisioned):
+    fuse, flash, eeprom = provisioned
+    eeprom.write("runtime-hash", b"\x00" * 32)
+    with pytest.raises(SecureBootError):
+        secure_boot(fuse, flash, eeprom)
+
+
+def test_platform_measurement_tracks_tcb(provisioned):
+    fuse, flash, eeprom = provisioned
+    baseline = secure_boot(fuse, flash, eeprom).platform_measurement
+    provision(fuse, flash, eeprom, RUNTIME + b"-v2", EMCALL)
+    updated = secure_boot(fuse, flash, eeprom).platform_measurement
+    assert updated != baseline

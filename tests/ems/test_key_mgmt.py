@@ -1,0 +1,71 @@
+"""Key manager: KeyID table, derivations, erasure, rotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.rng import DeterministicRng
+from repro.ems.key_mgmt import KeyManager
+from repro.errors import KeySlotExhausted
+from repro.hw.devices import EFuse
+from repro.hw.encryption_engine import MemoryEncryptionEngine
+
+
+@pytest.fixture
+def keys() -> KeyManager:
+    fuse = EFuse()
+    fuse.burn("EK", b"E" * 32)
+    fuse.burn("SK", b"S" * 32)
+    return KeyManager(fuse, MemoryEncryptionEngine(key_slots=4),
+                      DeterministicRng(1))
+
+
+def test_allocate_and_release(keys: KeyManager):
+    keyid = keys.allocate_keyid(b"k" * 32)
+    assert keyid in keys.live_keyids()
+    keys.release_keyid(keyid)
+    assert keyid not in keys.live_keyids()
+
+
+def test_keyids_are_unique(keys: KeyManager):
+    ids = {keys.allocate_keyid(bytes([i]) * 32) for i in range(3)}
+    assert len(ids) == 3
+
+
+def test_exhaustion_propagates(keys: KeyManager):
+    for i in range(4):
+        keys.allocate_keyid(bytes([i]) * 32)
+    with pytest.raises(KeySlotExhausted):
+        keys.allocate_keyid(b"x" * 32)
+
+
+def test_reprogram_keeps_number(keys: KeyManager):
+    keyid = keys.allocate_keyid(b"k" * 32)
+    keys.release_keyid(keyid)
+    keys.reprogram_keyid(keyid, b"k" * 32)
+    assert keyid in keys.live_keyids()
+
+
+def test_attestation_key_stable_until_rotated(keys: KeyManager):
+    first = keys.attestation_key()
+    assert keys.attestation_key() == first
+    keys.rotate_attestation_key()
+    assert keys.attestation_key() != first
+
+
+def test_derivations_separated(keys: KeyManager):
+    m = b"m" * 32
+    assert keys.enclave_memory_key(m) != keys.sealing_key(m)
+    assert keys.report_key(m) != keys.sealing_key(m)
+    assert keys.shared_memory_key(1, 1) != keys.enclave_memory_key(m)
+
+
+def test_platform_key_from_ek(keys: KeyManager):
+    other_fuse = EFuse()
+    other_fuse.burn("EK", b"X" * 32)
+    other_fuse.burn("SK", b"S" * 32)
+    other = KeyManager(other_fuse, MemoryEncryptionEngine(),
+                       DeterministicRng(1))
+    assert keys.platform_signing_key() != other.platform_signing_key()
+    # SK-rooted keys unchanged when only EK differs.
+    assert keys.sealing_key(b"m") == other.sealing_key(b"m")

@@ -1,0 +1,161 @@
+"""Enclave lifecycle: state machine, static allocation, teardown,
+KeyID-slot exhaustion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import EnclaveState
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.core.system import HyperTEESystem
+from repro.errors import EnclaveStateError, SanityCheckError
+
+
+@pytest.fixture
+def sys_() -> HyperTEESystem:
+    return HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4))
+
+
+def create(sys_: HyperTEESystem, **kwargs) -> int:
+    result, _, _ = sys_.enclaves.ecreate(EnclaveConfig(**kwargs))
+    return result["enclave_id"]
+
+
+def test_ecreate_static_allocation(sys_: HyperTEESystem):
+    enclave_id = create(sys_, name="e", code_pages=2, stack_pages=3)
+    control = sys_.enclaves.get(enclave_id)
+    assert control.state is EnclaveState.CREATED
+    # Stack is mapped at create; table frames + stack frames owned.
+    assert len(control.frames) >= 3
+    assert control.keyid > 0
+    assert sys_.engine.has_key(control.keyid)
+
+
+def test_eadd_respects_declared_code_pages(sys_: HyperTEESystem):
+    enclave_id = create(sys_, code_pages=1)
+    sys_.enclaves.eadd(enclave_id, b"code")
+    with pytest.raises(SanityCheckError):
+        sys_.enclaves.eadd(enclave_id, b"more")
+
+
+def test_eadd_oversized_content(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    with pytest.raises(SanityCheckError):
+        sys_.enclaves.eadd(enclave_id, b"x" * (PAGE_SIZE + 1))
+
+
+def test_eadd_content_encrypted_in_memory(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    sys_.enclaves.eadd(enclave_id, b"SECRET-CODE-PAGE")
+    control = sys_.enclaves.get(enclave_id)
+    frame = control.frames[-1]
+    raw = sys_.memory.read_raw(frame * PAGE_SIZE, 16)
+    assert raw != b"SECRET-CODE-PAGE"
+
+
+def test_state_machine_happy_path(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    sys_.enclaves.eadd(enclave_id, b"code")
+    sys_.enclaves.emeas(enclave_id)
+    control = sys_.enclaves.get(enclave_id)
+    assert control.state is EnclaveState.MEASURED
+    assert control.measurement is not None
+    sys_.enclaves.eenter(enclave_id)
+    assert control.state is EnclaveState.RUNNING
+    sys_.enclaves.eexit(enclave_id)
+    assert control.state is EnclaveState.SUSPENDED
+    sys_.enclaves.eresume(enclave_id)
+    assert control.state is EnclaveState.RUNNING
+
+
+def test_measurement_depends_on_content(sys_: HyperTEESystem):
+    a = create(sys_)
+    sys_.enclaves.eadd(a, b"image-one")
+    result_a, _, _ = sys_.enclaves.emeas(a)
+    b = create(sys_)
+    sys_.enclaves.eadd(b, b"image-two")
+    result_b, _, _ = sys_.enclaves.emeas(b)
+    assert result_a["measurement"] != result_b["measurement"]
+
+
+def test_eenter_requires_measured(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    with pytest.raises(EnclaveStateError):
+        sys_.enclaves.eenter(enclave_id)
+
+
+def test_eadd_after_measure_rejected(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    sys_.enclaves.eadd(enclave_id, b"code")
+    sys_.enclaves.emeas(enclave_id)
+    with pytest.raises(EnclaveStateError):
+        sys_.enclaves.eadd(enclave_id, b"late")
+
+
+def test_eresume_requires_suspended(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    sys_.enclaves.eadd(enclave_id, b"code")
+    sys_.enclaves.emeas(enclave_id)
+    with pytest.raises(EnclaveStateError):
+        sys_.enclaves.eresume(enclave_id)
+
+
+def test_destroy_running_rejected(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    sys_.enclaves.eadd(enclave_id, b"code")
+    sys_.enclaves.emeas(enclave_id)
+    sys_.enclaves.eenter(enclave_id)
+    with pytest.raises(EnclaveStateError):
+        sys_.enclaves.edestroy(enclave_id)
+
+
+def test_destroy_reclaims_everything(sys_: HyperTEESystem):
+    enclave_id = create(sys_)
+    sys_.enclaves.eadd(enclave_id, b"code")
+    control = sys_.enclaves.get(enclave_id)
+    keyid = control.keyid
+    frames = list(control.frames)
+    pool_free_before = sys_.pool.free_count
+    sys_.enclaves.edestroy(enclave_id)
+    assert control.state is EnclaveState.DESTROYED
+    assert not sys_.engine.has_key(keyid)
+    assert sys_.pool.free_count >= pool_free_before + len(frames)
+    # Frames were zeroed on the way back to the pool.
+    for frame in frames:
+        assert sys_.memory.read_raw(frame * PAGE_SIZE, 64) == bytes(64)
+    with pytest.raises(EnclaveStateError):
+        sys_.enclaves.get(enclave_id)
+
+
+def test_unknown_enclave_rejected(sys_: HyperTEESystem):
+    with pytest.raises(SanityCheckError):
+        sys_.enclaves.get(9999)
+    with pytest.raises(SanityCheckError):
+        sys_.enclaves.get(None)
+
+
+def test_keyid_exhaustion_suspends_and_recovers():
+    """Section IV-C: on KeyID exhaustion the EMS suspends an enclave to
+    free a slot; the suspended enclave gets its own slot number back on
+    resume."""
+    sys_ = HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4))
+    sys_.engine.key_slots = sys_.engine.slots_in_use() + 2
+
+    first_id = None
+    ids = []
+    for i in range(3):  # one more than the remaining slots
+        result, _, _ = sys_.enclaves.ecreate(EnclaveConfig(name=f"e{i}"))
+        ids.append(result["enclave_id"])
+        if first_id is None:
+            first_id = result["enclave_id"]
+
+    first = sys_.enclaves.get(first_id)
+    assert not sys_.engine.has_key(first.keyid)  # its slot was reclaimed
+
+    # Bring it back: needs a slot again, evicting someone else.
+    sys_.enclaves.eadd(first_id, b"code")
+    sys_.enclaves.emeas(first_id)
+    sys_.enclaves.eenter(first_id)
+    assert sys_.engine.has_key(first.keyid)

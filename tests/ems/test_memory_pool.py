@@ -1,0 +1,120 @@
+"""Enclave memory pool: refills, thresholds, bitmap handling, EWB."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.cs.os import CSOperatingSystem
+from repro.ems.memory_pool import EnclaveMemoryPool
+from repro.hw.bitmap import EnclaveBitmap
+from repro.hw.memory import PhysicalMemory
+
+
+def make_pool(initial: int = 64, with_bitmap: bool = True, seed: int = 1):
+    memory = PhysicalMemory(32 * 1024 * 1024)
+    os_ = CSOperatingSystem(memory, first_free_frame=16)
+    bitmap = EnclaveBitmap(memory, base_paddr=0) if with_bitmap else None
+    pool = EnclaveMemoryPool(os_, memory, DeterministicRng(seed),
+                             bitmap=bitmap, initial_pages=initial,
+                             enlarge_pages=32)
+    return pool, os_, bitmap, memory
+
+
+def test_initial_refill_logged_as_pool():
+    pool, os_, _, _ = make_pool()
+    assert pool.capacity == 64
+    assert os_.allocation_log[-1].requestor == "ems-pool"
+
+
+def test_take_is_invisible_to_os():
+    """Taking frames for an enclave adds no OS allocation event."""
+    pool, os_, _, _ = make_pool()
+    events_before = len(os_.allocation_log)
+    pool.take(8)
+    assert len(os_.allocation_log) == events_before
+
+
+def test_take_validates_count():
+    pool, _, _, _ = make_pool()
+    with pytest.raises(ValueError):
+        pool.take(0)
+
+
+def test_refill_when_short():
+    pool, os_, _, _ = make_pool(initial=16)
+    pool.take(40)  # more than the pool holds -> bulk refill happens
+    assert pool.capacity >= 40
+    assert all(e.requestor == "ems-pool" for e in os_.allocation_log)
+
+
+def test_threshold_rerandomized_on_enlarge():
+    pool, _, _, _ = make_pool(initial=16)
+    thresholds = set()
+    for _ in range(6):
+        pool.take(12)
+        thresholds.add(pool._threshold)
+    assert len(thresholds) > 1  # the trigger moves (anti-inference)
+
+
+def test_pool_frames_are_bitmap_marked():
+    pool, _, bitmap, _ = make_pool()
+    frames = pool.take(4)
+    pool.drain_flush_list()
+    for frame in frames:
+        assert bitmap.is_enclave(frame)
+
+
+def test_give_back_zeroes_and_stays_marked():
+    pool, _, bitmap, memory = make_pool()
+    frames = pool.take(2)
+    memory.write_raw(frames[0] * 4096, b"leftover-secret")
+    pool.give_back(frames)
+    assert memory.read_raw(frames[0] * 4096, 15) == bytes(15)
+    assert bitmap.is_enclave(frames[0])  # still pool = still enclave
+
+
+def test_surrender_random_clears_bitmap_and_zeroes():
+    pool, _, bitmap, memory = make_pool()
+    surrendered = pool.surrender_random(5)
+    assert len(surrendered) == 5
+    for frame in surrendered:
+        assert not bitmap.is_enclave(frame)
+        assert memory.read_raw(frame * 4096, 64) == bytes(64)
+    assert frozenset(surrendered) & frozenset(pool._free) == frozenset()
+
+
+def test_surrender_bounded_by_free():
+    pool, _, _, _ = make_pool(initial=16)
+    assert len(pool.surrender_random(100)) <= 16
+
+
+def test_take_contiguous():
+    pool, _, _, _ = make_pool()
+    frames = pool.take_contiguous(8)
+    assert frames == list(range(frames[0], frames[0] + 8))
+
+
+def test_take_contiguous_after_fragmentation():
+    pool, _, _, _ = make_pool(initial=32)
+    taken = pool.take(16)
+    pool.give_back(taken[::2])  # return every other frame: fragmented
+    frames = pool.take_contiguous(12)
+    assert frames == list(range(frames[0], frames[0] + 12))
+
+
+@given(takes=st.lists(st.integers(min_value=1, max_value=20),
+                      min_size=1, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_conservation_property(takes: list[int]):
+    """used + free == capacity, always; no frame handed out twice."""
+    pool, _, _, _ = make_pool(initial=32)
+    handed: list[int] = []
+    for n in takes:
+        handed.extend(pool.take(n))
+    assert len(set(handed)) == len(handed)
+    assert pool.used_count + pool.free_count == pool.capacity
+    pool.give_back(handed)
+    assert pool.used_count == 0

@@ -1,0 +1,92 @@
+"""Page ownership table: exclusive claims, releases, queries."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ems.ownership import Owner, OwnerKind, PageOwnershipTable
+from repro.errors import OwnershipError
+
+
+def test_claim_and_query():
+    table = PageOwnershipTable()
+    table.claim(10, Owner.enclave(1))
+    assert table.owner_of(10) == Owner.enclave(1)
+    assert table.owner_of(11) is None
+
+
+def test_conflicting_claim_rejected():
+    """The anti-double-mapping check of Section IV-B."""
+    table = PageOwnershipTable()
+    table.claim(10, Owner.enclave(1))
+    with pytest.raises(OwnershipError):
+        table.claim(10, Owner.enclave(2))
+    with pytest.raises(OwnershipError):
+        table.claim(10, Owner.shared(5))
+
+
+def test_idempotent_reclaim_by_same_owner():
+    table = PageOwnershipTable()
+    table.claim(10, Owner.enclave(1))
+    table.claim(10, Owner.enclave(1))  # no error
+
+
+def test_claim_all_is_atomic():
+    """A conflict mid-batch must leave no partial claims behind."""
+    table = PageOwnershipTable()
+    table.claim(12, Owner.enclave(2))
+    with pytest.raises(OwnershipError):
+        table.claim_all([10, 11, 12], Owner.enclave(1))
+    assert table.owner_of(10) is None
+    assert table.owner_of(11) is None
+
+
+def test_release_requires_owner():
+    table = PageOwnershipTable()
+    table.claim(10, Owner.enclave(1))
+    with pytest.raises(OwnershipError):
+        table.release(10, Owner.enclave(2))
+    table.release(10, Owner.enclave(1))
+    assert table.owner_of(10) is None
+    table.release(10, Owner.enclave(1))  # releasing unowned is a no-op
+
+
+def test_frames_owned_by():
+    table = PageOwnershipTable()
+    table.claim_all([1, 2, 3], Owner.enclave(1))
+    table.claim(4, Owner.shared(9))
+    assert sorted(table.frames_owned_by(Owner.enclave(1))) == [1, 2, 3]
+    assert table.frames_owned_by(Owner.shared(9)) == [4]
+
+
+def test_verify_unowned():
+    table = PageOwnershipTable()
+    table.claim(5, Owner.peripheral("nic"))
+    table.verify_unowned([1, 2, 3])
+    with pytest.raises(OwnershipError):
+        table.verify_unowned([4, 5])
+
+
+def test_owner_kinds_distinct():
+    assert Owner.enclave(1) != Owner.shared(1)
+    assert Owner.ems().kind is OwnerKind.EMS
+
+
+@given(claims=st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50),
+              st.integers(min_value=1, max_value=5)),
+    min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_exclusivity_property(claims: list[tuple[int, int]]):
+    """However claims interleave, a frame never has two owners."""
+    table = PageOwnershipTable()
+    recorded: dict[int, int] = {}
+    for frame, enclave in claims:
+        try:
+            table.claim(frame, Owner.enclave(enclave))
+            recorded.setdefault(frame, enclave)
+            assert recorded[frame] == enclave
+        except OwnershipError:
+            assert frame in recorded and recorded[frame] != enclave

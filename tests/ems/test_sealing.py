@@ -1,0 +1,75 @@
+"""Data sealing: measurement + device binding, authentication."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRng
+from repro.ems.key_mgmt import KeyManager
+from repro.ems.sealing import SealingService
+from repro.errors import SealingError
+from repro.hw.devices import EFuse
+from repro.hw.encryption_engine import MemoryEncryptionEngine
+
+
+def make_service(sk: bytes = b"S" * 32, seed: int = 1) -> SealingService:
+    fuse = EFuse()
+    fuse.burn("EK", b"E" * 32)
+    fuse.burn("SK", sk)
+    keys = KeyManager(fuse, MemoryEncryptionEngine(), DeterministicRng(seed))
+    return SealingService(keys, DeterministicRng(seed))
+
+
+def test_roundtrip():
+    service = make_service()
+    blob = service.seal(b"m" * 32, b"persistent secret")
+    assert service.unseal(b"m" * 32, blob) == b"persistent secret"
+
+
+def test_ciphertext_hides_plaintext():
+    service = make_service()
+    blob = service.seal(b"m" * 32, b"persistent secret")
+    assert b"persistent secret" not in blob.ciphertext
+
+
+def test_wrong_measurement_rejected():
+    """Only the same enclave identity can unseal."""
+    service = make_service()
+    blob = service.seal(b"m" * 32, b"secret")
+    with pytest.raises(SealingError):
+        service.unseal(b"x" * 32, blob)
+
+
+def test_wrong_device_rejected():
+    """Only the same physical device (SK) can unseal."""
+    blob = make_service(sk=b"S" * 32).seal(b"m" * 32, b"secret")
+    with pytest.raises(SealingError):
+        make_service(sk=b"T" * 32).unseal(b"m" * 32, blob)
+
+
+def test_tampered_blob_rejected():
+    service = make_service()
+    blob = service.seal(b"m" * 32, b"secret")
+    tampered = dataclasses.replace(
+        blob, ciphertext=bytes([blob.ciphertext[0] ^ 1]) + blob.ciphertext[1:])
+    with pytest.raises(SealingError):
+        service.unseal(b"m" * 32, tampered)
+
+
+def test_nonces_differ_across_seals():
+    service = make_service()
+    a = service.seal(b"m" * 32, b"same data")
+    b = service.seal(b"m" * 32, b"same data")
+    assert a.nonce != b.nonce
+    assert a.ciphertext != b.ciphertext
+
+
+@given(st.binary(min_size=0, max_size=512))
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(data: bytes):
+    service = make_service()
+    assert service.unseal(b"m" * 32, service.seal(b"m" * 32, data)) == data

@@ -1,0 +1,178 @@
+"""Shared-memory management: keys, legal connections, permissions,
+destroy rules, device grants (paper Section V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import Permission
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.core.system import HyperTEESystem
+from repro.errors import (
+    ActiveConnectionsRemain,
+    ConnectionNotAuthorized,
+    NotRegionOwner,
+    SanityCheckError,
+    SharedMemoryError,
+)
+
+
+@pytest.fixture
+def sys_() -> HyperTEESystem:
+    return HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4))
+
+
+def make_enclave(sys_: HyperTEESystem, name: str) -> int:
+    result, _, _ = sys_.enclaves.ecreate(EnclaveConfig(name=name))
+    enclave_id = result["enclave_id"]
+    sys_.enclaves.eadd(enclave_id, name.encode())
+    sys_.enclaves.emeas(enclave_id)
+    return enclave_id
+
+
+@pytest.fixture
+def pair(sys_: HyperTEESystem) -> tuple[int, int]:
+    return make_enclave(sys_, "sender"), make_enclave(sys_, "receiver")
+
+
+def test_eshmget_creates_region(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    result, _, _ = sys_.shm.eshmget(sender, 4)
+    region = sys_.shm.regions[result["shm_id"]]
+    assert region.owner_enclave_id == sender
+    assert len(region.frames) == 4
+    # Contiguous frames (DMA requirement).
+    assert region.frames == list(range(region.frames[0], region.frames[0] + 4))
+    assert sys_.engine.has_key(region.keyid)
+
+
+def test_region_key_is_dedicated(sys_: HyperTEESystem, pair):
+    """Shared keys are separate from every private memory key (V-A)."""
+    sender, _ = pair
+    result, _, _ = sys_.shm.eshmget(sender, 1)
+    region = sys_.shm.regions[result["shm_id"]]
+    sender_control = sys_.enclaves.get(sender)
+    assert region.keyid != sender_control.keyid
+    assert region.key != sender_control.memory_key
+
+
+def test_budget_and_count_sanity(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    with pytest.raises(SanityCheckError):
+        sys_.shm.eshmget(sender, 0)
+    with pytest.raises(SanityCheckError):
+        sys_.shm.eshmget(sender, 10_000)  # beyond shared_pages_max
+
+
+def test_unauthorized_attach_rejected(sys_: HyperTEESystem, pair):
+    """The anti-brute-force rule: guessing a ShmID achieves nothing."""
+    sender, receiver = pair
+    result, _, _ = sys_.shm.eshmget(sender, 2)
+    with pytest.raises(ConnectionNotAuthorized):
+        sys_.shm.eshmat(receiver, result["shm_id"])
+
+
+def test_share_then_attach(sys_: HyperTEESystem, pair):
+    sender, receiver = pair
+    shm_id = sys_.shm.eshmget(sender, 2)[0]["shm_id"]
+    sys_.shm.eshmshr(sender, shm_id, receiver, Permission.RW)
+    attach = sys_.shm.eshmat(receiver, shm_id)[0]
+    receiver_control = sys_.enclaves.get(receiver)
+    region = sys_.shm.regions[shm_id]
+    pte = receiver_control.page_table.lookup(attach["vaddr"] >> 12)
+    assert pte is not None and pte.keyid == region.keyid
+
+
+def test_only_owner_authorizes(sys_: HyperTEESystem, pair):
+    sender, receiver = pair
+    third = make_enclave(sys_, "third")
+    shm_id = sys_.shm.eshmget(sender, 1)[0]["shm_id"]
+    with pytest.raises(NotRegionOwner):
+        sys_.shm.eshmshr(receiver, shm_id, third, Permission.READ)
+
+
+def test_granted_permission_capped_by_max(sys_: HyperTEESystem, pair):
+    sender, receiver = pair
+    shm_id = sys_.shm.eshmget(sender, 1, Permission.READ)[0]["shm_id"]
+    with pytest.raises(SharedMemoryError):
+        sys_.shm.eshmshr(sender, shm_id, receiver, Permission.RW)
+
+
+def test_readonly_receiver_mapping(sys_: HyperTEESystem, pair):
+    """Permission check against unprivileged tampering (V-C)."""
+    sender, receiver = pair
+    shm_id = sys_.shm.eshmget(sender, 1, Permission.RW)[0]["shm_id"]
+    sys_.shm.eshmshr(sender, shm_id, receiver, Permission.READ)
+    attach = sys_.shm.eshmat(receiver, shm_id)[0]
+    pte = sys_.enclaves.get(receiver).page_table.lookup(attach["vaddr"] >> 12)
+    assert pte.perm == Permission.READ
+
+
+def test_double_attach_rejected(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    shm_id = sys_.shm.eshmget(sender, 1)[0]["shm_id"]
+    sys_.shm.eshmat(sender, shm_id)
+    with pytest.raises(SharedMemoryError):
+        sys_.shm.eshmat(sender, shm_id)
+
+
+def test_detach(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    shm_id = sys_.shm.eshmget(sender, 2)[0]["shm_id"]
+    vaddr = sys_.shm.eshmat(sender, shm_id)[0]["vaddr"]
+    sys_.shm.eshmdt(sender, shm_id)
+    assert sys_.enclaves.get(sender).page_table.lookup(vaddr >> 12) is None
+    with pytest.raises(SharedMemoryError):
+        sys_.shm.eshmdt(sender, shm_id)  # not attached anymore
+
+
+def test_destroy_rules(sys_: HyperTEESystem, pair):
+    """Identity + active-connection checks against malicious release."""
+    sender, receiver = pair
+    shm_id = sys_.shm.eshmget(sender, 1)[0]["shm_id"]
+    sys_.shm.eshmshr(sender, shm_id, receiver, Permission.RW)
+    sys_.shm.eshmat(receiver, shm_id)
+
+    with pytest.raises(NotRegionOwner):
+        sys_.shm.eshmdes(receiver, shm_id)      # not the initial sender
+    with pytest.raises(ActiveConnectionsRemain):
+        sys_.shm.eshmdes(sender, shm_id)        # receiver still attached
+
+    sys_.shm.eshmdt(receiver, shm_id)
+    keyid = sys_.shm.regions[shm_id].keyid
+    sys_.shm.eshmdes(sender, shm_id)
+    assert shm_id not in sys_.shm.regions
+    assert not sys_.engine.has_key(keyid)
+
+
+def test_device_grant_configures_whitelist(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    shm_id = sys_.shm.eshmget(sender, 2)[0]["shm_id"]
+    sys_.shm.grant_device(sender, shm_id, "gemmini", Permission.RW)
+    region = sys_.shm.regions[shm_id]
+    entries = sys_.ihub.dma_whitelist_for("gemmini")
+    assert len(entries) == 1
+    assert entries[0].base == region.base_paddr
+    assert entries[0].size == region.size_bytes
+
+
+def test_device_grant_requires_access(sys_: HyperTEESystem, pair):
+    sender, receiver = pair
+    shm_id = sys_.shm.eshmget(sender, 1)[0]["shm_id"]
+    with pytest.raises(ConnectionNotAuthorized):
+        sys_.shm.grant_device(receiver, shm_id, "gemmini", Permission.READ)
+
+
+def test_destroy_clears_device_whitelist(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    shm_id = sys_.shm.eshmget(sender, 1)[0]["shm_id"]
+    sys_.shm.grant_device(sender, shm_id, "gemmini", Permission.RW)
+    sys_.shm.eshmdes(sender, shm_id)
+    assert sys_.ihub.dma_whitelist_for("gemmini") == []
+
+
+def test_unknown_region(sys_: HyperTEESystem, pair):
+    sender, _ = pair
+    with pytest.raises(SharedMemoryError):
+        sys_.shm.eshmat(sender, 999)

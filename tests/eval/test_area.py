@@ -1,0 +1,45 @@
+"""Table V area model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.area import (
+    TABLE5_CS_AREA,
+    TABLE5_OVERHEAD_PCT,
+    cs_area_mm2,
+    ems_area_mm2,
+    ems_core_mm2,
+    table5_rows,
+)
+from repro.hw.core import EMS_MEDIUM, EMS_WEAK
+
+
+def test_cs_area_matches_published_points():
+    for cores, published in TABLE5_CS_AREA.items():
+        assert cs_area_mm2(cores) == pytest.approx(published, rel=0.01)
+
+
+def test_medium_core_bigger_than_weak():
+    assert ems_core_mm2(EMS_MEDIUM) > 3 * ems_core_mm2(EMS_WEAK)
+
+
+def test_ems_area_includes_crypto_engine():
+    assert ems_area_mm2(1, "weak") > ems_core_mm2(EMS_WEAK) + 0.19
+
+
+def test_overheads_match_table5():
+    for row in table5_rows():
+        published = TABLE5_OVERHEAD_PCT[row.cs_cores]
+        assert row.overhead_pct == pytest.approx(published, abs=0.06), \
+            f"{row.cs_cores} cores"
+
+
+def test_overhead_below_one_percent_everywhere():
+    """The paper's headline claim: EMS < 1% of the SoC at every size."""
+    assert all(row.overhead_pct <= 1.0 for row in table5_rows())
+
+
+def test_biggest_soc_has_smallest_relative_cost():
+    rows = {row.cs_cores: row.overhead_pct for row in table5_rows()}
+    assert rows[64] == min(rows.values())

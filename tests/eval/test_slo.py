@@ -1,0 +1,58 @@
+"""Fig. 6 queueing simulation properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.slo import ADEQUATE_EMS, SLO_FACTOR, meets_slo, simulate
+
+
+def test_simulation_produces_all_latencies():
+    result = simulate(cs_cores=4, ems_cores=1, ems_name="weak",
+                      requests_per_core=16)
+    assert len(result.latencies) == 4 * 16
+
+
+def test_deterministic_per_seed():
+    a = simulate(4, 1, "weak", requests_per_core=8, seed=3)
+    b = simulate(4, 1, "weak", requests_per_core=8, seed=3)
+    assert a.latencies == b.latencies
+
+
+def test_more_servers_never_hurt():
+    one = simulate(32, 1, "medium", requests_per_core=16)
+    two = simulate(32, 2, "medium", requests_per_core=16)
+    assert two.p99_factor() <= one.p99_factor()
+
+
+def test_more_load_never_helps():
+    small = simulate(8, 2, "medium", requests_per_core=16)
+    big = simulate(64, 2, "medium", requests_per_core=16)
+    assert big.p99_factor() >= small.p99_factor()
+
+
+def test_cdf_monotone():
+    result = simulate(16, 2, "weak", requests_per_core=16)
+    curve = result.cdf_curve([1, 2, 4, 8, 16])
+    fractions = [y for _, y in curve]
+    assert fractions == sorted(fractions)
+    assert 0.0 <= fractions[0] and fractions[-1] <= 1.0
+
+
+def test_paper_adequacy_conclusions():
+    """Section VII-B: the paper's recommended EMS per CS size meets the
+    SLO, and the next cheaper configuration for the big machines fails."""
+    for cs_cores, (ems_cores, ems_name) in ADEQUATE_EMS.items():
+        assert meets_slo(simulate(cs_cores, ems_cores, ems_name)), cs_cores
+    # A single medium core is NOT adequate for 64 CS cores.
+    assert not meets_slo(simulate(64, 1, "medium"))
+    # Dual weak is not adequate for 64 either.
+    assert not meets_slo(simulate(64, 2, "weak"))
+
+
+def test_dual_matches_quad_for_big_cs():
+    """The headline Fig. 6 observation: dual-OoO ~ quad-OoO at 64 cores."""
+    dual = simulate(64, 2, "medium")
+    quad = simulate(64, 4, "medium")
+    assert meets_slo(dual) and meets_slo(quad)
+    assert dual.fraction_within(SLO_FACTOR) >= 0.99

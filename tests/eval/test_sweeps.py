@@ -1,0 +1,30 @@
+"""Sensitivity-sweep machinery."""
+
+from __future__ import annotations
+
+import repro.cs.emcall as emcall_module
+import repro.eval.slo as slo_module
+from repro.eval.sweeps import jitter_sweep, pool_exposure_sweep, slo_load_sweep
+
+
+def test_pool_sweep_shape():
+    points = pool_exposure_sweep(demand_pages=512,
+                                 initial_sizes=(64, 512))
+    assert [p.initial_pages for p in points] == [64, 512]
+    assert all(p.refill_events >= 1 for p in points)
+    assert points[0].refill_events >= points[1].refill_events
+
+
+def test_slo_sweep_restores_think_time():
+    original = slo_module.SLO_THINK_TIME_SECONDS
+    points = slo_load_sweep(cs_cores=16, think_times=(20e-3, 5e-3))
+    assert slo_module.SLO_THINK_TIME_SECONDS == original
+    assert points[0].p99_factor <= points[1].p99_factor
+
+
+def test_jitter_sweep_restores_window():
+    original = emcall_module.EMCALL_POLL_JITTER_CYCLES
+    points = jitter_sweep(windows=(0, 100), samples=8)
+    assert emcall_module.EMCALL_POLL_JITTER_CYCLES == original
+    assert points[0].latency_spread == 0
+    assert points[1].latency_spread > 0

@@ -1,0 +1,37 @@
+"""TCB inventory (paper Section VIII-A)."""
+
+from __future__ import annotations
+
+from repro.eval.tcb import (
+    TCB_COMPONENTS,
+    UNTRUSTED_MODULES,
+    tcb_inventory,
+    tcb_total_lines,
+)
+
+
+def test_inventory_covers_every_component():
+    entries = tcb_inventory()
+    assert {e.component for e in entries} == set(TCB_COMPONENTS)
+    assert all(e.code_lines > 0 for e in entries)
+
+
+def test_core_runtime_stays_formally_verifiable_sized():
+    """The paper's EMS Runtime is 3843 LoC; verification frameworks
+    handle tens of thousands. Our equivalent (dispatch + managers) must
+    stay in that regime."""
+    core = next(e for e in tcb_inventory()
+                if e.component.startswith("EMS runtime"))
+    assert core.code_lines < 10_000
+    total = tcb_total_lines()
+    assert total < 20_000  # "codebases comprising tens of thousands"
+
+
+def test_untrusted_components_not_in_tcb():
+    """The OS, SDK, scheduler, attacks, and baselines are attacker-side;
+    they must never appear in a TCB component's module list."""
+    tcb_modules = {module for modules in TCB_COMPONENTS.values()
+                   for module in modules}
+    for untrusted in UNTRUSTED_MODULES:
+        assert not any(module.startswith(untrusted)
+                       for module in tcb_modules), untrusted

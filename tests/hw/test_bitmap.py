@@ -1,0 +1,78 @@
+"""Enclave bitmap: bit bookkeeping, self-protection, reader view."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import PAGE_SIZE
+from repro.hw.bitmap import BitmapReader, EnclaveBitmap
+from repro.hw.memory import PhysicalMemory
+
+
+@pytest.fixture
+def bitmap(plain_memory: PhysicalMemory) -> EnclaveBitmap:
+    return EnclaveBitmap(plain_memory, base_paddr=PAGE_SIZE)
+
+
+def test_base_must_be_page_aligned(plain_memory: PhysicalMemory):
+    with pytest.raises(ValueError):
+        EnclaveBitmap(plain_memory, base_paddr=100)
+
+
+def test_set_and_clear(bitmap: EnclaveBitmap):
+    assert not bitmap.is_enclave(100)
+    bitmap.set_enclave(100, True)
+    assert bitmap.is_enclave(100)
+    bitmap.set_enclave(100, False)
+    assert not bitmap.is_enclave(100)
+
+
+def test_self_protection(bitmap: EnclaveBitmap):
+    """The bitmap's own backing pages are marked as enclave memory."""
+    own_frame = bitmap.base_paddr // PAGE_SIZE
+    assert bitmap.is_enclave(own_frame)
+
+
+def test_out_of_range_frame(bitmap: EnclaveBitmap):
+    with pytest.raises(ValueError):
+        bitmap.is_enclave(bitmap.memory.num_frames)
+    with pytest.raises(ValueError):
+        bitmap.set_enclave(-1, True)
+
+
+def test_bits_are_independent(bitmap: EnclaveBitmap):
+    """Adjacent frames share a byte; updates must not clobber siblings."""
+    bitmap.set_enclave(40, True)
+    bitmap.set_enclave(41, True)
+    bitmap.set_enclave(40, False)
+    assert not bitmap.is_enclave(40)
+    assert bitmap.is_enclave(41)
+
+
+def test_reader_is_read_only(bitmap: EnclaveBitmap):
+    reader = BitmapReader(bitmap)
+    bitmap.set_enclave(7, True)
+    assert reader.is_enclave(7)
+    assert not hasattr(reader, "set_enclave")
+
+
+def test_bitmap_lives_in_real_memory(bitmap: EnclaveBitmap):
+    """The bit is a real byte at BM_BASE + frame/8 — Fig. 5's retrieve."""
+    bitmap.set_enclave(16, True)
+    byte = bitmap.memory.read_raw(bitmap.base_paddr + 2, 1)[0]
+    assert byte & 1
+
+
+@given(frames=st.lists(st.integers(min_value=64, max_value=500),
+                       unique=True, min_size=1, max_size=40))
+@settings(max_examples=30, deadline=None)
+def test_set_membership_property(frames: list[int]):
+    memory = PhysicalMemory(4 * 1024 * 1024)
+    bitmap = EnclaveBitmap(memory, base_paddr=0)
+    for frame in frames:
+        bitmap.set_enclave(frame, True)
+    marked = set(bitmap.enclave_frames())
+    protected = set(range((bitmap.size_bytes + PAGE_SIZE - 1) // PAGE_SIZE))
+    assert marked == set(frames) | protected

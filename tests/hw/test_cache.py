@@ -1,0 +1,69 @@
+"""Cache models: functional set-associative cache and the latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.cache import MemoryHierarchyModel, SetAssociativeCache
+
+
+def test_too_small_cache_rejected():
+    with pytest.raises(ValueError):
+        SetAssociativeCache(size_kb=0)
+
+
+def test_miss_then_hit():
+    cache = SetAssociativeCache(size_kb=4, ways=2)
+    assert not cache.access(0x1000)
+    assert cache.access(0x1000)
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+
+def test_same_line_different_bytes_hit():
+    cache = SetAssociativeCache(size_kb=4, ways=2)
+    cache.access(0x1000)
+    assert cache.access(0x1030)  # same 64B line
+
+
+def test_lru_eviction():
+    cache = SetAssociativeCache(size_kb=4, ways=2)  # 32 sets
+    stride = cache.num_sets * cache.line_size
+    cache.access(0)
+    cache.access(stride)
+    cache.access(0)              # 0 is MRU
+    cache.access(2 * stride)     # evicts `stride`
+    assert cache.contains(0)
+    assert not cache.contains(stride)
+    assert cache.stats.evictions == 1
+
+
+def test_contains_does_not_touch_lru():
+    cache = SetAssociativeCache(size_kb=4, ways=2)
+    stride = cache.num_sets * cache.line_size
+    cache.access(0)
+    cache.access(stride)
+    cache.contains(0)            # probe, not touch
+    cache.access(2 * stride)     # evicts 0 (still LRU)
+    assert not cache.contains(0)
+
+
+def test_flush():
+    cache = SetAssociativeCache(size_kb=4, ways=2)
+    cache.access(0x40)
+    cache.flush()
+    assert cache.resident_lines() == 0
+
+
+def test_hierarchy_latency_monotone_in_misses():
+    model = MemoryHierarchyModel()
+    assert (model.average_access_cycles(0.5, 0.8)
+            > model.average_access_cycles(0.1, 0.2))
+
+
+def test_encryption_adder_only_hits_dram_path():
+    base = MemoryHierarchyModel()
+    enc = base.with_encryption(5.7)
+    # No DRAM traffic -> no adder visible.
+    assert enc.average_access_cycles(0.0, 0.0) == base.average_access_cycles(0.0, 0.0)
+    # Heavy DRAM traffic -> adder visible.
+    assert enc.average_access_cycles(0.6, 0.9) > base.average_access_cycles(0.6, 0.9)

@@ -1,0 +1,47 @@
+"""Core configurations (Table III) and the cycle model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.core import (
+    CS_CORE,
+    EMS_CONFIGS,
+    EMS_MEDIUM,
+    EMS_STRONG,
+    EMS_WEAK,
+    ems_config,
+)
+
+
+def test_table3_structure():
+    assert EMS_WEAK.pipeline == "in-order" and EMS_WEAK.rob_entries == 0
+    assert EMS_MEDIUM.pipeline == "ooo" and EMS_MEDIUM.rob_entries == 96
+    assert EMS_STRONG.pipeline == "ooo" and EMS_STRONG.rob_entries == 128
+    assert CS_CORE.fetch_width == 8 and CS_CORE.l2_kb == 1024
+
+
+def test_frequencies():
+    """Section VII-E: CS at 2.5 GHz, EMS at 750 MHz."""
+    assert CS_CORE.freq_hz == 2.5e9
+    for config in EMS_CONFIGS.values():
+        assert config.freq_hz == 750e6
+
+
+def test_ipc_ordering():
+    assert EMS_WEAK.sustained_ipc < EMS_MEDIUM.sustained_ipc
+    assert EMS_MEDIUM.sustained_ipc < EMS_STRONG.sustained_ipc
+    assert EMS_STRONG.sustained_ipc < CS_CORE.sustained_ipc
+
+
+def test_cycle_model():
+    cycles = EMS_MEDIUM.cycles_for_instructions(1380)
+    assert cycles == int(1380 / EMS_MEDIUM.sustained_ipc)
+    assert EMS_MEDIUM.seconds_for_instructions(1380) == cycles / 750e6
+    assert CS_CORE.cycles_from_seconds(1e-6) == 2500
+
+
+def test_ems_config_lookup():
+    assert ems_config("weak") is EMS_WEAK
+    with pytest.raises(ValueError):
+        ems_config("turbo")

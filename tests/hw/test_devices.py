@@ -1,0 +1,118 @@
+"""EMS storage devices and DMA peripherals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import Permission
+from repro.errors import DMAViolation, HardwareFault
+from repro.hw.devices import (
+    EEPROM,
+    AcceleratorSpec,
+    DMAEngine,
+    EFuse,
+    GemminiAccelerator,
+    NICController,
+    PrivateFlash,
+)
+from repro.hw.fabric import AddressPartition, IHub, WhitelistEntry
+from repro.hw.memory import PhysicalMemory
+
+
+def test_efuse_burn_once():
+    fuse = EFuse()
+    fuse.burn("EK", b"e" * 32)
+    assert fuse.read("EK") == b"e" * 32
+    with pytest.raises(HardwareFault):
+        fuse.burn("EK", b"x" * 32)
+
+
+def test_efuse_lock():
+    fuse = EFuse()
+    fuse.lock()
+    with pytest.raises(HardwareFault):
+        fuse.burn("SK", b"s" * 32)
+
+
+def test_efuse_unprogrammed_read_faults():
+    with pytest.raises(HardwareFault):
+        EFuse().read("missing")
+
+
+def test_flash_store_load_tamper():
+    flash = PrivateFlash()
+    flash.store("img", b"runtime-image")
+    assert flash.load("img") == b"runtime-image"
+    flash.tamper("img", 3, 0x00)
+    assert flash.load("img") != b"runtime-image"
+    with pytest.raises(HardwareFault):
+        flash.load("other")
+
+
+def test_eeprom():
+    rom = EEPROM()
+    rom.write("hash", b"h" * 32)
+    assert rom.read("hash") == b"h" * 32
+    with pytest.raises(HardwareFault):
+        rom.read("nope")
+
+
+@pytest.fixture
+def dma_setup():
+    memory = PhysicalMemory(1024 * 1024)
+    ihub = IHub(AddressPartition(0, 1024 * 1024, 1024 * 1024, 0))
+    ihub.configure_dma_whitelist(
+        "dev", [WhitelistEntry(0x10000, 0x4000, Permission.RW)], from_ems=True)
+    return memory, ihub, DMAEngine("dev", ihub, memory)
+
+
+def test_dma_moves_data(dma_setup):
+    memory, _, dma = dma_setup
+    dma.write(0x10000, b"payload")
+    assert memory.read(0x10000, 7) == b"payload"
+    assert dma.read(0x10000, 7) == b"payload"
+    assert dma.stats.transfers == 2
+
+
+def test_dma_blocked_outside_whitelist(dma_setup):
+    _, _, dma = dma_setup
+    with pytest.raises(DMAViolation):
+        dma.read(0x20000, 16)
+
+
+def test_gemmini_throughput_model(dma_setup):
+    _, _, dma = dma_setup
+    accel = GemminiAccelerator(dma, AcceleratorSpec(), utilization=0.5)
+    # 16x16 PEs at 750 MHz, 50% utilized -> 96 GMAC/s.
+    assert accel.compute_seconds(96e9) == pytest.approx(1.0)
+
+
+def test_gemmini_run_layer_goes_through_dma(dma_setup):
+    memory, _, dma = dma_setup
+    accel = GemminiAccelerator(dma)
+    memory.write(0x10000, b"w" * 64)
+    seconds = accel.run_layer(0x10000, 64, 0x11000, 64, macs=1e6)
+    assert seconds > 0
+    assert dma.stats.bytes_moved == 128
+
+
+def test_gemmini_layer_blocked_outside_region(dma_setup):
+    _, _, dma = dma_setup
+    accel = GemminiAccelerator(dma)
+    with pytest.raises(DMAViolation):
+        accel.run_layer(0x20000, 64, 0x21000, 64, macs=1e6)
+
+
+def test_nic_wire_time(dma_setup):
+    _, _, dma = dma_setup
+    nic = NICController(dma, line_rate_gbps=10.0)
+    assert nic.wire_seconds(1.25e9) == pytest.approx(1.0)
+
+
+def test_nic_transmit_receive(dma_setup):
+    memory, _, dma = dma_setup
+    nic = NICController(dma)
+    memory.write(0x10000, b"pkt")
+    assert nic.transmit(0x10000, 3) > 0
+    assert nic.receive(0x10000, b"rx-payload") > 0
+    assert memory.read(0x10000, 10) == b"rx-payload"

@@ -1,0 +1,92 @@
+"""iHub: unidirectional isolation and the DMA whitelist."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import AccessType, Permission
+from repro.errors import DMAViolation, IsolationViolation
+from repro.hw.fabric import AddressPartition, IHub, WhitelistEntry
+
+PART = AddressPartition(cs_base=0, cs_size=0x100000,
+                        ems_base=0x100000, ems_size=0x40000)
+
+
+@pytest.fixture
+def ihub() -> IHub:
+    return IHub(PART)
+
+
+def test_partition_membership():
+    assert PART.in_cs(0x50000, 16)
+    assert not PART.in_cs(0x100000, 1)
+    assert PART.in_ems(0x100000, 16)
+    assert not PART.in_ems(0x50000)
+
+
+def test_cs_cannot_touch_ems_space(ihub: IHub):
+    with pytest.raises(IsolationViolation):
+        ihub.check_cs_access(0x100000, 8)
+    assert ihub.stats.isolation_blocks == 1
+
+
+def test_cs_access_within_cs_ok(ihub: IHub):
+    ihub.check_cs_access(0x1000, 8)
+
+
+def test_ems_reaches_everything(ihub: IHub):
+    """Unidirectional: EMS masters may access CS and EMS space alike."""
+    ihub.check_ems_access(0x1000, 8)
+    ihub.check_ems_access(0x100000, 8)
+
+
+def test_dma_whitelist_only_configurable_by_ems(ihub: IHub):
+    entry = WhitelistEntry(base=0x2000, size=0x1000, perm=Permission.RW)
+    with pytest.raises(IsolationViolation):
+        ihub.configure_dma_whitelist("nic", [entry], from_ems=False)
+    with pytest.raises(IsolationViolation):
+        ihub.clear_dma_whitelist("nic", from_ems=False)
+
+
+def test_dma_inside_region_allowed(ihub: IHub):
+    ihub.configure_dma_whitelist(
+        "nic", [WhitelistEntry(0x2000, 0x1000, Permission.RW)], from_ems=True)
+    ihub.check_dma("nic", 0x2000, 0x800, AccessType.READ)
+    ihub.check_dma("nic", 0x2800, 0x800, AccessType.WRITE)
+
+
+def test_dma_outside_region_discarded(ihub: IHub):
+    ihub.configure_dma_whitelist(
+        "nic", [WhitelistEntry(0x2000, 0x1000, Permission.RW)], from_ems=True)
+    with pytest.raises(DMAViolation):
+        ihub.check_dma("nic", 0x3000, 16, AccessType.READ)  # just past end
+    with pytest.raises(DMAViolation):
+        ihub.check_dma("nic", 0x2F00, 0x200, AccessType.READ)  # straddles
+
+
+def test_dma_permission_enforced(ihub: IHub):
+    ihub.configure_dma_whitelist(
+        "nic", [WhitelistEntry(0x2000, 0x1000, Permission.READ)], from_ems=True)
+    ihub.check_dma("nic", 0x2000, 16, AccessType.READ)
+    with pytest.raises(DMAViolation):
+        ihub.check_dma("nic", 0x2000, 16, AccessType.WRITE)
+
+
+def test_unlisted_device_blocked(ihub: IHub):
+    with pytest.raises(DMAViolation):
+        ihub.check_dma("rogue", 0x2000, 16, AccessType.READ)
+
+
+def test_whitelist_is_per_device(ihub: IHub):
+    ihub.configure_dma_whitelist(
+        "nic", [WhitelistEntry(0x2000, 0x1000, Permission.RW)], from_ems=True)
+    with pytest.raises(DMAViolation):
+        ihub.check_dma("gpu", 0x2000, 16, AccessType.READ)
+
+
+def test_clear_whitelist(ihub: IHub):
+    ihub.configure_dma_whitelist(
+        "nic", [WhitelistEntry(0x2000, 0x1000, Permission.RW)], from_ems=True)
+    ihub.clear_dma_whitelist("nic", from_ems=True)
+    with pytest.raises(DMAViolation):
+        ihub.check_dma("nic", 0x2000, 16, AccessType.READ)

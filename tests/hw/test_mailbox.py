@@ -1,0 +1,94 @@
+"""Mailbox: queueing, exclusive response binding, replay rejection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.packets import PrimitiveRequest, PrimitiveResponse, ResponseStatus
+from repro.common.types import Primitive, Privilege
+from repro.errors import MailboxError
+from repro.hw.mailbox import Mailbox
+
+
+def req(request_id: int) -> PrimitiveRequest:
+    return PrimitiveRequest(request_id=request_id, primitive=Primitive.EALLOC,
+                            enclave_id=1, privilege=Privilege.USER)
+
+
+def resp(request_id: int) -> PrimitiveResponse:
+    return PrimitiveResponse(request_id=request_id, status=ResponseStatus.OK)
+
+
+def test_request_flow_and_irq():
+    box = Mailbox()
+    box.push_request(req(1))
+    assert box.irq_pending
+    fetched = box.fetch_requests()
+    assert [r.request_id for r in fetched] == [1]
+    assert not box.irq_pending
+
+
+def test_response_binding():
+    box = Mailbox()
+    box.push_request(req(1))
+    box.fetch_requests()
+    assert box.poll_response(1) is None  # still pending
+    box.push_response(resp(1))
+    got = box.poll_response(1)
+    assert got is not None and got.request_id == 1
+
+
+def test_foreign_request_id_rejected():
+    """A requester cannot fish for responses it did not issue."""
+    box = Mailbox()
+    box.push_request(req(1))
+    with pytest.raises(MailboxError):
+        box.poll_response(999)
+
+
+def test_response_collected_once():
+    box = Mailbox()
+    box.push_request(req(1))
+    box.fetch_requests()
+    box.push_response(resp(1))
+    assert box.poll_response(1) is not None
+    with pytest.raises(MailboxError):
+        box.poll_response(1)  # already collected — replay impossible
+
+
+def test_duplicate_request_id_rejected():
+    box = Mailbox()
+    box.push_request(req(1))
+    with pytest.raises(MailboxError):
+        box.push_request(req(1))
+
+
+def test_response_for_unknown_request_rejected():
+    box = Mailbox()
+    with pytest.raises(MailboxError):
+        box.push_response(resp(42))
+
+
+def test_duplicate_response_rejected():
+    box = Mailbox()
+    box.push_request(req(1))
+    box.fetch_requests()
+    box.push_response(resp(1))
+    with pytest.raises(MailboxError):
+        box.push_response(resp(1))
+
+
+def test_capacity_limit():
+    box = Mailbox(capacity=2)
+    box.push_request(req(1))
+    box.push_request(req(2))
+    with pytest.raises(MailboxError):
+        box.push_request(req(3))
+
+
+def test_fetch_max_count():
+    box = Mailbox()
+    for i in range(5):
+        box.push_request(req(i))
+    assert len(box.fetch_requests(max_count=3)) == 3
+    assert box.pending_request_count() == 2

@@ -1,0 +1,122 @@
+"""Page tables: PTE encoding, mapping, lookup, flags, enumeration."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import Permission
+from repro.errors import PageFault
+from repro.hw.encryption_engine import MemoryEncryptionEngine
+from repro.hw.memory import PhysicalMemory
+from repro.hw.page_table import DecodedPTE, PageTable, encode_pte
+
+
+def make_table(memory: PhysicalMemory, keyid: int = 0) -> PageTable:
+    counter = itertools.count(10)
+    if keyid:
+        memory.encryption_engine.program_key(keyid, b"t" * 32, from_ems=True)
+    return PageTable(memory, root_frame=next(counter),
+                     allocate_frame=lambda: next(counter),
+                     table_keyid=keyid, asid=1)
+
+
+def test_pte_encode_decode_roundtrip():
+    word = encode_pte(ppn=0x12345, perm=Permission.RX, keyid=42,
+                      accessed=True, dirty=False)
+    pte = DecodedPTE.from_word(word)
+    assert pte.valid and pte.ppn == 0x12345 and pte.keyid == 42
+    assert pte.perm == Permission.RX and pte.accessed and not pte.dirty
+
+
+def test_map_and_lookup(memory: PhysicalMemory):
+    table = make_table(memory)
+    table.map(vpn=0x100, ppn=77, perm=Permission.RW, keyid=0)
+    pte = table.lookup(0x100)
+    assert pte is not None and pte.ppn == 77 and pte.perm == Permission.RW
+
+
+def test_lookup_unmapped_returns_none(memory: PhysicalMemory):
+    assert make_table(memory).lookup(0x200) is None
+
+
+def test_unmap(memory: PhysicalMemory):
+    table = make_table(memory)
+    table.map(0x100, 77, Permission.RW)
+    assert table.unmap(0x100)
+    assert table.lookup(0x100) is None
+    assert not table.unmap(0x100)
+
+
+def test_widely_spread_vpns(memory: PhysicalMemory):
+    """Distinct level-2 indices force full intermediate-node builds."""
+    table = make_table(memory)
+    vpns = [0x1, 0x10000, 0x7FFFF, 0x40000]
+    for i, vpn in enumerate(vpns):
+        table.map(vpn, 100 + i, Permission.READ)
+    for i, vpn in enumerate(vpns):
+        assert table.lookup(vpn).ppn == 100 + i
+
+
+def test_set_flags(memory: PhysicalMemory):
+    table = make_table(memory)
+    table.map(0x100, 77, Permission.RW)
+    table.set_flags(0x100, accessed=True, dirty=True)
+    pte = table.lookup(0x100)
+    assert pte.accessed and pte.dirty
+    table.set_flags(0x100, accessed=False)
+    assert not table.lookup(0x100).accessed
+
+
+def test_set_flags_unmapped_faults(memory: PhysicalMemory):
+    with pytest.raises(PageFault):
+        make_table(memory).set_flags(0x100, accessed=True)
+
+
+def test_mapped_vpns_enumeration(memory: PhysicalMemory):
+    table = make_table(memory)
+    vpns = {0x100, 0x101, 0x40000}
+    for vpn in vpns:
+        table.map(vpn, vpn & 0xFF, Permission.READ)
+    assert set(table.mapped_vpns()) == vpns
+
+
+def test_encrypted_table_is_ciphertext_raw(memory: PhysicalMemory):
+    """An enclave table's PTE frames read raw yield no decodable PTEs.
+
+    This is the property that kills page-table controlled channels: the
+    OS can read the raw frames but sees keystream output.
+    """
+    table = make_table(memory, keyid=6)
+    table.map(0x100, 77, Permission.RW, keyid=6)
+    leaf_frame = table.table_frames()[-1]
+    raw = memory.read_raw(leaf_frame * PAGE_SIZE, PAGE_SIZE)
+    decoded = [DecodedPTE.from_word(int.from_bytes(raw[i:i + 8], "little"))
+               for i in range(0, PAGE_SIZE, 8)]
+    # The real mapping (ppn=77) must not be recoverable.
+    assert not any(pte.valid and pte.ppn == 77 for pte in decoded)
+
+
+def test_encrypted_table_functional(memory: PhysicalMemory):
+    table = make_table(memory, keyid=6)
+    table.map(0x100, 77, Permission.RW, keyid=6)
+    assert table.lookup(0x100).ppn == 77
+
+
+@given(mappings=st.dictionaries(
+    st.integers(min_value=0, max_value=(1 << 27) - 1),
+    st.integers(min_value=0, max_value=1000),
+    min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_map_lookup_property(mappings: dict[int, int]):
+    memory = PhysicalMemory(8 * 1024 * 1024)
+    table = make_table(memory)
+    for vpn, ppn in mappings.items():
+        table.map(vpn, ppn, Permission.RW)
+    for vpn, ppn in mappings.items():
+        assert table.lookup(vpn).ppn == ppn
+    assert set(table.mapped_vpns()) == set(mappings)

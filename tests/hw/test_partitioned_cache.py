@@ -1,0 +1,61 @@
+"""CAT-style cache partitioning: prime+probe dies at the partition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.cache import PartitionedCache
+
+
+@pytest.fixture
+def cache() -> PartitionedCache:
+    cache = PartitionedCache(size_kb=64, ways=8)
+    cache.allocate_ways("attacker", 4)
+    cache.allocate_ways("victim", 4)
+    return cache
+
+
+def test_allocation_rules(cache: PartitionedCache):
+    with pytest.raises(ValueError):
+        cache.allocate_ways("attacker", 1)   # already allocated
+    with pytest.raises(ValueError):
+        cache.allocate_ways("third", 1)      # no ways left
+    with pytest.raises(ValueError):
+        cache.access("nobody", 0)            # unallocated domain
+
+
+def test_hit_miss_within_domain(cache: PartitionedCache):
+    assert not cache.access("victim", 0x1000)
+    assert cache.access("victim", 0x1000)
+
+
+def test_domain_capacity_is_its_ways(cache: PartitionedCache):
+    """With 4 ways, a domain holds 4 conflicting lines, not 8."""
+    stride = cache.num_sets * cache.line_size
+    for i in range(4):
+        cache.access("victim", i * stride)
+    assert all(cache.contains("victim", i * stride) for i in range(4))
+    cache.access("victim", 4 * stride)  # evicts the domain's own LRU
+    assert not cache.contains("victim", 0)
+
+
+def test_no_cross_domain_eviction(cache: PartitionedCache):
+    """The prime+probe signal: victim activity must never evict the
+    attacker's primed lines."""
+    stride = cache.num_sets * cache.line_size
+    primed = [i * stride + 0x40 for i in range(4)]
+    for paddr in primed:
+        cache.access("attacker", paddr & ~0x3F)
+    # Victim hammers the same sets far beyond its capacity.
+    for i in range(32):
+        cache.access("victim", i * stride)
+    for paddr in primed:
+        assert cache.contains("attacker", paddr & ~0x3F)
+
+
+def test_tags_are_domain_private(cache: PartitionedCache):
+    """Even identical addresses don't hit across domains (no shared
+    lines to flush+reload)."""
+    cache.access("victim", 0x2000)
+    assert not cache.contains("attacker", 0x2000)
+    assert not cache.access("attacker", 0x2000)  # its own miss + fill

@@ -1,0 +1,130 @@
+"""Page-table walker: the Fig. 5 pipeline — TLB, walk, bitmap check,
+permissions, A/D bits, enclave-mode bypass."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import AccessType, Permission
+from repro.errors import AccessPermissionError, BitmapViolation, PageFault
+from repro.hw.bitmap import BitmapReader, EnclaveBitmap
+from repro.hw.memory import PhysicalMemory
+from repro.hw.page_table import PageTable, PageTableWalker
+from repro.hw.tlb import TLB
+
+
+@pytest.fixture
+def setup(plain_memory: PhysicalMemory):
+    bitmap = EnclaveBitmap(plain_memory, base_paddr=0)
+    counter = itertools.count(10)
+    table = PageTable(plain_memory, next(counter),
+                      allocate_frame=lambda: next(counter), asid=1)
+    walker = PageTableWalker(plain_memory, TLB(entries=16, ways=4),
+                             BitmapReader(bitmap))
+    return plain_memory, bitmap, table, walker
+
+
+def test_basic_translation(setup):
+    _, _, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    result = walker.translate(table, 0x100 * PAGE_SIZE + 0x20, AccessType.READ)
+    assert result.paddr == 500 * PAGE_SIZE + 0x20
+    assert not result.tlb_hit and result.bitmap_checked
+
+
+def test_tlb_hit_skips_bitmap_check(setup):
+    _, _, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    second = walker.translate(table, 0x100 * PAGE_SIZE + 8, AccessType.READ)
+    assert second.tlb_hit and not second.bitmap_checked
+    assert second.cycles < 5
+
+
+def test_unmapped_faults(setup):
+    _, _, table, walker = setup
+    with pytest.raises(PageFault):
+        walker.translate(table, 0x123 * PAGE_SIZE, AccessType.READ)
+    assert walker.stats.page_faults == 1
+
+
+def test_permission_enforced(setup):
+    _, _, table, walker = setup
+    table.map(0x100, 500, Permission.READ)
+    with pytest.raises(AccessPermissionError):
+        walker.translate(table, 0x100 * PAGE_SIZE, AccessType.WRITE)
+    with pytest.raises(AccessPermissionError):
+        walker.translate(table, 0x100 * PAGE_SIZE, AccessType.EXECUTE)
+
+
+def test_permission_enforced_on_tlb_hit(setup):
+    _, _, table, walker = setup
+    table.map(0x100, 500, Permission.READ)
+    walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    with pytest.raises(AccessPermissionError):
+        walker.translate(table, 0x100 * PAGE_SIZE, AccessType.WRITE)
+
+
+def test_bitmap_violation(setup):
+    """Non-enclave access to an enclave frame must fault (Fig. 5)."""
+    _, bitmap, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    bitmap.set_enclave(500, True)
+    with pytest.raises(BitmapViolation):
+        walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    assert walker.stats.bitmap_violations == 1
+
+
+def test_enclave_mode_bypasses_bitmap(setup):
+    """IS_ENCLAVE set: the enclave may touch enclave frames."""
+    _, bitmap, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    bitmap.set_enclave(500, True)
+    walker.is_enclave_mode = True
+    result = walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    assert result.ppn == 500 and not result.bitmap_checked
+
+
+def test_stale_tlb_entry_closed_by_frame_flush(setup):
+    """The EMCall shootdown path: after a bitmap change, the flushed
+    entry cannot be used to slip past the check."""
+    _, bitmap, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)  # cached
+    bitmap.set_enclave(500, True)
+    walker.tlb.flush_frame(500)
+    with pytest.raises(BitmapViolation):
+        walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+
+
+def test_walker_sets_accessed_and_dirty(setup):
+    """The A/D updates are the controlled-channel observable on
+    OS-owned tables — they must really land in the PTE."""
+    _, _, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    pte = table.lookup(0x100)
+    assert pte.accessed and not pte.dirty
+    walker.translate(table, 0x100 * PAGE_SIZE, AccessType.WRITE)
+    assert table.lookup(0x100).dirty
+
+
+def test_no_bitmap_reader_disables_check(setup):
+    plain_memory, bitmap, table, _ = setup
+    walker = PageTableWalker(plain_memory, TLB(entries=16, ways=4), None)
+    table.map(0x100, 500, Permission.RW)
+    bitmap.set_enclave(500, True)
+    result = walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    assert not result.bitmap_checked  # ablation: check removed
+
+
+def test_walk_cycle_accounting(setup):
+    _, _, table, walker = setup
+    table.map(0x100, 500, Permission.RW)
+    result = walker.translate(table, 0x100 * PAGE_SIZE, AccessType.READ)
+    expected = (PageTableWalker.WALK_STEP_CYCLES * 3
+                + PageTableWalker.BITMAP_CHECK_CYCLES)
+    assert result.cycles == expected

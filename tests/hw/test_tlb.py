@@ -1,0 +1,84 @@
+"""TLB: lookup/insert, LRU, selective flushes, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import Permission
+from repro.hw.tlb import TLB, TLBEntry
+
+
+def entry(vpn: int, ppn: int = 0, asid: int = 1, checked: bool = True) -> TLBEntry:
+    return TLBEntry(vpn=vpn, ppn=ppn or vpn + 1000, perm=Permission.RW,
+                    keyid=0, asid=asid, checked=checked)
+
+
+def test_entries_must_divide_into_ways():
+    with pytest.raises(ValueError):
+        TLB(entries=30, ways=4)
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=16, ways=4)
+    assert tlb.lookup(1, 0x10) is None
+    tlb.insert(entry(0x10))
+    hit = tlb.lookup(1, 0x10)
+    assert hit is not None and hit.ppn == 0x10 + 1000
+    assert tlb.stats.misses == 1 and tlb.stats.hits == 1
+
+
+def test_asid_disambiguation():
+    tlb = TLB(entries=16, ways=4)
+    tlb.insert(entry(0x10, ppn=111, asid=1))
+    tlb.insert(entry(0x10, ppn=222, asid=2))
+    assert tlb.lookup(1, 0x10).ppn == 111
+    assert tlb.lookup(2, 0x10).ppn == 222
+
+
+def test_lru_eviction_within_set():
+    tlb = TLB(entries=8, ways=2)  # 4 sets
+    # Three VPNs mapping to the same set (vpn % 4 == 0).
+    tlb.insert(entry(0))
+    tlb.insert(entry(4))
+    tlb.lookup(1, 0)          # make vpn 0 most recent
+    tlb.insert(entry(8))      # evicts vpn 4 (LRU)
+    assert tlb.lookup(1, 0) is not None
+    assert tlb.lookup(1, 4) is None
+    assert tlb.lookup(1, 8) is not None
+
+
+def test_insert_replaces_same_key():
+    tlb = TLB(entries=8, ways=2)
+    tlb.insert(entry(0, ppn=1))
+    tlb.insert(entry(0, ppn=2))
+    assert tlb.entry_count() == 1
+    assert tlb.lookup(1, 0).ppn == 2
+
+
+def test_flush_all():
+    tlb = TLB(entries=16, ways=4)
+    for vpn in range(6):
+        tlb.insert(entry(vpn))
+    dropped = tlb.flush_all()
+    assert dropped == 6
+    assert tlb.entry_count() == 0
+    assert tlb.stats.full_flushes == 1
+
+
+def test_flush_asid_selective():
+    tlb = TLB(entries=16, ways=4)
+    tlb.insert(entry(1, asid=1))
+    tlb.insert(entry(2, asid=2))
+    assert tlb.flush_asid(1) == 1
+    assert tlb.lookup(2, 2) is not None
+    assert tlb.lookup(1, 1) is None
+
+
+def test_flush_frame_selective():
+    """Bitmap-change shootdown: drop entries translating to one frame."""
+    tlb = TLB(entries=16, ways=4)
+    tlb.insert(entry(1, ppn=500))
+    tlb.insert(entry(2, ppn=501))
+    assert tlb.flush_frame(500) == 1
+    assert tlb.lookup(1, 1) is None
+    assert tlb.lookup(1, 2) is not None

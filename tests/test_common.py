@@ -1,0 +1,98 @@
+"""Common types, packets, RNG streams, and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.packets import PrimitiveRequest, PrimitiveResponse, ResponseStatus
+from repro.common.rng import DeterministicRng
+from repro.common.types import (
+    PRIMITIVE_PRIVILEGE,
+    AccessType,
+    Permission,
+    Primitive,
+    Privilege,
+)
+from repro import errors
+
+
+def test_privilege_ordering():
+    assert Privilege.USER < Privilege.SUPERVISOR < Privilege.MACHINE
+
+
+def test_permission_allows():
+    assert Permission.RW.allows(AccessType.READ)
+    assert Permission.RW.allows(AccessType.WRITE)
+    assert not Permission.RW.allows(AccessType.EXECUTE)
+    assert Permission.RX.allows(AccessType.EXECUTE)
+    assert not Permission.NONE.allows(AccessType.READ)
+
+
+def test_permission_composition():
+    assert Permission.READ | Permission.WRITE == Permission.RW
+    assert Permission.RWX & Permission.READ
+
+
+def test_table2_primitive_count():
+    """Table II defines exactly 16 primitives in four groups."""
+    assert len(Primitive) == 16
+    assert len(PRIMITIVE_PRIVILEGE) == 16
+
+
+def test_table2_privilege_examples():
+    """Spot-check Table II's privilege column."""
+    assert PRIMITIVE_PRIVILEGE[Primitive.ECREATE] is Privilege.SUPERVISOR
+    assert PRIMITIVE_PRIVILEGE[Primitive.EEXIT] is Privilege.USER
+    assert PRIMITIVE_PRIVILEGE[Primitive.EALLOC] is Privilege.USER
+    assert PRIMITIVE_PRIVILEGE[Primitive.EWB] is Privilege.SUPERVISOR
+    assert PRIMITIVE_PRIVILEGE[Primitive.EATTEST] is Privilege.USER
+
+
+def test_request_arg_accessor():
+    request = PrimitiveRequest(1, Primitive.EALLOC, enclave_id=2,
+                               privilege=Privilege.USER,
+                               args={"pages": 4})
+    assert request.arg("pages") == 4
+    assert request.arg("missing", "default") == "default"
+
+
+def test_response_ok_property():
+    assert PrimitiveResponse(1, ResponseStatus.OK).ok
+    assert not PrimitiveResponse(1, ResponseStatus.ERROR).ok
+
+
+def test_rng_streams_independent():
+    """Drawing from one stream must not perturb another."""
+    a = DeterministicRng(7)
+    b = DeterministicRng(7)
+    a.randint(0, 100, stream="x")  # extra draw on an unrelated stream
+    assert a.randint(0, 10**9, stream="y") == b.randint(0, 10**9, stream="y")
+
+
+def test_rng_reproducible_per_seed():
+    assert (DeterministicRng(7).randbytes(8, stream="s")
+            == DeterministicRng(7).randbytes(8, stream="s"))
+    assert (DeterministicRng(7).randbytes(8, stream="s")
+            != DeterministicRng(8).randbytes(8, stream="s"))
+
+
+def test_error_hierarchy():
+    """Catchability contracts the EMS runtime relies on."""
+    assert issubclass(errors.SanityCheckError, errors.EMSError)
+    assert issubclass(errors.ConnectionNotAuthorized, errors.SharedMemoryError)
+    assert issubclass(errors.SharedMemoryError, errors.EMSError)
+    assert issubclass(errors.BitmapViolation, errors.HardwareFault)
+    assert issubclass(errors.PrivilegeViolation, errors.EMCallError)
+    assert issubclass(errors.EMSError, errors.HyperTEEError)
+    # PageFault carries its faulting address.
+    fault = errors.PageFault(0x1234000)
+    assert fault.vaddr == 0x1234000
+
+
+def test_lazy_top_level_exports():
+    import repro
+
+    assert repro.SystemConfig is not None
+    assert repro.EnclaveConfig is not None
+    with pytest.raises(AttributeError):
+        repro.NotAThing

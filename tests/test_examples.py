@@ -1,0 +1,31 @@
+"""Every example script runs clean end to end.
+
+The examples are part of the public API surface; this keeps them from
+rotting. Each runs in a subprocess exactly as a user would run it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 6
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script: pathlib.Path):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=180)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()  # every example narrates what it did

@@ -1,0 +1,64 @@
+"""The paper's headline claims, as plain tests.
+
+The bench suite regenerates every table and figure; this module distills
+the abstract's quantitative claims into fast assertions so a bare
+``pytest tests/`` also certifies the reproduction:
+
+* "less than 1% area overhead";
+* "2.0% and 1.9% performance overhead on average for enclaves and
+  non-enclave workloads";
+* the Fig. 12 communication speedups;
+* HyperTEE's clean Table VI row against SGX's open one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.harness import CHANNELS, default_factories, evaluate_tee
+from repro.common.types import AttackOutcome
+from repro.eval.area import table5_rows
+from repro.eval.scenarios import ENCLAVE_FULL, HOST_BITMAP
+from repro.workloads.dnn import MLP_MODELS, RESNET50, speedup
+from repro.workloads.nic import NICTransfer
+from repro.workloads.runner import host_baseline, run_workload
+from repro.workloads.rv8 import rv8_suite
+from repro.workloads.spec import spec_suite
+
+
+def test_area_claim_under_one_percent():
+    """Abstract: 'less than 1% area overhead'."""
+    assert all(row.overhead_pct <= 1.0 for row in table5_rows())
+
+
+def test_enclave_overhead_claim_two_percent():
+    """Abstract: '2.0% performance overhead on average for enclaves'."""
+    overheads = [run_workload(p, ENCLAVE_FULL).overhead_vs(host_baseline(p))
+                 for p in rv8_suite()]
+    average = sum(overheads) / len(overheads)
+    assert average * 100 == pytest.approx(2.0, abs=0.3)
+
+
+def test_nonenclave_overhead_claim_1_9_percent():
+    """Abstract: '1.9% ... for non-enclave workloads' (bitmap checking)."""
+    overheads = [run_workload(p, HOST_BITMAP).overhead_vs(host_baseline(p))
+                 for p in spec_suite()]
+    average = sum(overheads) / len(overheads)
+    assert average * 100 == pytest.approx(1.9, abs=0.2)
+
+
+def test_communication_speedup_claims():
+    """Section VII-D: >4.0x ResNet50, >27.7x MLPs, ~50x NIC."""
+    assert speedup(RESNET50) > 4.0
+    assert all(speedup(m) > 27.7 for m in MLP_MODELS)
+    assert NICTransfer(1e8).speedup() == pytest.approx(50.0, abs=1.0)
+
+
+def test_hypertee_defends_where_sgx_leaks():
+    """The Table VI contrast, on the two extreme rows."""
+    factories = default_factories()
+    hyper = evaluate_tee(factories["hypertee"])
+    sgx = evaluate_tee(factories["sgx"])
+    for channel in CHANNELS:
+        assert hyper[channel].outcome is AttackOutcome.DEFENDED, channel
+        assert sgx[channel].outcome is AttackOutcome.LEAKED, channel

