@@ -11,8 +11,6 @@ from repro.eval.report import pct, render_table, times
 from repro.workloads.dnn import (
     ALL_DNN_MODELS,
     MLP_MODELS,
-    MOBILENET,
-    RESNET50,
     conventional_timing,
     hypertee_timing,
     speedup,

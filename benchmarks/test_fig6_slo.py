@@ -7,7 +7,7 @@ EMS, so dual is adequate)."""
 from __future__ import annotations
 
 from repro.eval.report import render_table
-from repro.eval.slo import ADEQUATE_EMS, SLO_FACTOR, meets_slo, simulate
+from repro.eval.slo import ADEQUATE_EMS, meets_slo, simulate
 
 GRID = [
     (4, 1, "weak"), (4, 1, "medium"),

@@ -1,16 +1,14 @@
-"""``python -m repro`` — regenerate the paper's evaluation as text."""
+"""``python -m repro`` — evaluation artifacts plus observability surfaces.
+
+The argparse CLI lives in :mod:`repro.obs.cli`: ``regen`` (the default;
+bare artifact names keep working), ``metrics``, and ``trace``.
+"""
 
 from __future__ import annotations
 
 import sys
 
-from repro.eval.regenerate import regenerate
-
-
-def main(argv: list[str]) -> None:
-    """Print the requested artifacts (all by default) to stdout."""
-    print(regenerate(argv or None))
-
+from repro.obs.cli import main
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

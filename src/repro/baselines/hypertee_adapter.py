@@ -19,11 +19,11 @@ from repro.baselines.base import (
     run_secret_dependent_task,
 )
 from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
-from repro.common.types import AccessType, Permission
+from repro.common.types import Permission
 from repro.core.api import APIError, Enclave, HyperTEE
 from repro.core.config import SystemConfig
 from repro.core.enclave import HEAP_BASE_VPN, EnclaveConfig
-from repro.errors import BitmapViolation, DMAViolation, HyperTEEError
+from repro.errors import BitmapViolation, DMAViolation
 from repro.hw.cache import SetAssociativeCache
 from repro.hw.devices import DMAEngine
 

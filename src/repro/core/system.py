@@ -140,6 +140,56 @@ class HyperTEESystem:
         self.interrupt_monitor = InterruptAnomalyDetector(self.enclaves)
         self.emcall.attach_interrupt_observer(self.interrupt_monitor.observe)
 
+        # -- observability (out-of-band; see docs/observability.md) -----------
+        from repro.obs.probes import Observability
+
+        self.obs = Observability()
+        self._register_stats_sources()
+
+    def _register_stats_sources(self) -> None:
+        """Federate the per-subsystem ``*Stats`` into the registry.
+
+        Pull-based: the registry stores readers over the live dataclasses,
+        so nothing is duplicated and ``stats_summary()`` becomes a
+        registry snapshot with the same schema as before.
+        """
+        from repro.obs.metrics import stats_asdict
+
+        reg = self.obs.metrics
+        reg.register_source("ems", lambda: stats_asdict(self.ems.stats))
+        reg.register_source("mailbox", lambda: stats_asdict(self.mailbox.stats))
+        reg.register_source("fabric", lambda: stats_asdict(self.ihub.stats))
+        reg.register_source("pool", lambda: stats_asdict(self.pool.stats))
+        reg.register_source(
+            "emcall",
+            lambda: {"bitmap_flushes": self.emcall.bitmap_flush_count})
+        reg.register_source(
+            "tlb",
+            lambda: {f"core{core.core_id}": stats_asdict(core.tlb.stats)
+                     for core in self.cores})
+        reg.register_source(
+            "interrupts", lambda: stats_asdict(self.interrupt_monitor.stats))
+
+    def enable_observability(self) -> "HyperTEESystem":
+        """Attach the probe points and turn on tracing.
+
+        Off by default so the probes cost nothing; when on, they stay
+        out-of-band — no modelled cycle count or attacker-visible state
+        changes (regression-tested by tests/obs/test_noninterference.py).
+        Returns self for chaining.
+        """
+        self.obs.enable()
+        self.mailbox.obs = self.obs
+        self.emcall.obs = self.obs
+        self.ems.obs = self.obs
+        self.pool.obs = self.obs
+        self.swap.obs = self.obs
+        self.crypto.obs = self.obs
+        for core in self.cores:
+            core.tlb.obs = self.obs
+            core.ptw.obs = self.obs
+        return self
+
     # -- conveniences ----------------------------------------------------------------------
 
     @property
@@ -147,19 +197,12 @@ class HyperTEESystem:
         return self.cores[0]
 
     def stats_summary(self) -> dict[str, dict]:
-        """Aggregate counters from every subsystem, for diagnostics."""
-        import dataclasses as _dc
+        """Aggregate counters from every subsystem, for diagnostics.
 
-        return {
-            "ems": _dc.asdict(self.ems.stats),
-            "mailbox": _dc.asdict(self.mailbox.stats),
-            "fabric": _dc.asdict(self.ihub.stats),
-            "pool": _dc.asdict(self.pool.stats),
-            "emcall": {"bitmap_flushes": self.emcall.bitmap_flush_count},
-            "tlb": {f"core{core.core_id}": _dc.asdict(core.tlb.stats)
-                    for core in self.cores},
-            "interrupts": _dc.asdict(self.interrupt_monitor.stats),
-        }
+        Reads through the metrics registry's federated sources; the key
+        schema is stable (tests/core/test_stats.py pins it).
+        """
+        return self.obs.metrics.federated_snapshot()
 
     def certificate_authority(self) -> CertificateAuthority:
         """The trusted CA's view of this device (remote-attestation side).

@@ -83,6 +83,12 @@ class CryptoEngine:
                  freq_hz: float = EMS_CORE_FREQ_HZ) -> None:
         self.profile = profile
         self._freq = freq_hz
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = None
+
+    def _probe(self, op: str, nbytes: int, cycles: int) -> None:
+        if self.obs is not None:
+            self.obs.record_crypto_op(op, nbytes, cycles)
 
     # -- latency helpers -----------------------------------------------------
 
@@ -111,23 +117,33 @@ class CryptoEngine:
     def measure(self, *chunks: bytes) -> tuple[bytes, int]:
         """Measurement hash plus its cycle cost."""
         total = sum(len(c) for c in chunks)
-        return measure(*chunks), self.hash_cycles(total)
+        cycles = self.hash_cycles(total)
+        self._probe("hash", total, cycles)
+        return measure(*chunks), cycles
 
     def sign(self, key: bytes, data: bytes) -> tuple[bytes, int]:
         """Produce a signature (HMAC stand-in; see DESIGN.md substitutions)."""
-        return keyed_mac(key, data), self.sign_cycles()
+        cycles = self.sign_cycles()
+        self._probe("sign", len(data), cycles)
+        return keyed_mac(key, data), cycles
 
     def verify(self, key: bytes, data: bytes, signature: bytes) -> tuple[bool, int]:
         """Verify a signature by recomputation."""
         expected = keyed_mac(key, data)
         import hmac as _hmac
 
-        return _hmac.compare_digest(expected, signature), self.verify_cycles()
+        cycles = self.verify_cycles()
+        self._probe("verify", len(data), cycles)
+        return _hmac.compare_digest(expected, signature), cycles
 
     def bulk_encrypt(self, key: bytes, data: bytes, tweak: int = 0) -> tuple[bytes, int]:
         """Encrypt a page-sized (or larger) buffer, e.g. for EWB swap-out."""
-        return KeystreamCipher(key).encrypt(data, tweak), self.cipher_cycles(len(data))
+        cycles = self.cipher_cycles(len(data))
+        self._probe("encrypt", len(data), cycles)
+        return KeystreamCipher(key).encrypt(data, tweak), cycles
 
     def bulk_decrypt(self, key: bytes, data: bytes, tweak: int = 0) -> tuple[bytes, int]:
         """Decrypt a bulk buffer; returns (plaintext, cycles)."""
-        return KeystreamCipher(key).decrypt(data, tweak), self.cipher_cycles(len(data))
+        cycles = self.cipher_cycles(len(data))
+        self._probe("decrypt", len(data), cycles)
+        return KeystreamCipher(key).decrypt(data, tweak), cycles

@@ -33,7 +33,7 @@ from typing import Any, Callable
 from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
 from repro.common.packets import PrimitiveRequest, PrimitiveResponse
 from repro.common.rng import DeterministicRng
-from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive, Privilege
+from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive
 from repro.cs.cpu import CSCore
 from repro.errors import EMCallError, PrivilegeViolation
 from repro.eval.calibration import (
@@ -74,6 +74,8 @@ class EMCall:
         self.bitmap_flush_count = 0
         #: Optional anomaly-detector callback (enclave_id, cycle).
         self._interrupt_observer = None
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = None
 
     def attach_ems(self, pump: Callable[[], None]) -> None:
         """Wire the EMS runtime's pump (done after secure boot)."""
@@ -119,6 +121,15 @@ class EMCall:
                      + 2 * Mailbox.TRANSFER_CYCLES
                      + int(response.service_cycles * ems_to_cs)
                      + jitter)
+        if self.obs is not None:
+            self.obs.record_invocation(
+                primitive=primitive.value, status=response.status.value,
+                request_id=request.request_id, cs_cycles=cs_cycles,
+                dispatch_cycles=EMCALL_DISPATCH_CYCLES,
+                transfer_cycles=Mailbox.TRANSFER_CYCLES,
+                service_cycles=response.service_cycles,
+                jitter_cycles=jitter, polls=polls,
+                enclave_id=request.enclave_id, core_id=core.core_id)
         return InvokeResult(response=response, cs_cycles=cs_cycles)
 
     # -- CS-side effects the EMS cannot perform itself ------------------------------------------

@@ -55,6 +55,8 @@ class EnclaveMemoryPool:
         self._used = 0
         self._threshold = self._draw_threshold()
         self.stats = PoolStats()
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = None
         #: Frames whose bitmap bit changed since the last drain; the EMS
         #: runtime folds these into the response's TLB-flush action.
         self._pending_flush: list[int] = []
@@ -81,6 +83,8 @@ class EnclaveMemoryPool:
         self._threshold = self._draw_threshold()
         self.stats.refills += 1
         self.stats.frames_requested_from_os += pages
+        if self.obs is not None:
+            self.obs.record_pool_refill(pages, len(self._free), self._used)
 
     def drain_flush_list(self) -> list[int]:
         """Frames needing a TLB shootdown since the last drain."""
@@ -129,6 +133,8 @@ class EnclaveMemoryPool:
         del self._free[:pages]
         self._used += pages
         self.stats.takes += pages
+        if self.obs is not None:
+            self.obs.record_pool_take(pages, len(self._free), self._used)
         return taken
 
     def take_contiguous(self, pages: int) -> list[int]:
@@ -170,6 +176,9 @@ class EnclaveMemoryPool:
         self._free.extend(frames)
         self._used -= len(frames)
         self.stats.returns += len(frames)
+        if self.obs is not None:
+            self.obs.record_pool_return(len(frames), len(self._free),
+                                        self._used)
 
     def take_host_visible(self, pages: int) -> list[int]:
         """Frames for HostApp<->enclave transfer buffers.

@@ -96,6 +96,8 @@ class EMSRuntime:
         self._rng = rng
         self.stats = RuntimeStats(per_core_cycles=[0] * num_cores)
         self._next_core = 0
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = None
         self._handlers: dict[Primitive, Callable[[PrimitiveRequest], HandlerOutput]] = {
             Primitive.ECREATE: self._h_ecreate,
             Primitive.EADD: self._h_eadd,
@@ -127,6 +129,8 @@ class EMSRuntime:
         if not requests:
             return 0
         self._rng.stream("ems-schedule").shuffle(requests)
+        if self.obs is not None:
+            self.obs.record_ems_pump(len(requests))
         for request in requests:
             response = self.dispatch(request)
             # Round-robin assignment across the EMS cores: concurrent
@@ -134,6 +138,13 @@ class EMSRuntime:
             # utilization stats and the Fig. 6 queueing model reflect.
             self.stats.per_core_cycles[self._next_core] += \
                 response.service_cycles
+            if self.obs is not None:
+                self.obs.record_ems_dispatch(
+                    request_id=request.request_id,
+                    primitive=request.primitive.value,
+                    status=response.status.value,
+                    service_cycles=response.service_cycles,
+                    core_index=self._next_core)
             self._next_core = (self._next_core + 1) % self.num_cores
             self.mailbox.push_response(response)
         return len(requests)

@@ -43,6 +43,8 @@ class SwapManager:
         self._rng = rng
         #: Swap-out rounds performed (diagnostics).
         self.rounds = 0
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = None
 
     def ewb(self, requested_pages: int) -> HandlerOutput:
         """Surrender pages for the OS to swap out."""
@@ -65,6 +67,8 @@ class SwapManager:
             crypto_cycles += cycles
 
         self.rounds += 1
+        if self.obs is not None:
+            self.obs.record_swap_round(requested_pages, len(frames))
         instr = (PRIMITIVE_BASE_INSTR["EWB"]
                  + len(frames) * PRIMITIVE_BASE_INSTR["EWB_PER_PAGE"])
         return {"frames": frames, "pages": len(frames),

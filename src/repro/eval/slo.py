@@ -81,8 +81,12 @@ def _service_seconds(ems: CoreConfig) -> float:
 
 def simulate(cs_cores: int, ems_cores: int, ems_name: str,
              requests_per_core: int = DEFAULT_REQUESTS_PER_CORE,
-             seed: int = 42) -> SLOResult:
-    """Closed-loop simulation of one Fig. 6 configuration."""
+             seed: int = 42, obs=None) -> SLOResult:
+    """Closed-loop simulation of one Fig. 6 configuration.
+
+    ``obs`` optionally receives every sampled latency (out-of-band; the
+    simulation's event stream and results are identical either way).
+    """
     ems = ems_config(ems_name)
     service = _service_seconds(ems)
     transport = costs.TRANSPORT_CS_CYCLES / 2.5e9
@@ -125,6 +129,10 @@ def simulate(cs_cores: int, ems_cores: int, ems_name: str,
                 heapq.heappush(events, (finish + think(), seq, "issue", core))
                 seq += 1
 
+    if obs is not None:
+        config = f"{cs_cores}cs/{ems_cores}x{ems_name}"
+        for latency in latencies:
+            obs.record_slo_latency(config, latency)
     return SLOResult(cs_cores=cs_cores, ems_cores=ems_cores,
                      ems_name=ems_name, latencies=tuple(latencies))
 

@@ -118,7 +118,7 @@ def jitter_sweep(windows: tuple[int, ...] = (0, 50, 200, 800),
     observer); wider windows raise the noise floor the attacker must
     average away.
     """
-    from repro.common.types import Permission, Primitive, Privilege
+    from repro.common.types import Permission, Primitive
 
     points = []
     for window in windows:

@@ -13,7 +13,7 @@ software cannot read or flip bits directly.
 
 from __future__ import annotations
 
-from repro.common.constants import HOST_KEYID, PAGE_SHIFT, PAGE_SIZE
+from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
 from repro.hw.memory import PhysicalMemory
 
 

@@ -33,6 +33,9 @@ class MailboxStats:
     responses_delivered: int = 0
     poll_attempts: int = 0
     irqs_raised: int = 0
+    #: push_response attempts rejected because the response map was at
+    #: capacity (the response queue is as finite as the request queue).
+    response_rejects: int = 0
 
 
 class Mailbox:
@@ -49,6 +52,8 @@ class Mailbox:
         self.stats = MailboxStats()
         #: Set by push_request; the EMS runtime's interrupt line.
         self.irq_pending = False
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = None
 
     # -- CS side (used exclusively by EMCall) -----------------------------------
 
@@ -63,6 +68,8 @@ class Mailbox:
         self.irq_pending = True
         self.stats.requests_sent += 1
         self.stats.irqs_raised += 1
+        if self.obs is not None:
+            self.obs.record_mailbox_push(len(self._requests))
 
     def poll_response(self, request_id: int) -> PrimitiveResponse | None:
         """EMCall polls for *its own* response; None while pending.
@@ -82,15 +89,32 @@ class Mailbox:
     # -- EMS side -----------------------------------------------------------------
 
     def fetch_requests(self, max_count: int | None = None) -> list[PrimitiveRequest]:
-        """EMS drains pending requests into its Rx task queue."""
-        self.irq_pending = False
+        """EMS drains pending requests into its Rx task queue.
+
+        The IRQ line stays asserted while requests remain queued, so a
+        partial drain (``max_count`` below the backlog) re-fires instead
+        of stranding the tail until the next push.
+        """
         out: list[PrimitiveRequest] = []
         while self._requests and (max_count is None or len(out) < max_count):
             out.append(self._requests.popleft())
+        self.irq_pending = bool(self._requests)
+        if self.obs is not None:
+            self.obs.record_mailbox_fetch(len(out), len(self._requests))
         return out
 
     def push_response(self, response: PrimitiveResponse) -> None:
-        """EMS posts a completed primitive's response packet."""
+        """EMS posts a completed primitive's response packet.
+
+        The response map is a hardware FIFO too: it enforces the same
+        ``capacity`` as the request queue, so uncollected responses
+        cannot grow it without bound.
+        """
+        if len(self._responses) >= self.capacity:
+            self.stats.response_rejects += 1
+            if self.obs is not None:
+                self.obs.record_mailbox_reject("response_queue_full")
+            raise MailboxError("response queue full")
         if response.request_id not in self._outstanding:
             raise MailboxError(
                 f"response for unknown request id {response.request_id}")
@@ -98,6 +122,8 @@ class Mailbox:
             raise MailboxError(
                 f"duplicate response for request id {response.request_id}")
         self._responses[response.request_id] = response
+        if self.obs is not None:
+            self.obs.record_mailbox_response()
 
     # -- introspection (tests only) -------------------------------------------------
 

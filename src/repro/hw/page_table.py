@@ -283,6 +283,9 @@ class PageTableWalker:
         self.bitmap_reader = bitmap_reader
         self.is_enclave_mode = False  # IS_ENCLAVE register
         self.stats = PTWStats()
+        #: Out-of-band observability hook (attached by the system). Only
+        #: the miss/walk path probes; TLB hits stay probe-free.
+        self.obs = None
 
     def translate(self, table: PageTable, vaddr: int,
                   access: AccessType) -> WalkResult:
@@ -328,6 +331,8 @@ class PageTableWalker:
                         dirty=True if access is AccessType.WRITE else None)
         self.tlb.insert(TLBEntry(vpn=vpn, ppn=pte.ppn, perm=pte.perm,
                                  keyid=pte.keyid, asid=table.asid, checked=True))
+        if self.obs is not None:
+            self.obs.record_ptw_walk(cycles, bitmap_checked)
         return WalkResult(
             paddr=(pte.ppn << PAGE_SHIFT) | offset, ppn=pte.ppn,
             keyid=pte.keyid, perm=pte.perm, tlb_hit=False,

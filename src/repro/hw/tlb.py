@@ -47,6 +47,9 @@ class TLB:
         self._sets: list[list[TLBEntry]] = [[] for _ in range(self.sets)]
         self._tick = 0
         self.stats = TLBStats()
+        #: Out-of-band observability hook (attached by the system). Only
+        #: the flush paths probe; lookups stay probe-free (hot path).
+        self.obs = None
 
     def _set_for(self, vpn: int) -> list[TLBEntry]:
         return self._sets[vpn % self.sets]
@@ -83,6 +86,8 @@ class TLB:
         for bucket in self._sets:
             bucket.clear()
         self.stats.full_flushes += 1
+        if self.obs is not None:
+            self.obs.record_tlb_flush("full", dropped)
         return dropped
 
     def flush_asid(self, asid: int) -> int:
@@ -93,6 +98,8 @@ class TLB:
             dropped += len(bucket) - len(keep)
             bucket[:] = keep
         self.stats.selective_flushes += 1
+        if self.obs is not None:
+            self.obs.record_tlb_flush("asid", dropped)
         return dropped
 
     def flush_frame(self, ppn: int) -> int:
@@ -103,6 +110,8 @@ class TLB:
             dropped += len(bucket) - len(keep)
             bucket[:] = keep
         self.stats.selective_flushes += 1
+        if self.obs is not None:
+            self.obs.record_tlb_flush("frame", dropped)
         return dropped
 
     def entry_count(self) -> int:

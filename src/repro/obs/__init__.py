@@ -1,0 +1,27 @@
+"""Unified observability: metrics registry, cycle-keyed tracer, exports.
+
+The subsystem is strictly out-of-band — it observes the model without
+perturbing any modelled cycle count or attacker-visible state. See
+``docs/observability.md`` for the probe-point map and span taxonomy.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.probes import Observability
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,161 @@
+"""The ``python -m repro`` command line.
+
+Subcommands::
+
+    python -m repro                     # regenerate every paper artifact
+    python -m repro regen table6 fig8a  # a selection (bare names also work)
+    python -m repro metrics             # p50/p90/p99 per primitive + more
+    python -m repro metrics --format prom   # Prometheus text exposition
+    python -m repro metrics --format json   # full registry JSON dump
+    python -m repro trace --out /tmp/t.json # Chrome trace_event JSON
+
+``metrics`` and ``trace`` boot an observability-enabled platform and run
+a quickstart-style enclave scenario that exercises the lifecycle, memory,
+shared-memory, and attestation primitives, then report from the registry
+or the tracer. Open the trace file in Perfetto (https://ui.perfetto.dev).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.regenerate import ARTIFACTS, regenerate
+from repro.eval.report import render_table
+
+
+def run_instrumented_scenario(seed: int = 0x1EE7):
+    """One quickstart-style run on an observability-enabled platform.
+
+    Returns the :class:`~repro.core.api.HyperTEE` facade; its system's
+    ``obs`` member holds the populated registry and tracer.
+    """
+    from repro.common.types import Permission, Primitive
+    from repro.core.api import HyperTEE
+    from repro.core.config import SystemConfig
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE(SystemConfig(seed=seed))
+    tee.system.enable_observability()
+
+    enclave = tee.launch_enclave(b"obs scenario enclave code " * 32,
+                                 EnclaveConfig(name="obs-scenario",
+                                               heap_pages_max=64))
+    with enclave.running():
+        vaddr = enclave.ealloc(4)
+        enclave.write(vaddr, b"observed secret")
+        assert enclave.read(vaddr, 15) == b"observed secret"
+        # Demand fault -> EALLOC through the page-fault path.
+        enclave.write(vaddr + 5 * 4096, b"demand page")
+        region = enclave.create_shared_region(2, Permission.RW)
+        share_va = enclave.attach(region)
+        enclave.write(share_va, b"shared bytes")
+        enclave.detach(region)
+        enclave.destroy_region(region)
+        enclave.attest(report_data=b"obs")
+        enclave.efree(vaddr)
+    # OS-driven memory pressure: the EWB surrender path.
+    tee.invoke_os(Primitive.EWB, {"pages": 2})
+    enclave.destroy()
+    return tee
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_json, render_prometheus
+
+    tee = run_instrumented_scenario(seed=args.seed)
+    obs = tee.system.obs
+    if args.format == "prom":
+        print(render_prometheus(obs.metrics), end="")
+        return 0
+    if args.format == "json":
+        print(render_json(obs.metrics))
+        return 0
+    rows = [[r["primitive"], r["count"], f"{r['p50']:.0f}",
+             f"{r['p90']:.0f}", f"{r['p99']:.0f}", f"{r['mean']:.0f}"]
+            for r in obs.primitive_latency_table()]
+    print(render_table(
+        "Primitive latency (CS cycles; log-bucketed estimates)",
+        ["primitive", "count", "p50", "p90", "p99", "mean"], rows))
+    print()
+    print(render_table(
+        "Subsystem counters (federated from the live *Stats)",
+        ["subsystem", "counter", "value"],
+        [[name, key, value]
+         for name, stats in obs.metrics.federated_snapshot().items()
+         for key, value in _flatten(stats)]))
+    return 0
+
+
+def _flatten(stats: dict, prefix: str = "") -> list[tuple[str, object]]:
+    out: list[tuple[str, object]] = []
+    for key, value in stats.items():
+        label = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.extend(_flatten(value, prefix=f"{label}."))
+        else:
+            out.append((label, value))
+    return out
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    tee = run_instrumented_scenario(seed=args.seed)
+    tracer = tee.system.obs.tracer
+    try:
+        tracer.write_chrome_json(args.out)
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc.strerror}",
+              file=sys.stderr)
+        return 1
+    roots = [s for s in tracer.spans() if s.parent_id is None]
+    print(f"wrote {len(tracer)} spans ({len(roots)} primitives) "
+          f"to {args.out}")
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
+def _cmd_regen(args: argparse.Namespace) -> int:
+    print(regenerate(args.artifacts or None))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (regen/metrics/trace)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="HyperTEE reproduction: evaluation artifacts and "
+                    "observability surfaces.")
+    sub = parser.add_subparsers(dest="command")
+
+    regen = sub.add_parser(
+        "regen", help="regenerate paper tables/figures as text")
+    regen.add_argument("artifacts", nargs="*", metavar="artifact",
+                       help=f"names from {list(ARTIFACTS)} (all by default)")
+    regen.set_defaults(func=_cmd_regen)
+
+    metrics = sub.add_parser(
+        "metrics", help="run an instrumented scenario, report the registry")
+    metrics.add_argument("--format", choices=("table", "prom", "json"),
+                         default="table")
+    metrics.add_argument("--seed", type=int, default=0x1EE7)
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="run an instrumented scenario, emit Chrome trace JSON")
+    trace.add_argument("--out", default="hypertee-trace.json",
+                       help="output path for the trace_event JSON")
+    trace.add_argument("--seed", type=int, default=0x1EE7)
+    trace.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: bare artifact names still regenerate, so
+    # ``python -m repro table6 fig8a`` keeps working.
+    if not argv or argv[0] not in ("regen", "metrics", "trace", "-h", "--help"):
+        argv = ["regen", *argv]
+    args = build_parser().parse_args(argv)
+    return args.func(args)

@@ -1,0 +1,105 @@
+"""Export surfaces for the metrics registry.
+
+Two formats:
+
+* :func:`render_prometheus` — the text exposition format Prometheus
+  scrapes (``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/
+  ``_count`` series for histograms with cumulative ``le`` buckets);
+* :func:`render_json` — one JSON document with every instrument, the
+  histogram percentiles pre-computed, and the federated per-subsystem
+  ``*Stats`` snapshot — the machine-readable twin of
+  ``HyperTEESystem.stats_summary()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, (Counter, Gauge)):
+                lines.append(f"{family.name}{_label_str(labels)} "
+                             f"{_fmt_value(child.value)}")
+            elif isinstance(child, Histogram):
+                cumulative = 0
+                for upper, count in child.buckets():
+                    cumulative += count
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_str(labels, {'le': _fmt_value(upper)})} "
+                        f"{cumulative}")
+                lines.append(f"{family.name}_bucket"
+                             f"{_label_str(labels, {'le': '+Inf'})} "
+                             f"{child.count}")
+                lines.append(f"{family.name}_sum{_label_str(labels)} "
+                             f"{_fmt_value(child.sum)}")
+                lines.append(f"{family.name}_count{_label_str(labels)} "
+                             f"{child.count}")
+    return "\n".join(lines) + "\n"
+
+
+def _instrument_json(child: Any) -> Any:
+    if isinstance(child, (Counter, Gauge)):
+        return child.value
+    if isinstance(child, Histogram):
+        if not child.count:
+            return {"count": 0}
+        return {
+            "count": child.count,
+            "sum": child.sum,
+            "min": child.min,
+            "max": child.max,
+            "mean": child.mean,
+            "p50": child.percentile(0.50),
+            "p90": child.percentile(0.90),
+            "p99": child.percentile(0.99),
+            "buckets": child.buckets(),
+        }
+    raise TypeError(f"unknown instrument {type(child).__name__}")
+
+
+def registry_as_dict(registry: MetricsRegistry) -> dict:
+    """The registry as one nested dict (instruments + federated stats)."""
+    metrics: dict[str, Any] = {}
+    for family in registry.families():
+        series = []
+        for labels, child in family.samples():
+            series.append({"labels": labels,
+                           "value": _instrument_json(child)})
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "series": series,
+        }
+    return {"metrics": metrics,
+            "subsystems": registry.federated_snapshot()}
+
+
+def render_json(registry: MetricsRegistry, indent: int = 1) -> str:
+    """The registry dict serialized as JSON."""
+    return json.dumps(registry_as_dict(registry), indent=indent, default=str)

@@ -1,0 +1,293 @@
+"""The probe-point facade every instrumented subsystem reports through.
+
+One :class:`Observability` instance exists per :class:`HyperTEESystem`.
+Subsystems hold an ``obs`` attribute that is ``None`` by default — the
+probes cost nothing until ``HyperTEESystem.enable_observability()``
+attaches the facade. Probe methods translate low-level events into
+registry instruments (:mod:`repro.obs.metrics`) and lifecycle spans
+(:mod:`repro.obs.trace`).
+
+Probe-point map (who calls what):
+
+====================  ==========================================
+caller                probe
+====================  ==========================================
+``cs/emcall.py``      :meth:`record_invocation` — the root span and the
+                      gate/transfer/service/poll decomposition
+``ems/runtime.py``    :meth:`record_ems_dispatch`, :meth:`record_ems_pump`
+``hw/mailbox.py``     :meth:`record_mailbox_push`,
+                      :meth:`record_mailbox_response`,
+                      :meth:`record_mailbox_reject`,
+                      :meth:`record_mailbox_fetch`
+``ems/memory_pool``   :meth:`record_pool_refill`, :meth:`record_pool_take`,
+                      :meth:`record_pool_return`
+``ems/swapping.py``   :meth:`record_swap_round`
+``hw/tlb.py``         :meth:`record_tlb_flush`
+``hw/page_table.py``  :meth:`record_ptw_walk`
+``crypto/engine.py``  :meth:`record_crypto_op`
+``eval/slo.py``       :meth:`record_slo_latency`
+====================  ==========================================
+
+**Out-of-band contract.** A probe may read whatever its caller hands it
+and write registry/tracer state, and nothing else: no model RNG draws,
+no mutation of modelled cycle counters, queues, or enclave state. This
+is the model-level analogue of the paper's claim that EMS-side
+management activity is invisible to the CS, and it is regression-tested
+by ``tests/obs/test_noninterference.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Observability:
+    """Metrics registry + tracer + the probe-point methods."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(enabled=enabled)
+        self.enabled = enabled
+        #: request_id -> EMS dispatch detail, consumed by record_invocation
+        #: to nest the handler span inside the invocation's service span.
+        self._pending_ems: dict[int, dict[str, Any]] = {}
+
+        reg = self.metrics
+        self._invocations = reg.counter(
+            "hypertee_primitive_invocations_total",
+            "Primitive invocations through EMCall, by primitive and status",
+            ("primitive", "status"))
+        self._latency = reg.histogram(
+            "hypertee_primitive_latency_cs_cycles",
+            "End-to-end CS-visible primitive latency (EMCall invoke)",
+            ("primitive",))
+        self._ems_service = reg.histogram(
+            "hypertee_ems_service_cycles",
+            "EMS-side handler service time, in EMS-core cycles",
+            ("primitive",))
+        self._polls = reg.histogram(
+            "hypertee_emcall_poll_rounds",
+            "Response-poll rounds per invocation")
+        self._pump_batch = reg.histogram(
+            "hypertee_ems_pump_batch_size",
+            "Requests drained per EMS pump round")
+        self._mailbox_depth = reg.gauge(
+            "hypertee_mailbox_request_queue_depth",
+            "Requests waiting in the mailbox after the last push/fetch")
+        self._mailbox_events = reg.counter(
+            "hypertee_mailbox_events_total",
+            "Mailbox traffic events", ("event",))
+        self._pool_refill_pages = reg.histogram(
+            "hypertee_pool_refill_pages",
+            "Frames requested from the CS OS per pool refill")
+        self._pool_free = reg.gauge(
+            "hypertee_pool_free_frames", "Pool frames currently free")
+        self._pool_used = reg.gauge(
+            "hypertee_pool_used_frames", "Pool frames handed to enclaves")
+        self._swap_pages = reg.histogram(
+            "hypertee_swap_surrendered_pages",
+            "Pages surrendered per EWB round (request + random overshoot)")
+        self._tlb_flushes = reg.counter(
+            "hypertee_tlb_flushes_total",
+            "TLB flushes by kind", ("kind",))
+        self._tlb_dropped = reg.histogram(
+            "hypertee_tlb_flush_dropped_entries",
+            "Entries dropped per TLB flush")
+        self._ptw_walks = reg.counter(
+            "hypertee_ptw_walks_total",
+            "Hardware page-table walks, by bitmap-check outcome",
+            ("bitmap_checked",))
+        self._ptw_cycles = reg.histogram(
+            "hypertee_ptw_walk_cycles", "Cycles per hardware walk")
+        self._crypto_ops = reg.counter(
+            "hypertee_crypto_ops_total", "Crypto engine operations", ("op",))
+        self._crypto_cycles = reg.histogram(
+            "hypertee_crypto_op_cycles",
+            "EMS cycles per crypto operation", ("op",))
+        self._slo_latency = reg.histogram(
+            "hypertee_slo_latency_seconds",
+            "Fig. 6 queueing-sim primitive latencies", ("config",))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def enable(self) -> None:
+        """Turn on metric probes and span recording."""
+        self.enabled = True
+        self.tracer.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording (already-collected data stays queryable)."""
+        self.enabled = False
+        self.tracer.enabled = False
+
+    # -- EMCall: the root probe ------------------------------------------------------
+
+    def record_invocation(self, *, primitive: str, status: str,
+                          request_id: int, cs_cycles: int,
+                          dispatch_cycles: int, transfer_cycles: int,
+                          service_cycles: int, jitter_cycles: int,
+                          polls: int, enclave_id: int | None,
+                          core_id: int) -> None:
+        """One EMCall.invoke completed: metrics + the nested span tree.
+
+        The span layout mirrors the request's actual journey; the five
+        child durations sum exactly to ``cs_cycles``.
+        """
+        self._invocations.labels(primitive, status).inc()
+        self._latency.labels(primitive).observe(cs_cycles)
+        self._polls.observe(polls)
+
+        tracer = self.tracer
+        if not tracer.enabled:
+            self._pending_ems.pop(request_id, None)
+            return
+        track = f"cs{core_id}"
+        t0 = tracer.clock
+        root = tracer.add_span(
+            primitive, "primitive", t0, cs_cycles, track=track,
+            request_id=request_id, status=status, enclave_id=enclave_id)
+        ems_to_cs = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
+        service_cs = int(service_cycles * ems_to_cs)
+        cursor = t0
+        gate = tracer.add_span("emcall.gate", "emcall", cursor,
+                               dispatch_cycles, parent=root, track=track,
+                               primitive=primitive)
+        del gate
+        cursor += dispatch_cycles
+        tracer.add_span("mailbox.request", "mailbox", cursor,
+                        transfer_cycles, parent=root, track=track,
+                        request_id=request_id)
+        cursor += transfer_cycles
+        service = tracer.add_span(
+            "ems.service", "ems", cursor, service_cs, parent=root,
+            track=track, ems_cycles=service_cycles)
+        detail = self._pending_ems.pop(request_id, None)
+        if detail is not None and service is not None:
+            tracer.add_span(
+                f"ems.handler:{detail['primitive']}", "ems", cursor,
+                service_cs, parent=service, track=track, **{
+                    k: v for k, v in detail.items() if k != "primitive"})
+        cursor += service_cs
+        tracer.add_span("mailbox.response", "mailbox", cursor,
+                        transfer_cycles, parent=root, track=track,
+                        request_id=request_id)
+        cursor += transfer_cycles
+        # The remainder of the CS-visible latency is poll obfuscation
+        # jitter; spans must tile the root exactly.
+        tail = cs_cycles - (cursor - t0)
+        tracer.add_span("emcall.poll", "emcall", cursor, tail, parent=root,
+                        track=track, polls=polls, jitter_cycles=jitter_cycles)
+        tracer.advance(cs_cycles)
+
+    # -- EMS runtime ----------------------------------------------------------------
+
+    def record_ems_dispatch(self, *, request_id: int, primitive: str,
+                            status: str, service_cycles: int,
+                            core_index: int) -> None:
+        """The EMS dispatched one request (handler detail for the trace)."""
+        self._ems_service.labels(primitive).observe(service_cycles)
+        self._pending_ems[request_id] = {
+            "primitive": primitive, "status": status,
+            "service_cycles": service_cycles, "ems_core": core_index,
+        }
+
+    def record_ems_pump(self, batch_size: int) -> None:
+        """One pump round drained ``batch_size`` requests."""
+        self._pump_batch.observe(batch_size)
+
+    # -- mailbox ---------------------------------------------------------------------
+
+    def record_mailbox_push(self, queue_depth: int) -> None:
+        """A request entered the mailbox."""
+        self._mailbox_events.labels("request_pushed").inc()
+        self._mailbox_depth.set(queue_depth)
+
+    def record_mailbox_fetch(self, drained: int, remaining: int) -> None:
+        """The EMS drained ``drained`` requests; ``remaining`` still queued."""
+        self._mailbox_events.labels("requests_fetched").inc(drained)
+        self._mailbox_depth.set(remaining)
+
+    def record_mailbox_response(self) -> None:
+        """A response packet was posted."""
+        self._mailbox_events.labels("response_pushed").inc()
+
+    def record_mailbox_reject(self, kind: str) -> None:
+        """The mailbox refused a packet (capacity, forgery, ...)."""
+        self._mailbox_events.labels(f"rejected_{kind}").inc()
+
+    # -- enclave memory pool -----------------------------------------------------------
+
+    def record_pool_refill(self, pages: int, free: int, used: int) -> None:
+        """The pool bulk-requested ``pages`` frames from the CS OS."""
+        self._pool_refill_pages.observe(pages)
+        self._pool_free.set(free)
+        self._pool_used.set(used)
+
+    def record_pool_take(self, pages: int, free: int, used: int) -> None:
+        """Frames left the pool for an enclave."""
+        del pages
+        self._pool_free.set(free)
+        self._pool_used.set(used)
+
+    def record_pool_return(self, pages: int, free: int, used: int) -> None:
+        """Frames came back (EFREE / EDESTROY), zeroed."""
+        del pages
+        self._pool_free.set(free)
+        self._pool_used.set(used)
+
+    # -- swapping ------------------------------------------------------------------------
+
+    def record_swap_round(self, requested: int, surrendered: int) -> None:
+        """One EWB round surrendered ``surrendered`` pool pages."""
+        del requested
+        self._swap_pages.observe(surrendered)
+
+    # -- TLB / PTW ------------------------------------------------------------------------
+
+    def record_tlb_flush(self, kind: str, dropped: int) -> None:
+        """A TLB flush (``full``/``asid``/``frame``) dropped entries."""
+        self._tlb_flushes.labels(kind).inc()
+        self._tlb_dropped.observe(dropped)
+
+    def record_ptw_walk(self, cycles: int, bitmap_checked: bool) -> None:
+        """One hardware page-table walk completed."""
+        self._ptw_walks.labels(str(bitmap_checked).lower()).inc()
+        self._ptw_cycles.observe(cycles)
+
+    # -- crypto engine -----------------------------------------------------------------------
+
+    def record_crypto_op(self, op: str, nbytes: int, cycles: int) -> None:
+        """The crypto engine performed one operation."""
+        del nbytes
+        self._crypto_ops.labels(op).inc()
+        self._crypto_cycles.labels(op).observe(cycles)
+
+    # -- Fig. 6 queueing simulation ---------------------------------------------------------------
+
+    def record_slo_latency(self, config: str, latency_seconds: float) -> None:
+        """One Fig. 6 simulated primitive completed."""
+        self._slo_latency.labels(config).observe(latency_seconds)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def primitive_latency_table(self) -> list[dict[str, Any]]:
+        """Per-primitive p50/p90/p99 over the CS-visible latency."""
+        rows = []
+        for labels, hist in self._latency.samples():
+            if not hist.count:
+                continue
+            rows.append({
+                "primitive": labels["primitive"],
+                "count": hist.count,
+                "p50": hist.percentile(0.50),
+                "p90": hist.percentile(0.90),
+                "p99": hist.percentile(0.99),
+                "mean": hist.mean,
+                "max": hist.max,
+            })
+        rows.sort(key=lambda r: -r["count"])
+        return rows

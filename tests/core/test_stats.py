@@ -49,3 +49,59 @@ def test_stats_summary_structure():
     assert summary["mailbox"]["requests_sent"] >= 6
     assert summary["pool"]["takes"] > 0
     assert "core0" in summary["tlb"] and "core1" in summary["tlb"]
+
+
+def _exercised_tee() -> HyperTEE:
+    tee = HyperTEE(SystemConfig(cs_memory_mb=48, ems_memory_mb=4,
+                                cs_cores=2))
+    enclave = tee.launch_enclave(b"stats coverage")
+    with enclave.running():
+        vaddr = enclave.ealloc(2)
+        enclave.write(vaddr, b"x")
+        enclave.efree(vaddr)
+    tee.invoke_os(Primitive.EWB, {"pages": 1})
+    enclave.destroy()
+    return tee
+
+
+def _numeric_leaves(tree: dict) -> list[tuple[str, float]]:
+    out = []
+    for key, value in tree.items():
+        if isinstance(value, dict):
+            out.extend((f"{key}.{inner}", v)
+                       for inner, v in _numeric_leaves(value))
+        elif isinstance(value, (int, float)):
+            out.append((key, value))
+    return out
+
+
+def test_stats_summary_counters_non_negative():
+    summary = _exercised_tee().system.stats_summary()
+    leaves = _numeric_leaves(summary)
+    assert leaves
+    for name, value in leaves:
+        assert value >= 0, name
+
+
+def test_stats_summary_matches_legacy_dataclasses():
+    """The registry federates the live *Stats; it must not fork them."""
+    tee = _exercised_tee()
+    sys_ = tee.system
+    summary = sys_.stats_summary()
+    assert summary["mailbox"]["requests_sent"] == sys_.mailbox.stats.requests_sent
+    assert summary["mailbox"]["response_rejects"] == \
+        sys_.mailbox.stats.response_rejects
+    assert summary["ems"]["served"] == sys_.ems.stats.served
+    assert summary["pool"]["takes"] == sys_.pool.stats.takes
+    assert summary["emcall"]["bitmap_flushes"] == \
+        sys_.emcall.bitmap_flush_count
+    # A later snapshot reflects new traffic without re-registration.
+    before = summary["mailbox"]["requests_sent"]
+    enclave = tee.launch_enclave(b"second wave")
+    enclave.destroy()
+    assert sys_.stats_summary()["mailbox"]["requests_sent"] > before
+
+
+def test_stats_summary_sources_match_schema():
+    sys_ = HyperTEESystem(SystemConfig(cs_memory_mb=48, ems_memory_mb=4))
+    assert set(sys_.obs.metrics.source_names()) == set(sys_.stats_summary())

@@ -9,7 +9,6 @@ import pytest
 from repro.core.api import HyperTEE, local_attest
 from repro.core.config import SystemConfig
 from repro.core.enclave import EnclaveConfig
-from repro.core.system import HyperTEESystem
 from repro.ems.attestation import Certificate, RemoteSession, dh_binding
 from repro.errors import AttestationError, SanityCheckError
 

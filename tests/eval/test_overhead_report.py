@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.overhead import (
     bitmap_update_flush_overhead,

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.eval.slo import ADEQUATE_EMS, SLO_FACTOR, meets_slo, simulate
 

@@ -92,3 +92,40 @@ def test_fetch_max_count():
         box.push_request(req(i))
     assert len(box.fetch_requests(max_count=3)) == 3
     assert box.pending_request_count() == 2
+
+
+def test_response_queue_capacity_enforced():
+    """push_response honours the same capacity limit as push_request."""
+    box = Mailbox(capacity=2)
+    box.push_request(req(1))
+    box.push_request(req(2))
+    box.fetch_requests()
+    box.push_request(req(3))
+    box.fetch_requests()
+    box.push_response(resp(1))
+    box.push_response(resp(2))
+    with pytest.raises(MailboxError):
+        box.push_response(resp(3))
+    assert box.stats.response_rejects == 1
+    # Collecting a response frees a slot; the retry then lands.
+    assert box.poll_response(1) is not None
+    box.push_response(resp(3))
+    assert box.poll_response(3) is not None
+    assert box.stats.response_rejects == 1
+
+
+def test_partial_drain_keeps_irq_asserted():
+    """The IRQ line tracks queue occupancy, not fetch attempts."""
+    box = Mailbox()
+    for i in range(4):
+        box.push_request(req(i))
+    assert box.irq_pending
+    box.fetch_requests(max_count=2)
+    # Two requests are still queued: the line must stay asserted so the
+    # EMS re-enters its drain loop instead of stranding the tail.
+    assert box.irq_pending
+    box.fetch_requests(max_count=2)
+    assert not box.irq_pending
+    # A full drain of an already-empty queue keeps it deasserted.
+    box.fetch_requests()
+    assert not box.irq_pending

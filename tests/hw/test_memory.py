@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 
 from repro.common.constants import PAGE_SIZE
 from repro.errors import PhysicalAddressError
-from repro.hw.encryption_engine import MemoryEncryptionEngine
 from repro.hw.memory import PhysicalMemory
 
 

@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 from repro.common.constants import PAGE_SIZE
 from repro.common.types import Permission
 from repro.errors import PageFault
-from repro.hw.encryption_engine import MemoryEncryptionEngine
 from repro.hw.memory import PhysicalMemory
 from repro.hw.page_table import DecodedPTE, PageTable, encode_pte
 

@@ -1,0 +1,129 @@
+"""Instruments, families, and the registry's federation layer."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    stats_asdict,
+)
+
+
+def test_counter_monotonic():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(MetricError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge()
+    g.set(10)
+    g.inc(2.5)
+    g.dec()
+    assert g.value == 11.5
+
+
+def test_histogram_buckets_are_log_spaced():
+    h = Histogram(base=2.0)
+    for v in (1, 2, 3, 4, 5, 1000):
+        h.observe(v)
+    bounds = [upper for upper, _ in h.buckets()]
+    assert bounds == sorted(bounds)
+    # 3 lands in the (2, 4] bucket, 1000 in (512, 1024].
+    assert dict(h.buckets())[4.0] == 2
+    assert dict(h.buckets())[1024.0] == 1
+    assert h.count == 6 and h.min == 1 and h.max == 1000
+
+
+def test_histogram_rejects_bad_input():
+    h = Histogram()
+    with pytest.raises(MetricError):
+        h.observe(-1)
+    with pytest.raises(MetricError):
+        h.percentile(1.5)
+    with pytest.raises(MetricError):
+        Histogram(base=1.0)
+
+
+def test_histogram_percentiles_bounded_error():
+    h = Histogram(base=2.0)
+    for v in range(1, 1001):
+        h.observe(v)
+    # Log buckets answer within a factor of base of the exact quantile.
+    assert h.percentile(0.5) == pytest.approx(500, rel=1.0)
+    assert h.percentile(0.99) == pytest.approx(990, rel=1.0)
+    assert h.min <= h.percentile(0.01) <= h.percentile(0.99) <= h.max
+
+
+def test_histogram_single_value_is_exact():
+    h = Histogram()
+    h.observe(350)
+    for p in (0.0, 0.5, 0.99, 1.0):
+        assert h.percentile(p) == 350
+    assert h.mean == 350
+
+
+def test_empty_histogram_percentile_is_zero():
+    assert Histogram().percentile(0.5) == 0.0
+    assert Histogram().mean == 0.0
+
+
+def test_family_labels_positional_and_keyword():
+    reg = MetricsRegistry()
+    fam = reg.counter("hits", "test", ("primitive", "status"))
+    fam.labels("EALLOC", "ok").inc()
+    fam.labels(primitive="EALLOC", status="ok").inc()
+    assert fam.labels("EALLOC", "ok").value == 2
+    with pytest.raises(MetricError):
+        fam.labels("EALLOC")  # wrong arity
+    with pytest.raises(MetricError):
+        fam.labels("x", status="y")  # mixed styles
+
+
+def test_unlabelled_family_proxies_to_solo_child():
+    reg = MetricsRegistry()
+    reg.counter("events").inc(3)
+    reg.gauge("depth").set(7)
+    reg.histogram("lat").observe(42)
+    assert reg.get("events").labels().value == 3
+    assert reg.get("depth").labels().value == 7
+    assert reg.get("lat").labels().count == 1
+    with pytest.raises(MetricError):
+        reg.counter("labelled", labelnames=("a",)).inc()
+
+
+def test_registration_is_idempotent_but_typed():
+    reg = MetricsRegistry()
+    first = reg.counter("x", "help", ("a",))
+    assert reg.counter("x", "other help", ("a",)) is first
+    with pytest.raises(MetricError):
+        reg.gauge("x")  # kind mismatch
+    with pytest.raises(MetricError):
+        reg.counter("x", labelnames=("b",))  # label mismatch
+
+
+def test_federated_snapshot_reads_live_sources():
+    @dataclasses.dataclass
+    class FakeStats:
+        served: int = 0
+
+    stats = FakeStats()
+    reg = MetricsRegistry()
+    reg.register_source("fake", lambda: stats_asdict(stats))
+    assert reg.federated_snapshot() == {"fake": {"served": 0}}
+    stats.served = 9
+    # Pull-based: the snapshot tracks the dataclass, no copy is stored.
+    assert reg.federated_snapshot() == {"fake": {"served": 9}}
+    assert reg.source_names() == ["fake"]
+    with pytest.raises(MetricError):
+        reg.register_source("fake", lambda: {})

@@ -1,0 +1,90 @@
+"""Observability is out-of-band: tracing on vs off changes nothing.
+
+The paper's architecture makes EMS-side management invisible to the CS;
+the model's instrumentation must inherit that property. These tests run
+the same workloads with tracing enabled and disabled and assert the
+modelled results are bit-identical: cycle counts, stats summaries, the
+Table VI attack outcomes, and the Fig. 8a bench output.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.harness import defense_matrix, expected_paper_matrix
+from repro.baselines.hypertee_adapter import HyperTEEAdapter
+from repro.common.types import Permission, Primitive
+from repro.core.api import HyperTEE
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.eval.regenerate import fig8a
+from repro.obs.cli import run_instrumented_scenario
+
+
+def _workload(tee: HyperTEE) -> dict:
+    """A quickstart-style run; returns everything attacker-visible."""
+    enclave = tee.launch_enclave(b"noninterference " * 24,
+                                 EnclaveConfig(name="ni", heap_pages_max=64))
+    with enclave.running():
+        vaddr = enclave.ealloc(4)
+        enclave.write(vaddr, b"secret")
+        data = enclave.read(vaddr, 6)
+        enclave.write(vaddr + 5 * 4096, b"demand")
+        region = enclave.create_shared_region(2, Permission.RW)
+        share = enclave.attach(region)
+        enclave.write(share, b"shared")
+        enclave.detach(region)
+        enclave.destroy_region(region)
+        quote = enclave.attest(report_data=b"ni")
+        enclave.efree(vaddr)
+    tee.invoke_os(Primitive.EWB, {"pages": 2})
+    enclave.destroy()
+    return {
+        "cycles": tee.primitive_cycles,
+        "data": data,
+        "measurement": quote.enclave.measurement,
+        "signature": quote.enclave.signature,
+        "summary": tee.system.stats_summary(),
+    }
+
+
+def test_tracing_does_not_perturb_the_model():
+    plain = HyperTEE(SystemConfig(seed=1234))
+    traced = HyperTEE(SystemConfig(seed=1234))
+    traced.system.enable_observability()
+
+    a = _workload(plain)
+    b = _workload(traced)
+
+    assert a["cycles"] == b["cycles"]
+    assert a["data"] == b["data"]
+    assert a["measurement"] == b["measurement"]
+    assert a["signature"] == b["signature"]
+    assert a["summary"] == b["summary"]
+    # And the traced run really did record something.
+    assert len(traced.system.obs.tracer) > 0
+    assert len(plain.system.obs.tracer) == 0
+
+
+def test_table6_attacks_identical_with_tracing_on():
+    def plain_factory():
+        return HyperTEEAdapter()
+
+    def traced_factory():
+        tee = HyperTEE(SystemConfig(cs_memory_mb=96))
+        tee.system.enable_observability()
+        return HyperTEEAdapter(tee=tee)
+
+    plain = defense_matrix({"hypertee": plain_factory})["hypertee"]
+    traced = defense_matrix({"hypertee": traced_factory})["hypertee"]
+
+    # AttackResult is a frozen dataclass: accuracy, outcome, and detail
+    # must all match bit-for-bit, channel by channel.
+    assert plain == traced
+    expected = expected_paper_matrix()["hypertee"]
+    for channel, result in traced.items():
+        assert result.outcome is expected[channel], channel
+
+
+def test_fig8a_bench_unaffected_by_an_instrumented_run():
+    before = fig8a()
+    run_instrumented_scenario(seed=99)
+    assert fig8a() == before
