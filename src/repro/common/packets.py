@@ -26,6 +26,9 @@ class ResponseStatus(enum.Enum):
     OUT_OF_MEMORY = "out_of_memory"
     ATTESTATION_FAILED = "attestation_failed"
     ERROR = "error"
+    #: The EMS runtime failed before touching any state (e.g. a handler
+    #: crash); the request is safe to retry with the same idempotency key.
+    TRANSIENT = "transient"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,6 +46,10 @@ class PrimitiveRequest:
     privilege: Privilege
     args: dict[str, Any] = dataclasses.field(default_factory=dict)
     issue_cycle: int = 0
+    #: Stamped by EMCall on every request so a timed-out-and-retried
+    #: request — a *new* request id for the *same* logical operation — is
+    #: deduplicated EMS-side instead of re-applied.
+    idempotency_key: str | None = None
 
     def arg(self, name: str, default: Any = None) -> Any:
         """Convenience accessor for an argument field."""

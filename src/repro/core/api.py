@@ -89,6 +89,12 @@ class HyperTEE:
             if core.current_enclave_id == context_before:
                 core.privilege = saved
         self.primitive_cycles += result.cs_cycles
+        if result.response is None:
+            # Degraded mode (EMS unreachable past the bounded retries):
+            # surface the structured outcome as a typed API failure.
+            raise APIError(
+                f"{primitive.value} degraded after {result.attempts} "
+                f"attempts: {result.reason}")
         if not result.ok:
             raise APIError(
                 f"{primitive.value} failed: {result.response.status.value} "

@@ -144,6 +144,8 @@ class HyperTEESystem:
         from repro.obs.probes import Observability
 
         self.obs = Observability()
+        #: Fault injector; None until enable_fault_injection() is called.
+        self.faults = None
         self._register_stats_sources()
 
     def _register_stats_sources(self) -> None:
@@ -170,6 +172,13 @@ class HyperTEESystem:
         reg.register_source(
             "interrupts", lambda: stats_asdict(self.interrupt_monitor.stats))
 
+        from repro.faults.injector import FaultStats
+
+        reg.register_source(
+            "faults",
+            lambda: stats_asdict(self.faults.stats if self.faults is not None
+                                 else FaultStats()))
+
     def enable_observability(self) -> "HyperTEESystem":
         """Attach the probe points and turn on tracing.
 
@@ -188,6 +197,27 @@ class HyperTEESystem:
         for core in self.cores:
             core.tlb.obs = self.obs
             core.ptw.obs = self.obs
+        return self
+
+    def enable_fault_injection(self, plan) -> "HyperTEESystem":
+        """Attach a deterministic fault injector driven by ``plan``.
+
+        Wires the injector into every fault point: the mailbox queues
+        (via the iHub, which owns the transfer path), the EMS runtime,
+        and the EMCall gate. An empty plan is guaranteed non-interfering:
+        cycle counts, stats, and attestation signatures stay bit-identical
+        to a system without injection (tests/obs/test_noninterference.py).
+        Returns self for chaining.
+        """
+        from repro.faults.injector import FaultInjector
+        from repro.faults.plan import FaultPlan
+
+        if plan is None:
+            plan = FaultPlan.empty()
+        self.faults = FaultInjector(plan, obs=self.obs)
+        self.ihub.attach_faults(self.faults)
+        self.ems.faults = self.faults
+        self.emcall.faults = self.faults
         return self
 
     # -- conveniences ----------------------------------------------------------------------

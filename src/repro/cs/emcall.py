@@ -22,6 +22,18 @@ to the CS OS.
 
 Responses are retrieved by *polling* with jitter, never via the untrusted
 CS interrupt path (Section III-C).
+
+Degraded-weather hardening (``docs/fault_injection.md``): the poll loop
+carries a **per-primitive deadline**; an expired deadline cancels the
+mailbox slot and retries with **exponential backoff plus jitter**, every
+wasted cycle accounted into the CS-visible latency. Retried
+non-idempotent primitives (ECREATE/EADD) carry an **idempotency key** so
+the EMS deduplicates re-applies. When the EMS stays unreachable past the
+bounded retries, EMCall raises a typed :class:`~repro.errors.EMCallTimeout`
+— or, with ``retry_policy.degrade`` set, returns a structured
+:class:`DegradedResult` instead of hanging. The fault-free path is
+bit-identical to the unhardened gate (pinned by
+``tests/obs/test_noninterference.py``).
 """
 
 from __future__ import annotations
@@ -31,16 +43,47 @@ import itertools
 from typing import Any, Callable
 
 from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
-from repro.common.packets import PrimitiveRequest, PrimitiveResponse
+from repro.common.packets import (
+    PrimitiveRequest,
+    PrimitiveResponse,
+    ResponseStatus,
+)
 from repro.common.rng import DeterministicRng
 from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive
 from repro.cs.cpu import CSCore
-from repro.errors import EMCallError, PrivilegeViolation
+from repro.errors import EMCallError, EMCallTimeout, MailboxError, PrivilegeViolation
 from repro.eval.calibration import (
+    EMCALL_BACKOFF_BASE_CYCLES,
+    EMCALL_BACKOFF_JITTER_CYCLES,
+    EMCALL_DEADLINE_POLLS,
+    EMCALL_DEFAULT_DEADLINE_POLLS,
     EMCALL_DISPATCH_CYCLES,
+    EMCALL_POLL_INTERVAL_CYCLES,
     EMCALL_POLL_JITTER_CYCLES,
 )
 from repro.hw.mailbox import Mailbox
+
+#: Nearly every primitive mutates EMS state in a way a blind re-send
+#: could double-apply (ECREATE/EADD most visibly — a re-added page would
+#: corrupt the measurement — but also EENTER/EALLOC/ESHMAT state
+#: transitions), so EMCall stamps *every* request with an idempotency
+#: key: a retry after a lost response replays the cached outcome
+#: EMS-side instead of re-executing the handler.
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How hard EMCall fights degraded transport before giving up."""
+
+    #: Total tries per invocation (first attempt included).
+    max_attempts: int = 4
+    #: First-retry backoff in CS cycles; doubles each further attempt.
+    backoff_base_cycles: int = EMCALL_BACKOFF_BASE_CYCLES
+    #: Uniform jitter 0..this added to every backoff wait.
+    backoff_jitter_cycles: int = EMCALL_BACKOFF_JITTER_CYCLES
+    #: Return a :class:`DegradedResult` instead of raising
+    #: :class:`~repro.errors.EMCallTimeout` when retries are exhausted.
+    degrade: bool = False
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,14 +92,54 @@ class InvokeResult:
 
     response: PrimitiveResponse
     cs_cycles: int
+    #: How many sends it took (1 = clean weather).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.response.ok
 
+    @property
+    def degraded(self) -> bool:
+        return False
+
     def result(self, name: str, default: Any = None) -> Any:
         """Field from the response's result dict."""
         return self.response.result.get(name, default)
+
+
+@dataclasses.dataclass(frozen=True)
+class DegradedResult:
+    """The structured "EMS unreachable" outcome (no hang, no response).
+
+    Returned instead of :class:`InvokeResult` when ``retry_policy.degrade``
+    is set and every attempt timed out: the caller gets the full story —
+    what was tried, for how long, under which request ids — and can shed
+    load or escalate instead of blocking.
+    """
+
+    primitive: Primitive
+    attempts: int
+    cs_cycles: int
+    reason: str
+    request_ids: tuple[int, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    @property
+    def degraded(self) -> bool:
+        return True
+
+    @property
+    def response(self) -> None:
+        return None
+
+    def result(self, name: str, default: Any = None) -> Any:
+        """Mirror of :meth:`InvokeResult.result`; always the default."""
+        del name
+        return default
 
 
 class EMCall:
@@ -68,6 +151,7 @@ class EMCall:
         self._rng = rng
         self._cores = cores
         self._request_ids = itertools.count(1)
+        self._idempotency_ids = itertools.count(1)
         #: Synchronous EMS pump, attached by the SoC after the EMS boots.
         self._ems_pump: Callable[[], None] | None = None
         #: Count of TLB flushes triggered by bitmap updates (Fig. 11 input).
@@ -76,6 +160,10 @@ class EMCall:
         self._interrupt_observer = None
         #: Out-of-band observability hook (attached by the system).
         self.obs = None
+        #: Fault injector (None = clear weather); see repro.faults.
+        self.faults = None
+        #: Retry/timeout/degradation knobs; swap for a custom policy.
+        self.retry_policy = RetryPolicy()
 
     def attach_ems(self, pump: Callable[[], None]) -> None:
         """Wire the EMS runtime's pump (done after secure boot)."""
@@ -84,34 +172,98 @@ class EMCall:
     # -- the invocation path ---------------------------------------------------------------
 
     def invoke(self, primitive: Primitive, args: dict[str, Any], *,
-               core: CSCore) -> InvokeResult:
+               core: CSCore) -> InvokeResult | DegradedResult:
         """Invoke one enclave primitive on behalf of ``core``'s context."""
         required = PRIMITIVE_PRIVILEGE[primitive]
         if core.privilege is not required:
             raise PrivilegeViolation(
                 f"{primitive.value} requires {required.name}, "
                 f"core {core.core_id} is at {core.privilege.name}")
-
-        request = PrimitiveRequest(
-            request_id=next(self._request_ids),
-            primitive=primitive,
-            enclave_id=core.current_enclave_id,   # hardware-stamped identity
-            privilege=core.privilege,
-            args=dict(args),
-        )
-        self.mailbox.push_request(request)
         if self._ems_pump is None:
             raise EMCallError("EMS not attached; secure boot incomplete?")
-        self._ems_pump()
 
-        response = self.mailbox.poll_response(request.request_id)
-        polls = 1
-        while response is None:
+        policy = self.retry_policy
+        deadline_polls = EMCALL_DEADLINE_POLLS.get(
+            primitive.value, EMCALL_DEFAULT_DEADLINE_POLLS)
+        idempotency_key = f"c{core.core_id}-k{next(self._idempotency_ids)}"
+
+        #: Cycles beyond the clean-path formula: extra polls, backoff
+        #: waits, and injected fabric latency — all CS-visible.
+        extra_cycles = 0
+        request_ids: list[int] = []
+        response: PrimitiveResponse | None = None
+        request: PrimitiveRequest | None = None
+        attempts = 0
+        polls = 0
+
+        while attempts < policy.max_attempts:
+            attempts += 1
+            request = PrimitiveRequest(
+                request_id=next(self._request_ids),
+                primitive=primitive,
+                enclave_id=core.current_enclave_id,   # hardware-stamped identity
+                privilege=core.privilege,
+                args=dict(args),
+                idempotency_key=idempotency_key,
+            )
+            request_ids.append(request.request_id)
+            try:
+                self.mailbox.push_request(request)
+            except MailboxError:
+                # Queue full (real backlog or injected burst): the
+                # transmitter backs off and re-sends.
+                extra_cycles += self._backoff(primitive, attempts)
+                continue
+            # Both transfer legs cross the iHub; latency spikes land here.
+            extra_cycles += \
+                self.mailbox.transfer_cycles("request") - Mailbox.TRANSFER_CYCLES
+
             self._ems_pump()
             response = self.mailbox.poll_response(request.request_id)
-            polls += 1
-            if polls > 64:
-                raise EMCallError(f"no response for request {request.request_id}")
+            polls = 1
+            while response is None and polls < deadline_polls:
+                self._ems_pump()
+                response = self.mailbox.poll_response(request.request_id)
+                polls += 1
+            # Only polls beyond the first cost cycles: the clean
+            # synchronous path is charged exactly as before hardening.
+            extra_cycles += EMCALL_POLL_INTERVAL_CYCLES * (polls - 1)
+
+            if response is None:
+                # Deadline expired: release the slot (late responses
+                # become stale) and back off before the re-send.
+                self.mailbox.cancel_request(request.request_id)
+                if self.obs is not None:
+                    self.obs.record_emcall_timeout(primitive.value, attempts)
+                extra_cycles += self._backoff(primitive, attempts)
+                continue
+            if response.request_id != request.request_id:
+                raise EMCallError(
+                    f"mailbox delivered response {response.request_id} "
+                    f"for request {request.request_id}")
+            if response.status is ResponseStatus.TRANSIENT:
+                # The EMS runtime failed before touching state; safe to
+                # re-send under the same idempotency key.
+                response = None
+                extra_cycles += self._backoff(primitive, attempts)
+                continue
+            extra_cycles += \
+                self.mailbox.transfer_cycles("response") - Mailbox.TRANSFER_CYCLES
+            break
+
+        if response is None:
+            waited = extra_cycles + EMCALL_DISPATCH_CYCLES
+            if policy.degrade:
+                if self.obs is not None:
+                    self.obs.record_emcall_degraded(primitive.value, attempts)
+                return DegradedResult(
+                    primitive=primitive, attempts=attempts,
+                    cs_cycles=waited,
+                    reason=f"no response within {deadline_polls} polls x "
+                           f"{attempts} attempts",
+                    request_ids=tuple(request_ids))
+            raise EMCallTimeout(primitive.value, attempts, deadline_polls,
+                                waited)
 
         self._apply_cs_actions(core, response)
 
@@ -120,7 +272,8 @@ class EMCall:
         cs_cycles = (EMCALL_DISPATCH_CYCLES
                      + 2 * Mailbox.TRANSFER_CYCLES
                      + int(response.service_cycles * ems_to_cs)
-                     + jitter)
+                     + jitter
+                     + extra_cycles)
         if self.obs is not None:
             self.obs.record_invocation(
                 primitive=primitive.value, status=response.status.value,
@@ -129,8 +282,27 @@ class EMCall:
                 transfer_cycles=Mailbox.TRANSFER_CYCLES,
                 service_cycles=response.service_cycles,
                 jitter_cycles=jitter, polls=polls,
-                enclave_id=request.enclave_id, core_id=core.core_id)
-        return InvokeResult(response=response, cs_cycles=cs_cycles)
+                enclave_id=request.enclave_id, core_id=core.core_id,
+                attempts=attempts)
+        return InvokeResult(response=response, cs_cycles=cs_cycles,
+                            attempts=attempts)
+
+    def _backoff(self, primitive: Primitive, attempt: int) -> int:
+        """Cycles of exponential backoff (with jitter) before a re-send.
+
+        Drawn from a dedicated RNG stream that is only touched on actual
+        retries, so clean-weather runs consume no extra randomness.
+        """
+        if attempt >= self.retry_policy.max_attempts:
+            return 0  # no re-send follows; nothing to wait for
+        wait = self.retry_policy.backoff_base_cycles * (2 ** (attempt - 1))
+        jitter = self._rng.randint(
+            0, self.retry_policy.backoff_jitter_cycles,
+            stream="emcall-backoff")
+        if self.obs is not None:
+            self.obs.record_emcall_retry(primitive.value, attempt,
+                                         wait + jitter)
+        return wait + jitter
 
     # -- CS-side effects the EMS cannot perform itself ------------------------------------------
 

@@ -15,6 +15,7 @@ latency are modelled separately in :mod:`repro.eval.slo`.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 from typing import Any, Callable
 
@@ -36,6 +37,7 @@ from repro.errors import (
     ConnectionNotAuthorized,
     EMSError,
     EnclaveStateError,
+    MailboxError,
     NotRegionOwner,
     OutOfEnclaveMemory,
     OwnershipError,
@@ -57,6 +59,16 @@ _STATUS_FOR_ERROR: list[tuple[type, ResponseStatus]] = [
     (EMSError, ResponseStatus.ERROR),
 ]
 
+#: Most-recent idempotency keys the runtime remembers (bounded so chaos
+#: soaks cannot grow the replay cache without limit).
+_IDEMPOTENCY_CACHE_SIZE = 1024
+
+#: EMS instructions to look up and replay a cached idempotent result.
+_REPLAY_INSTR = 300
+
+#: EMS cycles of injected stall converted into deferred pump rounds.
+_STALL_CYCLES_PER_ROUND = 50_000
+
 
 @dataclasses.dataclass
 class RuntimeStats:
@@ -64,6 +76,15 @@ class RuntimeStats:
     failed: int = 0
     sanity_rejects: int = 0
     total_service_cycles: int = 0
+    #: Retried requests answered from the idempotency cache instead of
+    #: re-applying the handler (ECREATE/EADD dedup).
+    idempotent_replays: int = 0
+    #: Injected handler crashes answered with a TRANSIENT status.
+    transient_failures: int = 0
+    #: Responses whose posting was deferred by an injected stall.
+    stalled_responses: int = 0
+    #: Pump rounds skipped by an injected EMS core pause.
+    paused_rounds: int = 0
     #: Busy cycles per EMS core (round-robin pump assignment).
     per_core_cycles: list[int] = dataclasses.field(default_factory=list)
 
@@ -98,6 +119,15 @@ class EMSRuntime:
         self._next_core = 0
         #: Out-of-band observability hook (attached by the system).
         self.obs = None
+        #: Fault injector (None = clear weather); see repro.faults.
+        self.faults = None
+        #: idempotency_key -> (result dict, original status) replay cache.
+        self._idempotency_cache: collections.OrderedDict[
+            str, tuple[dict, ResponseStatus]] = collections.OrderedDict()
+        #: Responses held back by an injected stall: [rounds_left, response].
+        self._stalled: list[list] = []
+        #: Pump rounds left in an injected EMS core pause.
+        self._pause_rounds = 0
         self._handlers: dict[Primitive, Callable[[PrimitiveRequest], HandlerOutput]] = {
             Primitive.ECREATE: self._h_ecreate,
             Primitive.EADD: self._h_eadd,
@@ -124,7 +154,23 @@ class EMSRuntime:
 
         Requests are shuffled before service: attackers cannot control
         the relative order of their own and a victim's primitives.
+
+        Under fault injection the pump also models degraded weather: an
+        ``ems.core.pause`` freezes whole rounds, and stalled responses
+        (``ems.handler.stall``) are delivered only once their deferral
+        rounds have elapsed.
         """
+        if self._pause_rounds > 0:
+            self._pause_rounds -= 1
+            self.stats.paused_rounds += 1
+            return 0
+        if self.faults is not None:
+            pause = self.faults.magnitude("ems.core.pause")
+            if pause > 0:
+                self._pause_rounds = pause - 1
+                self.stats.paused_rounds += 1
+                return 0
+        self._deliver_stalled()
         requests = self.mailbox.fetch_requests()
         if not requests:
             return 0
@@ -133,6 +179,7 @@ class EMSRuntime:
             self.obs.record_ems_pump(len(requests))
         for request in requests:
             response = self.dispatch(request)
+            response = self._post_response(response)
             # Round-robin assignment across the EMS cores: concurrent
             # requests land on different cores (Section III-C), which the
             # utilization stats and the Fig. 6 queueing model reflect.
@@ -146,16 +193,80 @@ class EMSRuntime:
                     service_cycles=response.service_cycles,
                     core_index=self._next_core)
             self._next_core = (self._next_core + 1) % self.num_cores
-            self.mailbox.push_response(response)
         return len(requests)
 
+    def _post_response(self, response: PrimitiveResponse) -> PrimitiveResponse:
+        """Post one response, modelling stalls; returns what was (or will
+        be) posted — possibly inflated by an injected slow handler."""
+        if self.faults is not None:
+            stall = self.faults.magnitude("ems.handler.stall")
+            if stall > 0:
+                # The slow handler burns `stall` extra EMS cycles
+                # (cycle-accounted) and its response reaches the mailbox
+                # only after the matching number of pump rounds.
+                rounds = max(1, stall // _STALL_CYCLES_PER_ROUND)
+                response = dataclasses.replace(
+                    response,
+                    service_cycles=response.service_cycles + stall)
+                self.stats.stalled_responses += 1
+                self._stalled.append([rounds, response])
+                return response
+        self._push_now(response)
+        return response
+
+    def _push_now(self, response: PrimitiveResponse) -> None:
+        """Push to the mailbox; a full response queue re-queues for the
+        next round instead of crashing the runtime."""
+        try:
+            self.mailbox.push_response(response)
+        except MailboxError:
+            self._stalled.append([1, response])
+
+    def _deliver_stalled(self) -> None:
+        """Age the stalled responses; post the ones whose time has come."""
+        if not self._stalled:
+            return
+        ready = []
+        for entry in self._stalled:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                ready.append(entry)
+        for entry in ready:
+            self._stalled.remove(entry)
+            self._push_now(entry[1])
+
     def dispatch(self, request: PrimitiveRequest) -> PrimitiveResponse:
-        """Sanity-check, execute, and package one primitive."""
+        """Sanity-check, execute, and package one primitive.
+
+        Retried non-idempotent requests (same idempotency key) are
+        answered from the replay cache — the handler is *not* re-applied,
+        so a retry after a lost response can never double-create or
+        double-add. An injected handler crash fails *before* the handler
+        runs and answers TRANSIENT: safe for EMCall to re-send.
+        """
         handler = self._handlers.get(request.primitive)
         if handler is None:
             self.stats.sanity_rejects += 1
             return PrimitiveResponse(request.request_id,
                                      ResponseStatus.SANITY_FAILED)
+        key = request.idempotency_key
+        if key is not None:
+            cached = self._idempotency_cache.get(key)
+            if cached is not None:
+                result, status = cached
+                self.stats.idempotent_replays += 1
+                replay_cycles = \
+                    self.core_config.cycles_for_instructions(_REPLAY_INSTR)
+                return PrimitiveResponse(
+                    request.request_id, status,
+                    result={**result, "replayed": True},
+                    service_cycles=replay_cycles)
+        if self.faults is not None and \
+                self.faults.fires("ems.handler.exception"):
+            self.stats.transient_failures += 1
+            return PrimitiveResponse(
+                request.request_id, ResponseStatus.TRANSIENT,
+                result={"error": "injected handler crash (no state touched)"})
         try:
             result, instr, crypto_cycles = handler(request)
         except EMSError as exc:
@@ -165,11 +276,21 @@ class EMSRuntime:
             status = next(s for t, s in _STATUS_FOR_ERROR if isinstance(exc, t))
             return PrimitiveResponse(request.request_id, status,
                                      result={"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 — a crashed handler must
+            # not take the whole EMS down with it; the CS gets a typed
+            # failure and the runtime keeps serving other enclaves.
+            self.stats.failed += 1
+            return PrimitiveResponse(request.request_id, ResponseStatus.ERROR,
+                                     result={"error": f"handler crashed: {exc!r}"})
 
         service_cycles = (self.core_config.cycles_for_instructions(instr)
                           + crypto_cycles)
         self.stats.served += 1
         self.stats.total_service_cycles += service_cycles
+        if key is not None:
+            self._idempotency_cache[key] = (dict(result), ResponseStatus.OK)
+            while len(self._idempotency_cache) > _IDEMPOTENCY_CACHE_SIZE:
+                self._idempotency_cache.popitem(last=False)
         if self._fabric_probe is not None:
             # The primitive's memory/I/O traffic crosses the fabric; an
             # interconnect observer sees only the aggregate count per

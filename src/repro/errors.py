@@ -88,6 +88,25 @@ class MailboxError(EMCallError):
     """Malformed traffic on the mailbox (unknown request id, replay, ...)."""
 
 
+class EMCallTimeout(EMCallError):
+    """No response arrived within the per-primitive poll deadline.
+
+    Raised after EMCall exhausts its bounded retries; carries enough
+    context for the caller (or a degraded-mode wrapper) to account for
+    the wasted cycles and decide what to do next.
+    """
+
+    def __init__(self, primitive: str, attempts: int, deadline_polls: int,
+                 waited_cycles: int) -> None:
+        super().__init__(
+            f"{primitive}: no response after {attempts} attempt(s) of "
+            f"{deadline_polls} polls each ({waited_cycles} CS cycles waited)")
+        self.primitive = primitive
+        self.attempts = attempts
+        self.deadline_polls = deadline_polls
+        self.waited_cycles = waited_cycles
+
+
 # --------------------------------------------------------------------------
 # EMS runtime faults (returned to CS as failed primitive responses)
 # --------------------------------------------------------------------------
@@ -126,6 +145,14 @@ class NotRegionOwner(SharedMemoryError):
 
 class ActiveConnectionsRemain(SharedMemoryError):
     """A region cannot be destroyed while attachments are active (§V-C)."""
+
+
+# --------------------------------------------------------------------------
+# Fault injection (the chaos harness itself, not the modelled hardware)
+# --------------------------------------------------------------------------
+
+class FaultConfigError(ConfigurationError):
+    """A FaultPlan names an unknown point or carries invalid parameters."""
 
 
 # --------------------------------------------------------------------------

@@ -36,6 +36,33 @@ EMCALL_DISPATCH_CYCLES = 350
 #: the noise EMCall injects against timing observation of EMS responses.
 EMCALL_POLL_JITTER_CYCLES = 200
 
+#: CS cycles between consecutive response polls. Charged only for polls
+#: beyond the first, so the fault-free synchronous path (one poll) costs
+#: exactly what it always did.
+EMCALL_POLL_INTERVAL_CYCLES = 40
+
+#: Response-poll deadline, in poll rounds, for primitives without an
+#: explicit entry below. 64 preserves the pre-hardening poll cap.
+EMCALL_DEFAULT_DEADLINE_POLLS = 64
+
+#: Per-primitive poll-deadline overrides: heavyweight primitives (bulk
+#: crypto, control-structure setup) earn a longer leash before EMCall
+#: declares a timeout and retries.
+EMCALL_DEADLINE_POLLS = {
+    "ECREATE": 128,
+    "EADD": 96,
+    "EWB": 128,
+    "EATTEST": 128,
+    "EDESTROY": 96,
+}
+
+#: First-retry backoff in CS cycles; doubles per attempt (plus jitter).
+EMCALL_BACKOFF_BASE_CYCLES = 2_000
+
+#: Uniform jitter 0..this added to each backoff wait, decorrelating
+#: retry storms from concurrent cores.
+EMCALL_BACKOFF_JITTER_CYCLES = 256
+
 # ---------------------------------------------------------------------------
 # EMS primitive service work, in EMS instructions (Fig. 7, Fig. 8a, Table IV)
 # ---------------------------------------------------------------------------

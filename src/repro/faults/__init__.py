@@ -1,0 +1,38 @@
+"""Deterministic fault injection for the HyperTEE model.
+
+The paper's decoupling argument (Section III-C) depends on the CS<->EMS
+mailbox path staying correct under degraded conditions. This package
+provides the adversarial weather: a declarative :class:`FaultPlan`
+naming *where* (a fault point), *how often* (a probability or a burst),
+and *how hard* (a magnitude) things break, and a :class:`FaultInjector`
+that rolls those dice from its own :class:`~repro.common.rng.DeterministicRng`
+so every chaos run replays bit-for-bit from its seed.
+
+Design rules:
+
+* **Null by default** — subsystems hold a ``faults`` attribute that is
+  ``None`` until :meth:`repro.core.system.HyperTEESystem.enable_fault_injection`
+  attaches an injector. A detached (or empty-plan) injector draws no
+  randomness and perturbs nothing; ``tests/obs/test_noninterference.py``
+  pins that the no-fault configuration is bit-identical to a plain run.
+* **Separate entropy** — the injector seeds its own RNG from the plan,
+  never the model RNG, so enabling faults does not shift the model's
+  pool thresholds, swap picks, or jitter draws.
+* **Observable** — every fired fault flows through
+  :meth:`repro.obs.probes.Observability.record_fault`, appearing in the
+  metrics export and as an instant span on the ``faults`` Perfetto track.
+
+See ``docs/fault_injection.md`` for the fault-point catalog and the plan
+schema.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.plan import FAULT_POINTS, FaultPlan, FaultRule
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultStats",
+]

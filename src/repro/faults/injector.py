@@ -1,0 +1,98 @@
+"""The dice-roller: :class:`FaultInjector` interprets a :class:`FaultPlan`.
+
+Subsystems consult the injector at named fault points::
+
+    if self.faults is not None and self.faults.fires("mailbox.request.drop"):
+        ...  # the packet vanishes
+
+Each consultation is an *opportunity*; a rule fires when its ``after``
+window has passed, its ``count`` budget remains, and a draw from the
+injector's own per-point RNG stream lands under ``probability``. The
+injector draws from a private :class:`~repro.common.rng.DeterministicRng`
+seeded by the plan, so chaos runs replay exactly and the model RNG is
+never perturbed. A detached injector (``faults is None``) or an empty
+plan costs nothing and draws nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.common.rng import DeterministicRng
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+@dataclasses.dataclass
+class FaultStats:
+    """What the weather actually did, per fault point."""
+
+    opportunities: dict[str, int] = dataclasses.field(default_factory=dict)
+    fired: dict[str, int] = dataclasses.field(default_factory=dict)
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self.fired.values())
+
+
+class FaultInjector:
+    """Deterministic interpreter of one :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan | None = None, obs=None) -> None:
+        self.plan = plan if plan is not None else FaultPlan.empty()
+        self.stats = FaultStats()
+        #: Out-of-band observability hook (attached by the system).
+        self.obs = obs
+        self._rng = DeterministicRng(self.plan.seed)
+        #: point -> rules (precomputed so hot paths skip list scans).
+        self._by_point: dict[str, tuple[FaultRule, ...]] = {}
+        #: (point, rule index) -> opportunities seen / times fired.
+        self._rule_seen: dict[tuple[str, int], int] = {}
+        self._rule_fired: dict[tuple[str, int], int] = {}
+        for rule in self.plan.rules:
+            self._by_point.setdefault(rule.point, ())
+        for point in self._by_point:
+            self._by_point[point] = self.plan.rules_for(point)
+
+    # -- the hot-path API ----------------------------------------------------
+
+    def fires(self, point: str) -> FaultRule | None:
+        """Roll the dice at ``point``; the firing rule, or ``None``.
+
+        At most one rule fires per opportunity (first match in plan
+        order), which keeps combined plans predictable.
+        """
+        rules = self._by_point.get(point)
+        if not rules:
+            return None
+        self.stats.opportunities[point] = \
+            self.stats.opportunities.get(point, 0) + 1
+        for index, rule in enumerate(rules):
+            key = (point, index)
+            seen = self._rule_seen.get(key, 0)
+            self._rule_seen[key] = seen + 1
+            if seen < rule.after:
+                continue
+            if rule.count is not None and \
+                    self._rule_fired.get(key, 0) >= rule.count:
+                continue
+            if rule.probability < 1.0:
+                draw = self._rng.stream(f"fault:{point}").random()
+                if draw >= rule.probability:
+                    continue
+            self._rule_fired[key] = self._rule_fired.get(key, 0) + 1
+            self.stats.fired[point] = self.stats.fired.get(point, 0) + 1
+            if self.obs is not None:
+                self.obs.record_fault(point, rule.magnitude)
+            return rule
+        return None
+
+    def magnitude(self, point: str, default: int = 0) -> int:
+        """Convenience: ``fires(point)`` reduced to its magnitude."""
+        rule = self.fires(point)
+        return rule.magnitude if rule is not None else default
+
+    # -- introspection -------------------------------------------------------
+
+    def fired_count(self, point: str) -> int:
+        """How many times ``point`` has fired so far."""
+        return self.stats.fired.get(point, 0)

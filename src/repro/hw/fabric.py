@@ -100,6 +100,19 @@ class IHub:
         self.stats = FabricStats()
         #: The interconnect observer's view of EMS traffic (Section VIII-C).
         self.probe = FabricProbe()
+        #: Fault injector for the transfer path (None = clear weather).
+        self.faults = None
+
+    def attach_faults(self, injector) -> None:
+        """Wire a fault injector into the transfer path.
+
+        The iHub owns the CS<->EMS link, so it is the attachment point
+        for transport weather: the mailbox inherits the same injector
+        for its queue-level faults, and ``fabric.latency`` spikes land
+        on the mailbox's transfer legs.
+        """
+        self.faults = injector
+        self.mailbox.faults = injector
 
     # -- memory access checks ------------------------------------------------------
 

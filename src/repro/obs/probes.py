@@ -26,6 +26,11 @@ caller                probe
 ``hw/page_table.py``  :meth:`record_ptw_walk`
 ``crypto/engine.py``  :meth:`record_crypto_op`
 ``eval/slo.py``       :meth:`record_slo_latency`
+``faults/injector``   :meth:`record_fault` — every fired fault, plus an
+                      instant marker on the ``faults`` trace track
+``cs/emcall.py``      :meth:`record_emcall_retry`,
+                      :meth:`record_emcall_timeout`,
+                      :meth:`record_emcall_degraded`
 ====================  ==========================================
 
 **Out-of-band contract.** A probe may read whatever its caller hands it
@@ -111,6 +116,25 @@ class Observability:
         self._slo_latency = reg.histogram(
             "hypertee_slo_latency_seconds",
             "Fig. 6 queueing-sim primitive latencies", ("config",))
+        self._faults = reg.counter(
+            "hypertee_faults_injected_total",
+            "Injected faults fired, by fault point", ("point",))
+        self._fault_magnitude = reg.histogram(
+            "hypertee_fault_magnitude",
+            "Magnitude of injected faults (cycles/rounds/burst)", ("point",))
+        self._retries = reg.counter(
+            "hypertee_emcall_retries_total",
+            "EMCall re-sends after timeout/backpressure/transient failure",
+            ("primitive",))
+        self._backoff_cycles = reg.histogram(
+            "hypertee_emcall_backoff_cycles",
+            "CS cycles waited per EMCall backoff")
+        self._timeouts = reg.counter(
+            "hypertee_emcall_timeouts_total",
+            "Poll deadlines that expired without a response", ("primitive",))
+        self._degraded = reg.counter(
+            "hypertee_emcall_degraded_total",
+            "Invocations that returned a DegradedResult", ("primitive",))
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -131,11 +155,13 @@ class Observability:
                           dispatch_cycles: int, transfer_cycles: int,
                           service_cycles: int, jitter_cycles: int,
                           polls: int, enclave_id: int | None,
-                          core_id: int) -> None:
+                          core_id: int, attempts: int = 1) -> None:
         """One EMCall.invoke completed: metrics + the nested span tree.
 
         The span layout mirrors the request's actual journey; the five
-        child durations sum exactly to ``cs_cycles``.
+        child durations sum exactly to ``cs_cycles``. Retried
+        invocations (``attempts > 1``) fold their wasted attempts into
+        the trailing poll/backoff span.
         """
         self._invocations.labels(primitive, status).inc()
         self._latency.labels(primitive).observe(cs_cycles)
@@ -147,9 +173,11 @@ class Observability:
             return
         track = f"cs{core_id}"
         t0 = tracer.clock
+        extra = {"attempts": attempts} if attempts > 1 else {}
         root = tracer.add_span(
             primitive, "primitive", t0, cs_cycles, track=track,
-            request_id=request_id, status=status, enclave_id=enclave_id)
+            request_id=request_id, status=status, enclave_id=enclave_id,
+            **extra)
         ems_to_cs = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
         service_cs = int(service_cycles * ems_to_cs)
         cursor = t0
@@ -218,6 +246,39 @@ class Observability:
     def record_mailbox_reject(self, kind: str) -> None:
         """The mailbox refused a packet (capacity, forgery, ...)."""
         self._mailbox_events.labels(f"rejected_{kind}").inc()
+
+    # -- fault injection / EMCall hardening ---------------------------------------------
+
+    def record_fault(self, point: str, magnitude: int) -> None:
+        """One injected fault fired; metrics + an instant trace marker.
+
+        Every fault lands on a dedicated ``faults`` Perfetto track at the
+        current timeline cursor, so a chaos run's weather reads alongside
+        the primitive flame graph it disturbed.
+        """
+        self._faults.labels(point).inc()
+        self._fault_magnitude.labels(point).observe(magnitude)
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add_span(f"fault:{point}", "fault", tracer.clock, 0,
+                            track="faults", point=point, magnitude=magnitude)
+
+    def record_emcall_retry(self, primitive: str, attempt: int,
+                            backoff_cycles: int) -> None:
+        """EMCall is about to re-send after backing off."""
+        del attempt
+        self._retries.labels(primitive).inc()
+        self._backoff_cycles.observe(backoff_cycles)
+
+    def record_emcall_timeout(self, primitive: str, attempt: int) -> None:
+        """A poll deadline expired with no response collected."""
+        del attempt
+        self._timeouts.labels(primitive).inc()
+
+    def record_emcall_degraded(self, primitive: str, attempts: int) -> None:
+        """Retries exhausted; the caller received a DegradedResult."""
+        del attempts
+        self._degraded.labels(primitive).inc()
 
     # -- enclave memory pool -----------------------------------------------------------
 

@@ -1,8 +1,20 @@
-"""Shared fixtures for the HyperTEE test suite."""
+"""Shared fixtures for the HyperTEE test suite, plus tier auto-marking.
+
+Every test that is not explicitly ``slow`` or ``chaos`` belongs to the
+fast tier-1 suite and gets the ``tier1`` marker automatically, so
+``-m tier1`` and ``-m "not slow and not chaos"`` select the same set.
+"""
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.get_closest_marker("slow") is None and \
+                item.get_closest_marker("chaos") is None:
+            item.add_marker(pytest.mark.tier1)
 
 from repro.common.rng import DeterministicRng
 from repro.core.api import HyperTEE

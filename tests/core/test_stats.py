@@ -44,7 +44,7 @@ def test_stats_summary_structure():
 
     summary = tee.system.stats_summary()
     assert set(summary) == {"ems", "mailbox", "fabric", "pool", "emcall",
-                            "tlb", "interrupts"}
+                            "tlb", "interrupts", "faults"}
     assert summary["ems"]["served"] >= 6           # lifecycle + alloc
     assert summary["mailbox"]["requests_sent"] >= 6
     assert summary["pool"]["takes"] > 0

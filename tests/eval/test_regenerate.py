@@ -1,10 +1,17 @@
-"""The `python -m repro` regeneration CLI."""
+"""The `python -m repro` regeneration CLI.
+
+The figure/table regenerations are the heaviest tests in the tree;
+they carry the ``slow`` marker so the fast loop can skip them with
+``-m "not slow"`` (see pytest.ini).
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.eval.regenerate import ARTIFACTS, regenerate
+
+pytestmark = pytest.mark.slow
 
 
 def test_all_paper_artifacts_registered():

@@ -1,0 +1,118 @@
+"""Shared machinery for the chaos suite: plans, lifecycles, invariants."""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.api import HyperTEE
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.core.system import HyperTEESystem
+from repro.cs.emcall import RetryPolicy
+from repro.faults import FaultPlan, FaultRule
+
+
+def chaos_seed_count(default: int = 3) -> int:
+    """How many plan seeds to sweep (CI sets CHAOS_SEEDS for depth)."""
+    return int(os.environ.get("CHAOS_SEEDS", default))
+
+
+def transport_chaos_plan(seed: int, drop: float = 0.10,
+                         corrupt: float = 0.05,
+                         duplicate: float = 0.05) -> FaultPlan:
+    """Degraded transport on both mailbox queues."""
+    return FaultPlan(seed=seed, rules=(
+        FaultRule("mailbox.request.drop", probability=drop),
+        FaultRule("mailbox.response.drop", probability=drop),
+        FaultRule("mailbox.request.corrupt", probability=corrupt),
+        FaultRule("mailbox.response.corrupt", probability=corrupt),
+        FaultRule("mailbox.request.duplicate", probability=duplicate),
+        FaultRule("mailbox.response.duplicate", probability=duplicate),
+    ))
+
+
+def kitchen_sink_plan(seed: int) -> FaultPlan:
+    """Every fault point at once, at survivable rates."""
+    return FaultPlan(seed=seed, rules=(
+        FaultRule("mailbox.request.drop", probability=0.06),
+        FaultRule("mailbox.response.drop", probability=0.06),
+        FaultRule("mailbox.request.corrupt", probability=0.04),
+        FaultRule("mailbox.response.corrupt", probability=0.04),
+        FaultRule("mailbox.request.duplicate", probability=0.04),
+        FaultRule("mailbox.response.duplicate", probability=0.04),
+        FaultRule("mailbox.queue_full", probability=0.02, magnitude=2),
+        FaultRule("ems.handler.exception", probability=0.04),
+        FaultRule("ems.handler.stall", probability=0.04, magnitude=60_000),
+        FaultRule("ems.core.pause", probability=0.02, magnitude=3),
+        FaultRule("fabric.latency", probability=0.05, magnitude=500),
+    ))
+
+
+def chaos_tee(plan: FaultPlan, *, max_attempts: int = 16,
+              observability: bool = True, **config) -> HyperTEE:
+    """A booted platform with the plan wired in and retries deepened.
+
+    Chaos rates are far above anything a real fabric would see, so the
+    gate gets a deeper retry budget than the production default: at a
+    ~27% per-attempt loss rate the retry feedback loop (every failed
+    attempt creates the next fault opportunity) can walk through a
+    cluster of bad draws, and 16 attempts pushes the residual timeout
+    probability below 1e-9 per invocation.
+    """
+    config.setdefault("cs_memory_mb", 96)
+    config.setdefault("ems_memory_mb", 4)
+    tee = HyperTEE(SystemConfig(**config))
+    if observability:
+        tee.system.enable_observability()
+    tee.system.enable_fault_injection(plan)
+    tee.system.emcall.retry_policy = RetryPolicy(max_attempts=max_attempts)
+    return tee
+
+
+def run_lifecycle(tee: HyperTEE, enclaves: int = 8,
+                  heap_pages: int = 2) -> list[bytes]:
+    """The full enclave lifecycle for N concurrently-live enclaves.
+
+    Launch all N (create + add + measure), then for each: enter, alloc,
+    write/read its own secret, attest, free, exit — and finally destroy
+    all N. Returns each enclave's read-back, which must match what that
+    enclave wrote (response binding: no cross-delivery).
+    """
+    handles = [
+        tee.launch_enclave(f"chaos-enclave-{i}".encode() * 8,
+                           EnclaveConfig(name=f"chaos{i}",
+                                         heap_pages_max=64))
+        for i in range(enclaves)
+    ]
+    readbacks = []
+    for i, enclave in enumerate(handles):
+        secret = f"secret-of-{i}".encode()
+        with enclave.running():
+            vaddr = enclave.ealloc(heap_pages)
+            enclave.write(vaddr, secret)
+            readbacks.append(enclave.read(vaddr, len(secret)))
+            quote = enclave.attest(report_data=f"chaos{i}".encode())
+            assert quote.enclave.measurement  # attestation still works
+            enclave.efree(vaddr)
+    for enclave in handles:
+        enclave.destroy()
+    return readbacks
+
+
+def check_invariants(system: HyperTEESystem) -> None:
+    """Pool / bitmap / ownership invariants that no fault may break."""
+    from repro.common.types import EnclaveState
+    from repro.ems.ownership import Owner
+
+    pool = system.pool
+    assert pool.used_count + pool.free_count == pool.capacity, \
+        "pool frame conservation violated"
+    assert pool.used_count >= 0 and pool.free_count >= 0
+
+    live_ids = {i for i, c in system.enclaves.enclaves.items()
+                if c.state is not EnclaveState.DESTROYED}
+    for enclave_id in live_ids:
+        for frame in system.ownership.frames_owned_by(
+                Owner.enclave(enclave_id)):
+            assert system.bitmap.is_enclave(frame), \
+                f"enclave {enclave_id} owns frame {frame} outside the bitmap"

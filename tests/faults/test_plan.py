@@ -1,0 +1,106 @@
+"""FaultPlan / FaultRule schema, validation, and determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FaultConfigError
+from repro.faults import FAULT_POINTS, FaultInjector, FaultPlan, FaultRule
+
+
+def test_catalog_covers_all_subsystems():
+    prefixes = {p.split(".")[0] for p in FAULT_POINTS}
+    assert prefixes == {"mailbox", "ems", "fabric"}
+
+
+def test_rule_rejects_unknown_point():
+    with pytest.raises(FaultConfigError):
+        FaultRule("mailbox.request.teleport")
+
+
+def test_rule_rejects_bad_probability():
+    with pytest.raises(FaultConfigError):
+        FaultRule("mailbox.request.drop", probability=1.5)
+    with pytest.raises(FaultConfigError):
+        FaultRule("mailbox.request.drop", probability=-0.1)
+
+
+def test_rule_rejects_negative_count_after_magnitude():
+    with pytest.raises(FaultConfigError):
+        FaultRule("mailbox.request.drop", count=-1)
+    with pytest.raises(FaultConfigError):
+        FaultRule("mailbox.request.drop", after=-1)
+    with pytest.raises(FaultConfigError):
+        FaultRule("fabric.latency", magnitude=-5)
+
+
+def test_plan_round_trips_through_dict():
+    plan = FaultPlan(seed=42, rules=(
+        FaultRule("mailbox.response.drop", probability=0.25, count=3,
+                  after=10),
+        FaultRule("fabric.latency", magnitude=700),
+    ))
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone == plan
+    assert clone.to_dict() == plan.to_dict()
+
+
+def test_rule_from_dict_rejects_unknown_fields():
+    with pytest.raises(FaultConfigError, match="unknown FaultRule fields"):
+        FaultRule.from_dict({"point": "fabric.latency", "severity": 9})
+
+
+def test_empty_plan_is_empty():
+    assert FaultPlan.empty().is_empty
+    assert not FaultPlan(rules=(FaultRule("fabric.latency"),)).is_empty
+
+
+def test_rules_for_filters_by_point():
+    plan = FaultPlan(rules=(
+        FaultRule("mailbox.request.drop"),
+        FaultRule("mailbox.response.drop"),
+        FaultRule("mailbox.request.drop", after=5),
+    ))
+    assert len(plan.rules_for("mailbox.request.drop")) == 2
+    assert plan.rules_for("ems.core.pause") == ()
+
+
+def test_injector_is_deterministic_across_instances():
+    plan = FaultPlan(seed=99, rules=(
+        FaultRule("mailbox.request.drop", probability=0.3),))
+    a = FaultInjector(plan)
+    b = FaultInjector(plan)
+    decisions_a = [a.fires("mailbox.request.drop") is not None
+                   for _ in range(200)]
+    decisions_b = [b.fires("mailbox.request.drop") is not None
+                   for _ in range(200)]
+    assert decisions_a == decisions_b
+    assert any(decisions_a) and not all(decisions_a)
+
+
+def test_count_and_after_semantics():
+    plan = FaultPlan(rules=(
+        FaultRule("mailbox.response.drop", after=2, count=3),))
+    injector = FaultInjector(plan)
+    fired = [injector.fires("mailbox.response.drop") is not None
+             for _ in range(10)]
+    assert fired == [False, False, True, True, True,
+                     False, False, False, False, False]
+    assert injector.stats.opportunities["mailbox.response.drop"] == 10
+    assert injector.stats.fired["mailbox.response.drop"] == 3
+    assert injector.fired_count("mailbox.response.drop") == 3
+    assert injector.fired_count("fabric.latency") == 0
+
+
+def test_empty_injector_never_fires_and_counts_opportunities():
+    injector = FaultInjector(FaultPlan.empty())
+    for point in FAULT_POINTS:
+        assert injector.fires(point) is None
+    assert injector.stats.total_fired == 0
+
+
+def test_magnitude_reported_per_point():
+    plan = FaultPlan(rules=(FaultRule("fabric.latency", magnitude=900),))
+    injector = FaultInjector(plan)
+    assert injector.magnitude("fabric.latency") == 900
+    assert injector.magnitude("ems.handler.stall", default=123) == 123

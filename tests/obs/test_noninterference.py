@@ -5,6 +5,10 @@ the model's instrumentation must inherit that property. These tests run
 the same workloads with tracing enabled and disabled and assert the
 modelled results are bit-identical: cycle counts, stats summaries, the
 Table VI attack outcomes, and the Fig. 8a bench output.
+
+The same guarantee covers fault injection: a wired injector with an
+*empty* plan draws nothing and changes nothing (the chaos machinery is
+opt-in weather, never a tax on clean runs).
 """
 
 from __future__ import annotations
@@ -62,6 +66,50 @@ def test_tracing_does_not_perturb_the_model():
     # And the traced run really did record something.
     assert len(traced.system.obs.tracer) > 0
     assert len(plain.system.obs.tracer) == 0
+
+
+def test_empty_fault_plan_is_bit_identical():
+    """An attached injector with no rules is pure dead weight.
+
+    The hardened EMCall path (deadlines, idempotency keys, retry
+    plumbing) and the wired-but-empty injector must not shift a single
+    cycle, stat, or signature relative to a plain system — faults are
+    opt-in weather, not a tax.
+    """
+    from repro.faults import FaultPlan
+
+    plain = HyperTEE(SystemConfig(seed=1234))
+    injected = HyperTEE(SystemConfig(seed=1234))
+    injected.system.enable_fault_injection(FaultPlan.empty())
+
+    a = _workload(plain)
+    b = _workload(injected)
+
+    assert a["cycles"] == b["cycles"]
+    assert a["data"] == b["data"]
+    assert a["measurement"] == b["measurement"]
+    assert a["signature"] == b["signature"]
+    assert a["summary"] == b["summary"]
+    # The injector really was consulted and really did nothing.
+    assert injected.system.faults is not None
+    assert injected.system.faults.stats.total_fired == 0
+
+
+def test_empty_fault_plan_with_tracing_matches_tracing_alone():
+    """Observability + empty injector == observability alone."""
+    from repro.faults import FaultPlan
+
+    traced = HyperTEE(SystemConfig(seed=77))
+    traced.system.enable_observability()
+    both = HyperTEE(SystemConfig(seed=77))
+    both.system.enable_observability()
+    both.system.enable_fault_injection(FaultPlan.empty())
+
+    a = _workload(traced)
+    b = _workload(both)
+    assert a == b
+    # No phantom fault spans on the timeline either.
+    assert both.system.obs.tracer.find("fault:") == []
 
 
 def test_table6_attacks_identical_with_tracing_on():

@@ -94,7 +94,7 @@ def test_json_rendering(traced_tee):
     assert series["EALLOC"]["count"] >= 1
     assert {"p50", "p90", "p99", "buckets"} <= set(series["EALLOC"])
     assert set(doc["subsystems"]) == {"ems", "mailbox", "fabric", "pool",
-                                      "emcall", "tlb", "interrupts"}
+                                      "emcall", "tlb", "interrupts", "faults"}
 
 
 def test_cli_metrics_table(capsys):

@@ -133,3 +133,73 @@ def test_host_memory_unharmed(soaked: HyperTEE):
     core.set_host_context(process.table)
     core.store(vaddr, b"post-soak host write")
     assert core.load(vaddr, 20) == b"post-soak host write"
+
+
+# -- the same soak, under injected faults -----------------------------------
+
+
+@pytest.mark.chaos
+def test_faulted_soak_holds_invariants_every_step():
+    """The full soak mix under low-rate injected faults.
+
+    Unlike the clear-weather soak above (inspect the aftermath), this
+    variant re-checks the global invariants after *every* lifecycle
+    step, so a fault-induced inconsistency is caught at the step that
+    introduced it, not six rounds later.
+    """
+    from repro.cs.emcall import RetryPolicy
+    from repro.faults import FaultPlan, FaultRule
+    from tests.faults.chaoslib import check_invariants
+
+    tee = HyperTEE(SystemConfig(cs_memory_mb=128, ems_memory_mb=4,
+                                cs_cores=2))
+    tee.system.enable_fault_injection(FaultPlan(seed=0x50AC, rules=(
+        FaultRule("mailbox.request.drop", probability=0.03),
+        FaultRule("mailbox.response.drop", probability=0.03),
+        FaultRule("mailbox.response.corrupt", probability=0.02),
+        FaultRule("ems.handler.exception", probability=0.02),
+        FaultRule("fabric.latency", probability=0.03, magnitude=300),
+    )))
+    tee.system.emcall.retry_policy = RetryPolicy(max_attempts=16)
+
+    for round_number in range(6):
+        enclaves = [
+            tee.launch_enclave(f"fsoak-{round_number}-{i}".encode(),
+                               EnclaveConfig(name=f"f{round_number}-{i}",
+                                             heap_pages_max=256))
+            for i in range(3)
+        ]
+        check_invariants(tee.system)
+        sender, receiver, third = enclaves
+        local_attest(sender, receiver)
+        with sender.running():
+            region = sender.create_shared_region(2, Permission.RW)
+            sender.share_with(region, receiver, Permission.RW)
+            va = sender.attach(region)
+            sender.write(va, f"round {round_number}".encode())
+        check_invariants(tee.system)
+        with receiver.running():
+            vb = receiver.attach(region)
+            assert receiver.read(vb, 7) == f"round {round_number}".encode()[:7]
+            receiver.detach(region)
+        with sender.running():
+            sender.detach(region)
+            sender.destroy_region(region)
+        check_invariants(tee.system)
+        with third.running():
+            regions = [third.ealloc(4) for _ in range(4)]
+            for vaddr in regions:
+                third.write(vaddr, b"churn")
+            for vaddr in regions[:2]:
+                third.efree(vaddr)
+        check_invariants(tee.system)
+        tee.invoke_os(Primitive.EWB, {"pages": 4})
+        for enclave in enclaves:
+            enclave.destroy()
+        check_invariants(tee.system)
+
+    # The weather was real, and nothing slipped through it.
+    assert tee.system.faults.stats.total_fired > 0
+    assert tee.system.ems.stats.failed == 0
+    summary = tee.system.stats_summary()
+    assert summary["fabric"]["isolation_blocks"] == 0
