@@ -1,0 +1,71 @@
+"""PR-3 perf baseline: batched EMCall fast path vs the scalar path.
+
+Not a paper figure — this is the repo's own regression rig for the
+batching optimisation (docs/performance.md). The committed artifact
+``BENCH_pr3.json`` is the pinned output of :func:`run_batch_comm_bench`
+at the default seed; ``python -m repro bench --out BENCH_pr3.json``
+refreshes it. The acceptance bar: the modeled per-request communication
+overhead (gate dispatch + both fabric transfer legs + jitter) must drop
+by >= 1.5x at batch size 8 on the multi-enclave alloc-heavy workload.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.eval.bench import (
+    TARGET_COMM_REDUCTION_AT_8,
+    render_report,
+    run_batch_comm_bench,
+)
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"
+
+
+def test_batch_comm_reduction(benchmark):
+    report = benchmark(run_batch_comm_bench)
+
+    print()
+    print(render_report(report))
+
+    summary = report["summary"]
+    by_size = {p["batch_size"]: p for p in report["series"]}
+
+    # The headline acceptance bar: >= 1.5x comm reduction at batch 8.
+    assert summary["comm_reduction_at_8"] >= TARGET_COMM_REDUCTION_AT_8
+    assert summary["meets_target"]
+
+    # Reduction is monotone in batch size: every extra element amortizes
+    # the fixed doorbell/dispatch cost a bit further.
+    reductions = [summary["comm_reduction"][str(p["batch_size"])]
+                  for p in report["series"]]
+    assert reductions == sorted(reductions)
+    assert reductions[0] == 1.0  # scalar vs itself
+
+    # Every series issued the same number of primitive requests; only the
+    # envelope count (doorbells) shrank.
+    requests = {p["requests"] for p in report["series"]}
+    assert len(requests) == 1
+    assert by_size[8]["invocations"] * 8 == by_size[8]["requests"]
+
+    # Comm overhead can never amortize below the per-element marginal
+    # costs, so the reduction is bounded (sanity on the cycle model).
+    assert summary["comm_reduction"]["32"] < 20.0
+
+
+def test_bench_is_deterministic():
+    """Same seed, same report — the artifact is reproducible from git."""
+    small = dict(enclaves=2, rounds=1, regions_per_round=8,
+                 batch_sizes=(1, 4, 8))
+    assert run_batch_comm_bench(**small) == run_batch_comm_bench(**small)
+
+
+def test_committed_artifact_matches_regeneration():
+    """BENCH_pr3.json in git is exactly what the default bench produces.
+
+    If the cycle model legitimately changes, refresh the artifact with
+    ``python -m repro bench --out BENCH_pr3.json`` and commit it.
+    """
+    committed = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+    assert committed == run_batch_comm_bench(seed=committed["seed"])

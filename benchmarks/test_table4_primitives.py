@@ -6,10 +6,8 @@ average (7.8% in EMEAS alone); with it, 2.5% (EMEAS 0.1%).
 
 from __future__ import annotations
 
+from repro.eval.regenerate import table4_rows
 from repro.eval.report import pct, render_table
-from repro.eval.scenarios import ENCLAVE_CRYPTO, ENCLAVE_NONCRYPTO
-from repro.workloads.runner import host_baseline, run_workload
-from repro.workloads.rv8 import RV8_WORKLOADS
 
 #: Paper Table IV: (noncrypto all, noncrypto EMEAS, crypto all, crypto EMEAS).
 PAPER = {
@@ -25,14 +23,9 @@ PAPER = {
 
 
 def compute_rows() -> dict[str, tuple[float, float, float, float]]:
-    rows = {}
-    for name, profile in RV8_WORKLOADS.items():
-        base = host_baseline(profile).total_cycles
-        nc = run_workload(profile, ENCLAVE_NONCRYPTO)
-        cr = run_workload(profile, ENCLAVE_CRYPTO)
-        rows[name] = (nc.primitive_cycles / base, nc.emeas_cycles / base,
-                      cr.primitive_cycles / base, cr.emeas_cycles / base)
-    return rows
+    # The canonical computation lives in repro.eval.regenerate so the
+    # CLI table, this bench, and the golden pin can never diverge.
+    return table4_rows()
 
 
 def test_table4(benchmark):

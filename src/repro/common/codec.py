@@ -7,11 +7,20 @@ confidentiality and integrity come from the crypto inside — but a real
 library needs stable, self-describing bytes for them.
 
 Format: a 4-byte magic per artifact type, then length-prefixed fields
-(``u32 little-endian length || bytes``). Decoding is strict: wrong
-magic, truncation, or trailing garbage raise :class:`CodecError`.
+(``u32 little-endian length || bytes``), then a CRC32 trailer over
+everything before it (``u32 little-endian``). Decoding is strict: wrong
+magic, truncation, trailing garbage, or a checksum mismatch raise
+:class:`CodecError`. The CRC is *framing* integrity — it catches storage
+bit-rot and truncation early with a clear error; tamper resistance still
+comes from the MACs/signatures inside the artifacts.
+
+The framing laws (encode∘decode = identity; any single-byte flip is
+rejected) are property-tested in ``tests/test_codec_properties.py``.
 """
 
 from __future__ import annotations
+
+import zlib
 
 from repro.cvm.manager import CVMSnapshot
 from repro.ems.attestation import AttestationQuote, Certificate
@@ -35,25 +44,31 @@ def _pack_fields(magic: bytes, fields: list[bytes]) -> bytes:
     for field in fields:
         out += len(field).to_bytes(4, "little")
         out += field
+    out += zlib.crc32(bytes(out)).to_bytes(4, "little")
     return bytes(out)
 
 
 def _unpack_fields(magic: bytes, data: bytes, count: int) -> list[bytes]:
     if data[:4] != magic:
         raise CodecError(f"bad magic: expected {magic!r}, got {data[:4]!r}")
+    if len(data) < 8:
+        raise CodecError("truncated CRC trailer")
+    body, trailer = data[:-4], data[-4:]
     fields: list[bytes] = []
     offset = 4
     for _ in range(count):
-        if offset + 4 > len(data):
+        if offset + 4 > len(body):
             raise CodecError("truncated field header")
-        length = int.from_bytes(data[offset:offset + 4], "little")
+        length = int.from_bytes(body[offset:offset + 4], "little")
         offset += 4
-        if offset + length > len(data):
+        if offset + length > len(body):
             raise CodecError("truncated field body")
-        fields.append(data[offset:offset + length])
+        fields.append(body[offset:offset + length])
         offset += length
-    if offset != len(data):
-        raise CodecError(f"{len(data) - offset} bytes of trailing garbage")
+    if offset != len(body):
+        raise CodecError(f"{len(body) - offset} bytes of trailing garbage")
+    if zlib.crc32(body) != int.from_bytes(trailer, "little"):
+        raise CodecError("CRC mismatch: frame corrupted in transit")
     return fields
 
 

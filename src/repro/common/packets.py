@@ -68,3 +68,67 @@ class PrimitiveResponse:
     @property
     def ok(self) -> bool:
         return self.status is ResponseStatus.OK
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchRequest:
+    """N independent primitive requests in one mailbox transaction.
+
+    The batch crosses the fabric as a single envelope: one doorbell, one
+    IRQ, one transfer per direction — the amortization HyperEnclave-style
+    designs use to keep management-heavy workloads off the scalar
+    round-trip path. The ``batch_id`` plays the mailbox role of a
+    ``request_id`` (slot claim, response binding, duplicate suppression);
+    each element keeps its *own* request id and idempotency key so a
+    retried batch replays only the elements the EMS has not applied.
+    """
+
+    batch_id: int
+    requests: tuple[PrimitiveRequest, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        if not self.requests:
+            raise ValueError("a BatchRequest must carry at least one request")
+
+    @property
+    def request_id(self) -> int:
+        """Mailbox-facing id: the batch is one transaction."""
+        return self.batch_id
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResponse:
+    """Per-element responses for one batch, bound by ``batch_id``.
+
+    Every element is answered — a failing primitive yields its own error
+    status without poisoning its siblings. ``service_cycles`` is the
+    EMS-side sum over the elements (the work really done serially on the
+    EMS cores); EMCall amortizes the transport around it.
+    """
+
+    batch_id: int
+    responses: tuple[PrimitiveResponse, ...]
+    service_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "responses", tuple(self.responses))
+        if not self.responses:
+            raise ValueError("a BatchResponse must carry at least one "
+                             "response")
+
+    @property
+    def request_id(self) -> int:
+        """Mailbox-facing id mirroring :attr:`BatchRequest.request_id`."""
+        return self.batch_id
+
+    @property
+    def ok(self) -> bool:
+        """True only when every element succeeded."""
+        return all(r.ok for r in self.responses)
+
+    def __len__(self) -> int:
+        return len(self.responses)

@@ -34,7 +34,7 @@ from repro.core.enclave import EnclaveConfig
 from repro.core.system import HyperTEESystem
 from repro.crypto.dh import DiffieHellman
 from repro.cs.cpu import CSCore
-from repro.cs.emcall import InvokeResult
+from repro.cs.emcall import BatchInvokeResult, InvokeResult
 from repro.ems.attestation import (
     AttestationQuote,
     Certificate,
@@ -115,6 +115,45 @@ class HyperTEE:
                             core or self.system.primary_core,
                             Privilege.USER)
 
+    def _invoke_batch(self, calls: list[tuple[Primitive, dict]],
+                      core: CSCore, privilege: Privilege) -> BatchInvokeResult:
+        """Run N independent primitives through one mailbox transaction.
+
+        All elements must share ``privilege`` (EMCall checks each), and
+        context-switching primitives are rejected by the gate, so the
+        privilege register is simply saved and restored around the batch.
+        """
+        saved = core.privilege
+        core.privilege = privilege
+        try:
+            result = self.system.emcall.invoke_batch(calls, core=core)
+        finally:
+            core.privilege = saved
+        self.primitive_cycles += result.cs_cycles
+        if result.degraded:
+            raise APIError(
+                f"batch degraded after {result.attempts} attempts: "
+                f"{result.reason}")
+        if not result.ok:
+            failures = [
+                f"{calls[i][0].value}: {r.status.value} "
+                f"({r.result.get('error', '')})"
+                for i, r in enumerate(result.responses) if not r.ok]
+            raise APIError("batch elements failed: " + "; ".join(failures))
+        return result
+
+    def invoke_os_batch(self, calls: list[tuple[Primitive, dict]],
+                        core: CSCore | None = None) -> BatchInvokeResult:
+        """Batch OS-privilege primitives (bulk EADD, bulk lifecycle)."""
+        return self._invoke_batch(calls, core or self.system.primary_core,
+                                  Privilege.SUPERVISOR)
+
+    def invoke_user_batch(self, calls: list[tuple[Primitive, dict]],
+                          core: CSCore | None = None) -> BatchInvokeResult:
+        """Batch user-privilege primitives (bulk EALLOC/EFREE/ESHM*)."""
+        return self._invoke_batch(calls, core or self.system.primary_core,
+                                  Privilege.USER)
+
     # -- enclave lifecycle --------------------------------------------------------------------
 
     def launch_enclave(self, code: bytes,
@@ -131,6 +170,36 @@ class HyperTEE:
             self.invoke_os(Primitive.EADD,
                            {"enclave_id": enclave_id, "content": chunk},
                            core)
+        measured = self.invoke_os(Primitive.EMEAS,
+                                  {"enclave_id": enclave_id}, core)
+        return Enclave(self, enclave_id, config, core,
+                       measured.result("measurement"))
+
+    def launch_enclave_batched(self, code: bytes,
+                               config: EnclaveConfig | None = None,
+                               core: CSCore | None = None,
+                               batch_size: int = 8) -> "Enclave":
+        """:meth:`launch_enclave` with the EADD storm batched.
+
+        ECREATE and EMEAS stay scalar (they order the lifecycle); the
+        per-page EADDs — the bulk of a large image's round trips — travel
+        ``batch_size`` to an envelope. The resulting enclave state and
+        measurement are bit-identical to the scalar launch (pinned by
+        tests/cs/test_batch_differential.py); only the modelled
+        communication cycles shrink.
+        """
+        chunks = _page_chunks(code)
+        if config is None:
+            config = EnclaveConfig(code_pages=len(chunks))
+        core = core or self.system.primary_core
+        created = self.invoke_os(Primitive.ECREATE, {"config": config}, core)
+        enclave_id = created.result("enclave_id")
+        for start in range(0, len(chunks), batch_size):
+            self.invoke_os_batch(
+                [(Primitive.EADD,
+                  {"enclave_id": enclave_id, "content": chunk})
+                 for chunk in chunks[start:start + batch_size]],
+                core)
         measured = self.invoke_os(Primitive.EMEAS,
                                   {"enclave_id": enclave_id}, core)
         return Enclave(self, enclave_id, config, core,
@@ -204,6 +273,30 @@ class Enclave:
         """Release a heap region back to the enclave memory pool."""
         self._require_entered()
         self.tee.invoke_user(Primitive.EFREE, {"vaddr": vaddr}, self.core)
+
+    def ealloc_many(self, page_counts: list[int],
+                    perm: Permission = Permission.RW) -> list[int]:
+        """N independent EALLOCs in one mailbox transaction.
+
+        Returns one virtual address per entry of ``page_counts`` — the
+        same regions N scalar :meth:`ealloc` calls would produce, for one
+        doorbell and one fabric crossing per direction. Any bitmap-change
+        TLB shootdowns the allocations trigger are coalesced into a
+        single cross-core flush.
+        """
+        self._require_entered()
+        result = self.tee.invoke_user_batch(
+            [(Primitive.EALLOC, {"pages": pages, "perm": perm})
+             for pages in page_counts],
+            self.core)
+        return [r.result["vaddr"] for r in result.responses]
+
+    def efree_many(self, vaddrs: list[int]) -> None:
+        """Release N heap regions through one batched transaction."""
+        self._require_entered()
+        self.tee.invoke_user_batch(
+            [(Primitive.EFREE, {"vaddr": vaddr}) for vaddr in vaddrs],
+            self.core)
 
     def _with_fault_retry(self, op, vaddr: int, *args):
         try:

@@ -34,6 +34,15 @@ bounded retries, EMCall raises a typed :class:`~repro.errors.EMCallTimeout`
 :class:`DegradedResult` instead of hanging. The fault-free path is
 bit-identical to the unhardened gate (pinned by
 ``tests/obs/test_noninterference.py``).
+
+Batched fast path (``docs/performance.md``): :meth:`EMCall.invoke_batch`
+packs N independent requests into one mailbox envelope — one trap, one
+doorbell/IRQ, one fabric crossing per direction — with per-element
+status, per-element idempotency keys (a retried envelope replays only
+its non-acknowledged elements), and bitmap-change TLB shootdowns
+coalesced across the batch. The scalar path is untouched: with batching
+unused, every modelled cycle is bit-identical to before (pinned by the
+differential and noninterference suites).
 """
 
 from __future__ import annotations
@@ -44,6 +53,8 @@ from typing import Any, Callable
 
 from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
 from repro.common.packets import (
+    BatchRequest,
+    BatchResponse,
     PrimitiveRequest,
     PrimitiveResponse,
     ResponseStatus,
@@ -55,13 +66,23 @@ from repro.errors import EMCallError, EMCallTimeout, MailboxError, PrivilegeViol
 from repro.eval.calibration import (
     EMCALL_BACKOFF_BASE_CYCLES,
     EMCALL_BACKOFF_JITTER_CYCLES,
+    EMCALL_BATCH_MAX,
+    EMCALL_BATCH_PER_REQ_CYCLES,
     EMCALL_DEADLINE_POLLS,
     EMCALL_DEFAULT_DEADLINE_POLLS,
     EMCALL_DISPATCH_CYCLES,
     EMCALL_POLL_INTERVAL_CYCLES,
     EMCALL_POLL_JITTER_CYCLES,
+    MAILBOX_BATCH_PER_REQ_CYCLES,
 )
 from repro.hw.mailbox import Mailbox
+
+#: Primitives that switch the core's execution context (and with it the
+#: privilege register). Mid-batch context switches would make the
+#: remaining elements execute under a different identity than the one
+#: EMCall stamped at submission, so these stay scalar-only.
+_UNBATCHABLE = frozenset({Primitive.EENTER, Primitive.ERESUME,
+                          Primitive.EEXIT})
 
 #: Nearly every primitive mutates EMS state in a way a blind re-send
 #: could double-apply (ECREATE/EADD most visibly — a re-added page would
@@ -140,6 +161,52 @@ class DegradedResult:
         """Mirror of :meth:`InvokeResult.result`; always the default."""
         del name
         return default
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchInvokeResult:
+    """Per-element responses plus the amortized CS-visible batch latency.
+
+    ``cs_cycles`` is the whole transaction: one dispatch, one fabric
+    crossing per direction (plus the marginal per-element streaming
+    cost), the summed EMS service time, and one jitter draw.
+    :meth:`per_request_cycles` splits it into per-element shares that sum
+    exactly to the total, so facade-level accounting stays conserved.
+    """
+
+    responses: tuple[PrimitiveResponse, ...]
+    cs_cycles: int
+    #: How many envelope sends the batch needed (1 = clean weather).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.responses)
+
+    @property
+    def degraded(self) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return len(self.responses)
+
+    def per_request_cycles(self) -> tuple[int, ...]:
+        """Amortized per-element CS cycles (shares sum to the total)."""
+        n = len(self.responses)
+        share, remainder = divmod(self.cs_cycles, n)
+        return tuple(share + (1 if i < remainder else 0) for i in range(n))
+
+    def invoke_results(self) -> tuple[InvokeResult, ...]:
+        """Per-element :class:`InvokeResult` views with amortized cycles."""
+        return tuple(
+            InvokeResult(response=response, cs_cycles=cycles,
+                         attempts=self.attempts)
+            for response, cycles in zip(self.responses,
+                                        self.per_request_cycles()))
+
+    def result(self, index: int, name: str, default: Any = None) -> Any:
+        """Field from element ``index``'s response result dict."""
+        return self.responses[index].result.get(name, default)
 
 
 class EMCall:
@@ -287,8 +354,210 @@ class EMCall:
         return InvokeResult(response=response, cs_cycles=cs_cycles,
                             attempts=attempts)
 
+    # -- the batched fast path -------------------------------------------------------------
+
+    def invoke_batch(self, calls: list[tuple[Primitive, dict[str, Any]]], *,
+                     core: CSCore) -> BatchInvokeResult | DegradedResult:
+        """Invoke N independent primitives in one mailbox transaction.
+
+        The batch pays one M-mode trap, one doorbell/IRQ, and one fabric
+        crossing per direction; every element beyond the first costs only
+        its packing and streaming margin (Table IV's fixed transmission
+        cost amortized N ways). Elements are dispatched EMS-side in
+        submission order with *per-element* status: a failing element
+        reports its own error without poisoning its siblings.
+
+        Retry semantics compose with the PR-2 hardening: every element
+        carries its own idempotency key, so a timed-out envelope is
+        re-sent whole but the EMS replays (not re-applies) the elements
+        it already served, and elements answered ``TRANSIENT`` are
+        re-sent alone in a shrunken follow-up envelope — only the
+        non-acknowledged suffix ever travels again.
+
+        Context-switching primitives (EENTER/ERESUME/EEXIT) are scalar
+        only; a batch containing one raises :class:`EMCallError`.
+        """
+        if not calls:
+            raise EMCallError("invoke_batch needs at least one call")
+        if len(calls) > EMCALL_BATCH_MAX:
+            raise EMCallError(
+                f"batch of {len(calls)} exceeds EMCALL_BATCH_MAX="
+                f"{EMCALL_BATCH_MAX}")
+        if self._ems_pump is None:
+            raise EMCallError("EMS not attached; secure boot incomplete?")
+        for primitive, _ in calls:
+            if primitive in _UNBATCHABLE:
+                raise EMCallError(
+                    f"{primitive.value} switches the core context and "
+                    "cannot be batched")
+            required = PRIMITIVE_PRIVILEGE[primitive]
+            if core.privilege is not required:
+                raise PrivilegeViolation(
+                    f"{primitive.value} requires {required.name}, "
+                    f"core {core.core_id} is at {core.privilege.name}")
+
+        policy = self.retry_policy
+        n = len(calls)
+        #: Stable per-element idempotency keys: a replayed element is the
+        #: *same* logical operation however many envelopes carry it.
+        keys = [f"c{core.core_id}-k{next(self._idempotency_ids)}"
+                for _ in calls]
+        deadline_polls = max(
+            EMCALL_DEADLINE_POLLS.get(primitive.value,
+                                      EMCALL_DEFAULT_DEADLINE_POLLS)
+            for primitive, _ in calls)
+
+        final: dict[int, PrimitiveResponse] = {}
+        pending = list(range(n))
+        extra_cycles = 0
+        batch_ids: list[int] = []
+        attempts = 0
+        polls = 0
+
+        while pending and attempts < policy.max_attempts:
+            attempts += 1
+            elements = tuple(
+                PrimitiveRequest(
+                    request_id=next(self._request_ids),
+                    primitive=calls[i][0],
+                    enclave_id=core.current_enclave_id,  # hardware-stamped
+                    privilege=core.privilege,
+                    args=dict(calls[i][1]),
+                    idempotency_key=keys[i])
+                for i in pending)
+            batch = BatchRequest(batch_id=next(self._request_ids),
+                                 requests=elements)
+            batch_ids.append(batch.batch_id)
+            try:
+                self.mailbox.push_request(batch)
+            except MailboxError:
+                extra_cycles += self._batch_backoff(attempts)
+                continue
+            extra_cycles += \
+                self.mailbox.transfer_cycles("request") - Mailbox.TRANSFER_CYCLES
+
+            self._ems_pump()
+            response = self.mailbox.poll_response(batch.batch_id)
+            polls = 1
+            while response is None and polls < deadline_polls:
+                self._ems_pump()
+                response = self.mailbox.poll_response(batch.batch_id)
+                polls += 1
+            extra_cycles += EMCALL_POLL_INTERVAL_CYCLES * (polls - 1)
+
+            if response is None:
+                # Envelope (or its response) lost: release the slot and
+                # re-send the whole remaining suffix; idempotency keys
+                # make the EMS replay what it already applied.
+                self.mailbox.cancel_request(batch.batch_id)
+                if self.obs is not None:
+                    self.obs.record_emcall_timeout("BATCH", attempts)
+                extra_cycles += self._batch_backoff(attempts)
+                continue
+            if not isinstance(response, BatchResponse) or \
+                    response.batch_id != batch.batch_id:
+                raise EMCallError(
+                    f"mailbox delivered {response!r} for batch "
+                    f"{batch.batch_id}")
+            extra_cycles += \
+                self.mailbox.transfer_cycles("response") - Mailbox.TRANSFER_CYCLES
+
+            still_pending: list[int] = []
+            for index, element_response in zip(pending, response.responses):
+                if element_response.status is ResponseStatus.TRANSIENT:
+                    # The handler crashed before touching state; only
+                    # this element re-travels (the shrunken suffix).
+                    still_pending.append(index)
+                else:
+                    final[index] = element_response
+            pending = still_pending
+            if pending:
+                extra_cycles += self._batch_backoff(attempts)
+
+        if pending:
+            waited = extra_cycles + EMCALL_DISPATCH_CYCLES
+            unresolved = calls[pending[0]][0]
+            if policy.degrade:
+                if self.obs is not None:
+                    self.obs.record_emcall_degraded("BATCH", attempts)
+                return DegradedResult(
+                    primitive=unresolved, attempts=attempts,
+                    cs_cycles=waited,
+                    reason=f"{len(pending)} of {n} batch elements "
+                           f"unacknowledged within {deadline_polls} polls x "
+                           f"{attempts} attempts",
+                    request_ids=tuple(batch_ids))
+            raise EMCallTimeout(f"BATCH[{unresolved.value}]", attempts,
+                                deadline_polls, waited)
+
+        responses = tuple(final[i] for i in range(n))
+        self._apply_batch_cs_actions(core, responses)
+
+        jitter = self._rng.randint(0, EMCALL_POLL_JITTER_CYCLES,
+                                   stream="emcall-jitter")
+        ems_to_cs = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
+        service_cycles = sum(r.service_cycles for r in responses)
+        transfer_cycles = (Mailbox.TRANSFER_CYCLES
+                           + (n - 1) * MAILBOX_BATCH_PER_REQ_CYCLES)
+        dispatch_cycles = (EMCALL_DISPATCH_CYCLES
+                           + (n - 1) * EMCALL_BATCH_PER_REQ_CYCLES)
+        cs_cycles = (dispatch_cycles
+                     + 2 * transfer_cycles
+                     + int(service_cycles * ems_to_cs)
+                     + jitter
+                     + extra_cycles)
+        if self.obs is not None:
+            self.obs.record_batch_invocation(
+                primitives=[p.value for p, _ in calls],
+                statuses=[r.status.value for r in responses],
+                cs_cycles=cs_cycles, dispatch_cycles=dispatch_cycles,
+                transfer_cycles=transfer_cycles,
+                service_cycles=[r.service_cycles for r in responses],
+                request_ids=[r.request_id for r in responses],
+                jitter_cycles=jitter, polls=polls,
+                enclave_id=core.current_enclave_id, core_id=core.core_id,
+                attempts=attempts)
+        return BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
+                                 attempts=attempts)
+
+    def _batch_backoff(self, attempt: int) -> int:
+        """Backoff before a batch re-send (same policy as the scalar gate)."""
+        return self._backoff_named("BATCH", attempt)
+
+    def _apply_batch_cs_actions(self, core: CSCore,
+                                responses: tuple[PrimitiveResponse, ...]) -> None:
+        """Apply CS-side actions for a whole batch, flushes coalesced.
+
+        Bitmap-change TLB shootdowns across the batch are merged into a
+        *single* cross-core flush over the union of frames — one IPI
+        storm instead of N (the Fig. 11 cost paid once). Context actions
+        cannot appear here (context primitives are unbatchable).
+        """
+        frames_union: list[int] = []
+        seen: set[int] = set()
+        flush_all = False
+        for response in responses:
+            actions = response.result.get("cs_actions")
+            if not actions:
+                continue
+            for frame in actions.get("flush_frames") or ():
+                if frame not in seen:
+                    seen.add(frame)
+                    frames_union.append(frame)
+            if actions.get("flush_all"):
+                flush_all = True
+        if frames_union:
+            self.flush_tlbs_for_bitmap_change(frames_union)
+        if flush_all:
+            for other in self._cores:
+                other.tlb.flush_all()
+
     def _backoff(self, primitive: Primitive, attempt: int) -> int:
-        """Cycles of exponential backoff (with jitter) before a re-send.
+        """Cycles of exponential backoff (with jitter) before a re-send."""
+        return self._backoff_named(primitive.value, attempt)
+
+    def _backoff_named(self, label: str, attempt: int) -> int:
+        """Backoff implementation shared by the scalar and batch gates.
 
         Drawn from a dedicated RNG stream that is only touched on actual
         retries, so clean-weather runs consume no extra randomness.
@@ -300,8 +569,7 @@ class EMCall:
             0, self.retry_policy.backoff_jitter_cycles,
             stream="emcall-backoff")
         if self.obs is not None:
-            self.obs.record_emcall_retry(primitive.value, attempt,
-                                         wait + jitter)
+            self.obs.record_emcall_retry(label, attempt, wait + jitter)
         return wait + jitter
 
     # -- CS-side effects the EMS cannot perform itself ------------------------------------------

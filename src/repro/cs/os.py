@@ -146,6 +146,40 @@ class CSOperatingSystem:
         cycles = HOST_MALLOC_BASE_CYCLES + pages * HOST_MALLOC_PER_PAGE_CYCLES
         return vaddr, cycles
 
+    def malloc_batch(self, process: HostProcess, sizes: list[int],
+                     perm: Permission = Permission.RW
+                     ) -> tuple[list[int], int]:
+        """Allocate N regions with one syscall-shaped transaction.
+
+        The host-side analogue of the EMS pool's bulk requests (and of
+        the batched EMCall path): one allocator entry covers every
+        region, so the allocation log gains a *single* bulk event and
+        the fixed ``HOST_MALLOC_BASE_CYCLES`` cost is paid once instead
+        of N times. Returns ``([vaddr, ...], total_cs_cycles)``.
+        """
+        if not sizes:
+            raise ValueError("malloc_batch needs at least one size")
+        page_counts = [max(1, (nbytes + PAGE_SIZE - 1) >> PAGE_SHIFT)
+                       for nbytes in sizes]
+        frames = self.alloc_frames(sum(page_counts),
+                                   requestor=f"pid{process.pid}-malloc-batch")
+        vaddrs: list[int] = []
+        cursor = 0
+        for pages in page_counts:
+            vpn = process.heap_next_vpn
+            region = frames[cursor:cursor + pages]
+            cursor += pages
+            for offset, frame in enumerate(region):
+                self.memory.zero_frame(frame)
+                process.table.map(vpn + offset, frame, perm, HOST_KEYID)
+            process.heap_next_vpn += pages
+            vaddr = vpn << PAGE_SHIFT
+            process.heap_regions[vaddr] = region
+            vaddrs.append(vaddr)
+        cycles = (HOST_MALLOC_BASE_CYCLES
+                  + sum(page_counts) * HOST_MALLOC_PER_PAGE_CYCLES)
+        return vaddrs, cycles
+
     def free(self, process: HostProcess, vaddr: int) -> int:
         """Unmap and release a malloc'd region; returns cycle cost."""
         frames = process.heap_regions.pop(vaddr, None)

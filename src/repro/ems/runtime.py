@@ -20,6 +20,8 @@ import dataclasses
 from typing import Any, Callable
 
 from repro.common.packets import (
+    BatchRequest,
+    BatchResponse,
     PrimitiveRequest,
     PrimitiveResponse,
     ResponseStatus,
@@ -85,6 +87,11 @@ class RuntimeStats:
     stalled_responses: int = 0
     #: Pump rounds skipped by an injected EMS core pause.
     paused_rounds: int = 0
+    #: Batch envelopes dispatched (each also counts its elements in
+    #: ``served``/``failed`` as usual).
+    batches_served: int = 0
+    #: Total elements across those batch envelopes.
+    batched_elements: int = 0
     #: Busy cycles per EMS core (round-robin pump assignment).
     per_core_cycles: list[int] = dataclasses.field(default_factory=list)
 
@@ -178,6 +185,9 @@ class EMSRuntime:
         if self.obs is not None:
             self.obs.record_ems_pump(len(requests))
         for request in requests:
+            if isinstance(request, BatchRequest):
+                self._serve_batch(request)
+                continue
             response = self.dispatch(request)
             response = self._post_response(response)
             # Round-robin assignment across the EMS cores: concurrent
@@ -194,6 +204,60 @@ class EMSRuntime:
                     core_index=self._next_core)
             self._next_core = (self._next_core + 1) % self.num_cores
         return len(requests)
+
+    def _serve_batch(self, batch: BatchRequest) -> None:
+        """Dispatch every element of one batch envelope, post one response.
+
+        Elements run in submission order (they are independent by the
+        batch API contract, and submission order is exactly how the
+        scalar path would have serialized them — the differential suite
+        pins this). Each element gets its own status; a failing element
+        never poisons its siblings. Idempotency keys are honoured per
+        element, so a replayed batch re-executes only what the EMS never
+        applied.
+        """
+        response = self.dispatch_batch(batch)
+        response = self._post_response(response)
+        self.stats.batches_served += 1
+        self.stats.batched_elements += len(batch)
+        for element, sub in zip(batch.requests, response.responses):
+            self.stats.per_core_cycles[self._next_core] += sub.service_cycles
+            if self.obs is not None:
+                self.obs.record_ems_dispatch(
+                    request_id=element.request_id,
+                    primitive=element.primitive.value,
+                    status=sub.status.value,
+                    service_cycles=sub.service_cycles,
+                    core_index=self._next_core)
+            self._next_core = (self._next_core + 1) % self.num_cores
+
+    def dispatch_batch(self, batch: BatchRequest) -> BatchResponse:
+        """Run each element through the full scalar dispatch pipeline.
+
+        Sanity checks, idempotent replay, and the per-element fault
+        points (``ems.handler.exception`` among them) all apply to every
+        element individually — injected chaos lands on batch *elements*,
+        not just envelopes.
+        """
+        corrupted: list = [None] * len(batch)
+        if self.faults is not None:
+            corrupted = self.faults.fires_each(
+                "mailbox.batch.element_corrupt", len(batch))
+        responses = []
+        for request, hit in zip(batch.requests, corrupted):
+            if hit is not None:
+                # The element's CRC failed at the Rx edge: its handler
+                # never ran, so TRANSIENT — EMCall re-sends it alone.
+                self.stats.transient_failures += 1
+                responses.append(PrimitiveResponse(
+                    request.request_id, ResponseStatus.TRANSIENT,
+                    result={"error": "batch element CRC discard "
+                                     "(no state touched)"}))
+                continue
+            responses.append(self.dispatch(request))
+        return BatchResponse(
+            batch_id=batch.batch_id, responses=tuple(responses),
+            service_cycles=sum(r.service_cycles for r in responses))
 
     def _post_response(self, response: PrimitiveResponse) -> PrimitiveResponse:
         """Post one response, modelling stalls; returns what was (or will

@@ -1,0 +1,211 @@
+"""Perf baseline harness: scalar vs batched EMCall on an alloc-heavy load.
+
+This is the PR-3 measurement rig behind ``python -m repro bench`` and the
+committed ``BENCH_pr3.json`` artifact. It drives the *same* multi-enclave
+EALLOC/EFREE workload through the scalar :meth:`EMCall.invoke` path and
+the batched :meth:`EMCall.invoke_batch` fast path at a sweep of batch
+sizes, and reports the modeled *communication* cycles — everything the
+CS pays around the EMS service time: the EMCall gate dispatch, the two
+fabric/mailbox transfer legs, and fabric jitter.
+
+The headline number is ``comm_reduction`` at batch size 8: how many times
+cheaper the per-request communication overhead is once eight independent
+requests share one doorbell, one envelope, and one response IRQ. The
+acceptance bar (benchmarks/test_batch_comm.py) is >= 1.5x.
+
+Everything is seeded: the same ``seed`` reproduces ``BENCH_pr3.json``
+bit-for-bit, which is what lets the artifact live in git and regress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+from repro.common.types import Primitive
+
+#: Batch sizes swept by the default bench (1 == the scalar path).
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+#: The acceptance bar asserted by benchmarks/test_batch_comm.py.
+TARGET_COMM_REDUCTION_AT_8 = 1.5
+
+#: Default artifact filename (committed at the repo root).
+DEFAULT_REPORT = "BENCH_pr3.json"
+
+_SCHEMA = "hypertee.bench/1"
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchPoint:
+    """One series point: the workload at one batch size."""
+
+    mode: str                    #: "scalar" or "batched"
+    batch_size: int
+    requests: int                #: primitive requests issued
+    invocations: int             #: mailbox transactions (doorbells)
+    total_cs_cycles: int         #: full EMCall cost, service included
+    service_cs_cycles: int       #: EMS service time, CS-clock converted
+    comm_cycles: int             #: total - service: the fabric overhead
+    comm_cycles_per_request: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for the JSON report."""
+        return dataclasses.asdict(self)
+
+
+def _run_series(*, seed: int, batch_size: int, enclaves: int, rounds: int,
+                regions_per_round: int) -> BenchPoint:
+    """One full workload run at one batch size; a fresh platform per run."""
+    from repro.core.api import HyperTEE
+    from repro.core.config import SystemConfig
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE(SystemConfig(seed=seed, cs_cores=2))
+    cores = tee.system.cores
+    ems_to_cs = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
+    code = b"bench: alloc-heavy multi-enclave workload " * 128
+
+    handles = [
+        tee.launch_enclave(
+            code,
+            EnclaveConfig(name=f"bench-{i}",
+                          heap_pages_max=2 * regions_per_round),
+            core=cores[i % len(cores)])
+        for i in range(enclaves)]
+
+    requests = invocations = total = service = 0
+
+    def account_scalar(result) -> None:
+        nonlocal requests, invocations, total, service
+        requests += 1
+        invocations += 1
+        total += result.cs_cycles
+        service += int(result.response.service_cycles * ems_to_cs)
+
+    def account_batch(result) -> None:
+        nonlocal requests, invocations, total, service
+        requests += len(result.responses)
+        invocations += 1
+        total += result.cs_cycles
+        service += int(sum(r.service_cycles for r in result.responses)
+                       * ems_to_cs)
+
+    for enclave in handles:
+        with enclave.running():
+            for _ in range(rounds):
+                vaddrs: list[int] = []
+                if batch_size == 1:
+                    for _ in range(regions_per_round):
+                        result = tee.invoke_user(
+                            Primitive.EALLOC, {"pages": 1}, enclave.core)
+                        account_scalar(result)
+                        vaddrs.append(result.result("vaddr"))
+                    for vaddr in vaddrs:
+                        account_scalar(tee.invoke_user(
+                            Primitive.EFREE, {"vaddr": vaddr}, enclave.core))
+                else:
+                    for start in range(0, regions_per_round, batch_size):
+                        count = min(batch_size, regions_per_round - start)
+                        result = tee.invoke_user_batch(
+                            [(Primitive.EALLOC, {"pages": 1})] * count,
+                            enclave.core)
+                        account_batch(result)
+                        vaddrs.extend(r.result["vaddr"]
+                                      for r in result.responses)
+                    for start in range(0, len(vaddrs), batch_size):
+                        chunk = vaddrs[start:start + batch_size]
+                        account_batch(tee.invoke_user_batch(
+                            [(Primitive.EFREE, {"vaddr": v}) for v in chunk],
+                            enclave.core))
+    for enclave in handles:
+        enclave.destroy()
+
+    comm = total - service
+    return BenchPoint(
+        mode="scalar" if batch_size == 1 else "batched",
+        batch_size=batch_size,
+        requests=requests,
+        invocations=invocations,
+        total_cs_cycles=total,
+        service_cs_cycles=service,
+        comm_cycles=comm,
+        comm_cycles_per_request=round(comm / requests, 3))
+
+
+def run_batch_comm_bench(*, seed: int = 0xBE4C, enclaves: int = 4,
+                         rounds: int = 2, regions_per_round: int = 32,
+                         batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+                         ) -> dict[str, Any]:
+    """Sweep batch sizes over the alloc-heavy workload; JSON-ready report.
+
+    Every series runs the identical sequence of primitives on a fresh,
+    identically-seeded platform — only the envelope packing differs — so
+    ``comm_cycles`` is an apples-to-apples overhead comparison.
+    """
+    if 1 not in batch_sizes:
+        raise ValueError("batch_sizes must include 1 (the scalar baseline)")
+    series = [
+        _run_series(seed=seed, batch_size=size, enclaves=enclaves,
+                    rounds=rounds, regions_per_round=regions_per_round)
+        for size in batch_sizes]
+    by_size = {point.batch_size: point for point in series}
+    scalar = by_size[1]
+
+    def reduction(point: BenchPoint) -> float:
+        return round(scalar.comm_cycles_per_request
+                     / point.comm_cycles_per_request, 3)
+
+    summary = {
+        "scalar_comm_cycles_per_request": scalar.comm_cycles_per_request,
+        "comm_reduction": {str(p.batch_size): reduction(p) for p in series},
+        "comm_reduction_at_8": reduction(by_size[8]) if 8 in by_size else None,
+        "target_comm_reduction_at_8": TARGET_COMM_REDUCTION_AT_8,
+    }
+    if summary["comm_reduction_at_8"] is not None:
+        summary["meets_target"] = (summary["comm_reduction_at_8"]
+                                   >= TARGET_COMM_REDUCTION_AT_8)
+    return {
+        "schema": _SCHEMA,
+        "name": "batch_comm",
+        "seed": seed,
+        "workload": {
+            "enclaves": enclaves,
+            "rounds": rounds,
+            "regions_per_round": regions_per_round,
+            "primitives": [Primitive.EALLOC.value, Primitive.EFREE.value],
+            "cs_cores": 2,
+        },
+        "series": [point.to_dict() for point in series],
+        "summary": summary,
+    }
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Human-readable table for the CLI (the JSON stays the artifact)."""
+    from repro.eval.report import render_table
+
+    rows = [[p["mode"], p["batch_size"], p["requests"], p["invocations"],
+             p["comm_cycles"], f"{p['comm_cycles_per_request']:.1f}",
+             f"{report['summary']['comm_reduction'][str(p['batch_size'])]:.2f}x"]
+            for p in report["series"]]
+    table = render_table(
+        "Batched EMCall fast path: modeled comm cycles "
+        f"(seed={report['seed']:#x})",
+        ["mode", "batch", "requests", "doorbells", "comm cycles",
+         "comm/req", "reduction"],
+        rows)
+    at8 = report["summary"].get("comm_reduction_at_8")
+    tail = (f"\ncomm reduction at batch 8: {at8:.2f}x "
+            f"(target >= {TARGET_COMM_REDUCTION_AT_8}x)"
+            if at8 is not None else "")
+    return table + tail
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    """Write the canonical artifact form (sorted keys, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")

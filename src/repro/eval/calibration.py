@@ -56,6 +56,20 @@ EMCALL_DEADLINE_POLLS = {
     "EDESTROY": 96,
 }
 
+#: CS cycles for EMCall to pack/validate each *additional* request into a
+#: batch envelope (the first element pays the full EMCALL_DISPATCH_CYCLES
+#: trap-and-assemble cost). Batching amortizes the trap, not the packing.
+EMCALL_BATCH_PER_REQ_CYCLES = 40
+
+#: Marginal fabric cycles per extra packet in a batch envelope, each
+#: direction. The envelope still pays one full Mailbox.TRANSFER_CYCLES
+#: crossing (one doorbell, one IRQ); additional elements stream behind
+#: the header at bus width.
+MAILBOX_BATCH_PER_REQ_CYCLES = 8
+
+#: Largest batch EMCall accepts in one envelope (mailbox slot sizing).
+EMCALL_BATCH_MAX = 64
+
 #: First-retry backoff in CS cycles; doubles per attempt (plus jitter).
 EMCALL_BACKOFF_BASE_CYCLES = 2_000
 

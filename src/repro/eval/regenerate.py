@@ -49,25 +49,37 @@ def table3() -> str:
                          "L1 I/D", "L2", "fmax"], rows)
 
 
-def table4() -> str:
-    """Table IV: primitive execution time vs Host-Native."""
+def table4_rows() -> dict[str, tuple[float, float, float, float]]:
+    """Canonical Table IV numbers, full precision.
+
+    Per rv8 workload: primitive time as a share of Host-Native runtime —
+    ``(noncrypto all, noncrypto EMEAS, crypto all, crypto EMEAS)``.
+    Shared by the regenerated table, benchmarks/test_table4_primitives.py
+    (paper-shape assertions), and tests/eval/test_golden_table4.py (the
+    exact-value pin in tests/golden/table4.json).
+    """
     from repro.eval.scenarios import ENCLAVE_CRYPTO, ENCLAVE_NONCRYPTO
     from repro.workloads.runner import host_baseline, run_workload
     from repro.workloads.rv8 import RV8_WORKLOADS
 
-    rows = []
+    rows = {}
     for name, profile in RV8_WORKLOADS.items():
         base = host_baseline(profile).total_cycles
         nc = run_workload(profile, ENCLAVE_NONCRYPTO)
         cr = run_workload(profile, ENCLAVE_CRYPTO)
-        rows.append([name, pct(nc.primitive_cycles / base, 1),
-                     pct(nc.emeas_cycles / base, 1),
-                     pct(cr.primitive_cycles / base, 1),
-                     pct(cr.emeas_cycles / base, 2)])
+        rows[name] = (nc.primitive_cycles / base, nc.emeas_cycles / base,
+                      cr.primitive_cycles / base, cr.emeas_cycles / base)
+    return rows
+
+
+def table4() -> str:
+    """Table IV: primitive execution time vs Host-Native."""
     return render_table(
         "Table IV — primitive time vs Host-Native",
         ["workload", "noncrypto all", "noncrypto EMEAS",
-         "crypto all", "crypto EMEAS"], rows)
+         "crypto all", "crypto EMEAS"],
+        [[name, pct(r[0], 1), pct(r[1], 1), pct(r[2], 1), pct(r[3], 2)]
+         for name, r in table4_rows().items()])
 
 
 def table5() -> str:

@@ -91,6 +91,21 @@ class FaultInjector:
         rule = self.fires(point)
         return rule.magnitude if rule is not None else default
 
+    def fires_each(self, point: str, count: int) -> list[FaultRule | None]:
+        """Roll ``point`` once per element of a batch.
+
+        Batch envelopes cross the transport as one packet, but their
+        *elements* are individual fault opportunities (a bit flip lands
+        on one element, not the whole frame). Returns one entry per
+        element — the firing rule or ``None`` — drawn from the point's
+        usual sub-stream so scalar and batched chaos share one replayable
+        dice sequence. A point with no rules short-circuits: no draws,
+        no opportunity accounting, exactly like :meth:`fires`.
+        """
+        if not self._by_point.get(point):
+            return [None] * count
+        return [self.fires(point) for _ in range(count)]
+
     # -- introspection -------------------------------------------------------
 
     def fired_count(self, point: str) -> int:

@@ -32,6 +32,10 @@ FAULT_POINTS: dict[str, str] = {
     "mailbox.queue_full":
         "the request queue reports full for the next `magnitude` pushes "
         "(a backpressure burst)",
+    "mailbox.batch.element_corrupt":
+        "one element inside a batch envelope arrives CRC-broken; the EMS "
+        "Rx edge answers TRANSIENT for that element alone (its handler "
+        "never runs) so only it is replayed (magnitude unused)",
     # -- EMS runtime (ems/runtime.py) --------------------------------------
     "ems.handler.exception":
         "the handler crashes before touching state; the runtime answers "

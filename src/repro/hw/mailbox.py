@@ -32,8 +32,18 @@ from __future__ import annotations
 import collections
 import dataclasses
 
-from repro.common.packets import PrimitiveRequest, PrimitiveResponse
+from repro.common.packets import (
+    BatchRequest,
+    BatchResponse,
+    PrimitiveRequest,
+    PrimitiveResponse,
+)
 from repro.errors import MailboxError
+
+#: Anything the CS side may transmit: a scalar request or one batch
+#: envelope (one doorbell/IRQ for N packed requests).
+RequestPacket = PrimitiveRequest | BatchRequest
+ResponsePacket = PrimitiveResponse | BatchResponse
 
 #: Sliding window of request ids remembered by the EMS Rx sequence check
 #: (for duplicate-delivery suppression). Bounded so chaos soaks cannot
@@ -63,13 +73,18 @@ class MailboxStats:
     requests_cancelled: int = 0
     #: Responses that arrived for an already-cancelled request.
     stale_responses: int = 0
+    #: Batch envelopes pushed (each is one transaction carrying N
+    #: requests; also counted once in ``requests_sent``).
+    batches_sent: int = 0
+    #: Total primitive requests packed inside those batch envelopes.
+    batched_requests: int = 0
 
 
 @dataclasses.dataclass
 class _Envelope:
     """One packet in flight, with its transport metadata."""
 
-    packet: PrimitiveRequest | PrimitiveResponse
+    packet: RequestPacket | ResponsePacket
     corrupted: bool = False
 
 
@@ -116,8 +131,14 @@ class Mailbox:
 
     # -- CS side (used exclusively by EMCall) -----------------------------------
 
-    def push_request(self, request: PrimitiveRequest) -> None:
-        """Transmitter moves one Tx packet into the request queue."""
+    def push_request(self, request: RequestPacket) -> None:
+        """Transmitter moves one Tx packet into the request queue.
+
+        A :class:`~repro.common.packets.BatchRequest` is one packet here:
+        it claims a single slot, raises a single IRQ, and is dropped /
+        corrupted / duplicated as a unit by the fault points (the chaos
+        suite then exercises the per-element replay semantics).
+        """
         if self._forced_full > 0:
             self._forced_full -= 1
             self.stats.injected_queue_full += 1
@@ -143,6 +164,9 @@ class Mailbox:
         self._outstanding.add(request.request_id)
         self._cancelled.discard(request.request_id)
         self.stats.requests_sent += 1
+        if isinstance(request, BatchRequest):
+            self.stats.batches_sent += 1
+            self.stats.batched_requests += len(request)
         if self.faults is not None and \
                 self.faults.fires("mailbox.request.drop"):
             self.stats.requests_dropped += 1
@@ -160,7 +184,7 @@ class Mailbox:
         if self.obs is not None:
             self.obs.record_mailbox_push(len(self._requests))
 
-    def poll_response(self, request_id: int) -> PrimitiveResponse | None:
+    def poll_response(self, request_id: int) -> ResponsePacket | None:
         """EMCall polls for *its own* response; None while pending.
 
         A request id that was never issued (or was already collected)
@@ -201,7 +225,7 @@ class Mailbox:
 
     # -- EMS side -----------------------------------------------------------------
 
-    def fetch_requests(self, max_count: int | None = None) -> list[PrimitiveRequest]:
+    def fetch_requests(self, max_count: int | None = None) -> list[RequestPacket]:
         """EMS drains pending requests into its Rx task queue.
 
         The IRQ line stays asserted while requests remain queued, so a
@@ -210,7 +234,7 @@ class Mailbox:
         CRC-broken packets and duplicate deliveries (sequence check);
         neither counts against ``max_count``.
         """
-        out: list[PrimitiveRequest] = []
+        out: list[RequestPacket] = []
         while self._requests and (max_count is None or len(out) < max_count):
             envelope = self._requests.popleft()
             if envelope.corrupted:
@@ -234,7 +258,7 @@ class Mailbox:
             self.obs.record_mailbox_fetch(len(out), len(self._requests))
         return out
 
-    def push_response(self, response: PrimitiveResponse) -> None:
+    def push_response(self, response: ResponsePacket) -> None:
         """EMS posts a completed primitive's response packet.
 
         The response map is a hardware FIFO too: it enforces the same

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro metrics --format prom   # Prometheus text exposition
     python -m repro metrics --format json   # full registry JSON dump
     python -m repro trace --out /tmp/t.json # Chrome trace_event JSON
+    python -m repro bench                   # scalar-vs-batched comm bench
+    python -m repro bench --out BENCH_pr3.json  # refresh the artifact
 
 ``metrics`` and ``trace`` boot an observability-enabled platform and run
 a quickstart-style enclave scenario that exercises the lifecycle, memory,
@@ -119,6 +121,26 @@ def _cmd_regen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.eval.bench import (
+        render_report,
+        run_batch_comm_bench,
+        write_report,
+    )
+
+    report = run_batch_comm_bench(seed=args.seed)
+    print(render_report(report))
+    if args.out:
+        try:
+            write_report(report, args.out)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (regen/metrics/trace)."""
     parser = argparse.ArgumentParser(
@@ -147,6 +169,15 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0x1EE7)
     trace.set_defaults(func=_cmd_trace)
 
+    bench = sub.add_parser(
+        "bench", help="scalar vs batched EMCall comm-cycle baseline "
+                      "(the BENCH_pr3.json artifact)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the JSON artifact (e.g. "
+                            "BENCH_pr3.json)")
+    bench.add_argument("--seed", type=int, default=0xBE4C)
+    bench.set_defaults(func=_cmd_bench)
+
     return parser
 
 
@@ -155,7 +186,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Backward compatibility: bare artifact names still regenerate, so
     # ``python -m repro table6 fig8a`` keeps working.
-    if not argv or argv[0] not in ("regen", "metrics", "trace", "-h", "--help"):
+    if not argv or argv[0] not in ("regen", "metrics", "trace", "bench",
+                                   "-h", "--help"):
         argv = ["regen", *argv]
     args = build_parser().parse_args(argv)
     return args.func(args)

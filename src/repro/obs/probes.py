@@ -77,6 +77,12 @@ class Observability:
         self._polls = reg.histogram(
             "hypertee_emcall_poll_rounds",
             "Response-poll rounds per invocation")
+        self._batch_size = reg.histogram(
+            "hypertee_emcall_batch_size",
+            "Elements per EMCall batch envelope (invoke_batch)")
+        self._batch_latency = reg.histogram(
+            "hypertee_emcall_batch_cs_cycles",
+            "End-to-end CS-visible latency per batch transaction")
         self._pump_batch = reg.histogram(
             "hypertee_ems_pump_batch_size",
             "Requests drained per EMS pump round")
@@ -209,6 +215,76 @@ class Observability:
         tail = cs_cycles - (cursor - t0)
         tracer.add_span("emcall.poll", "emcall", cursor, tail, parent=root,
                         track=track, polls=polls, jitter_cycles=jitter_cycles)
+        tracer.advance(cs_cycles)
+
+    def record_batch_invocation(self, *, primitives: list[str],
+                                statuses: list[str], cs_cycles: int,
+                                dispatch_cycles: int, transfer_cycles: int,
+                                service_cycles: list[int],
+                                request_ids: list[int], jitter_cycles: int,
+                                polls: int, enclave_id: int | None,
+                                core_id: int, attempts: int = 1) -> None:
+        """One EMCall.invoke_batch completed: metrics + the batch span tree.
+
+        Metrics stay comparable with the scalar probe: every element
+        counts in the per-primitive invocation counter and contributes an
+        *amortized* share of the batch latency to the latency histogram.
+        The trace gets one ``emcall.batch[N]`` root whose children tile
+        it exactly — gate, one request crossing, the N handler spans in
+        dispatch order, one response crossing, and the poll/jitter tail.
+        """
+        n = len(primitives)
+        self._batch_size.observe(n)
+        self._batch_latency.observe(cs_cycles)
+        self._polls.observe(polls)
+        share, remainder = divmod(cs_cycles, n)
+        for index, (primitive, status) in enumerate(zip(primitives, statuses)):
+            self._invocations.labels(primitive, status).inc()
+            self._latency.labels(primitive).observe(
+                share + (1 if index < remainder else 0))
+
+        tracer = self.tracer
+        if not tracer.enabled:
+            for request_id in request_ids:
+                self._pending_ems.pop(request_id, None)
+            return
+        track = f"cs{core_id}"
+        t0 = tracer.clock
+        extra = {"attempts": attempts} if attempts > 1 else {}
+        root = tracer.add_span(
+            f"emcall.batch[{n}]", "primitive", t0, cs_cycles, track=track,
+            batch_size=n, enclave_id=enclave_id, **extra)
+        ems_to_cs = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
+        cursor = t0
+        tracer.add_span("emcall.gate", "emcall", cursor, dispatch_cycles,
+                        parent=root, track=track, batch_size=n)
+        cursor += dispatch_cycles
+        tracer.add_span("mailbox.request", "mailbox", cursor,
+                        transfer_cycles, parent=root, track=track,
+                        batch_size=n)
+        cursor += transfer_cycles
+        for primitive, request_id, ems_cycles in zip(
+                primitives, request_ids, service_cycles):
+            service_cs = int(ems_cycles * ems_to_cs)
+            span = tracer.add_span(
+                f"ems.service:{primitive}", "ems", cursor, service_cs,
+                parent=root, track=track, request_id=request_id,
+                ems_cycles=ems_cycles)
+            detail = self._pending_ems.pop(request_id, None)
+            if detail is not None and span is not None:
+                tracer.add_span(
+                    f"ems.handler:{detail['primitive']}", "ems", cursor,
+                    service_cs, parent=span, track=track, **{
+                        k: v for k, v in detail.items() if k != "primitive"})
+            cursor += service_cs
+        tracer.add_span("mailbox.response", "mailbox", cursor,
+                        transfer_cycles, parent=root, track=track,
+                        batch_size=n)
+        cursor += transfer_cycles
+        tail = cs_cycles - (cursor - t0)
+        tracer.add_span("emcall.poll", "emcall", cursor, tail, parent=root,
+                        track=track, polls=polls,
+                        jitter_cycles=jitter_cycles)
         tracer.advance(cs_cycles)
 
     # -- EMS runtime ----------------------------------------------------------------

@@ -10,6 +10,19 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite tests/golden/*.json from the current model instead "
+             "of comparing against it (review the diff before committing)")
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should refresh golden files, not assert them."""
+    return request.config.getoption("--update-golden")
+
+
 def pytest_collection_modifyitems(items):
     for item in items:
         if item.get_closest_marker("slow") is None and \

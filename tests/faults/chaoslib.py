@@ -99,6 +99,39 @@ def run_lifecycle(tee: HyperTEE, enclaves: int = 8,
     return readbacks
 
 
+def run_batched_lifecycle(tee: HyperTEE, enclaves: int = 4,
+                          rounds: int = 2, batch: int = 8) -> list[bytes]:
+    """The lifecycle of :func:`run_lifecycle`, over the batched fast path.
+
+    Launches via ``launch_enclave_batched`` (bulk EADD envelopes) and
+    drives each enclave through ``rounds`` rounds of ``batch``-wide
+    ealloc_many / write / read / efree_many, plus an attestation.
+    Returns each enclave's final read-back.
+    """
+    handles = [
+        tee.launch_enclave_batched(f"chaos-batch-{i}".encode() * 8,
+                                   EnclaveConfig(name=f"chaosb{i}",
+                                                 heap_pages_max=4 * batch),
+                                   batch_size=batch)
+        for i in range(enclaves)
+    ]
+    readbacks = []
+    for i, enclave in enumerate(handles):
+        secret = f"batch-secret-of-{i}".encode()
+        with enclave.running():
+            for _ in range(rounds):
+                vaddrs = enclave.ealloc_many([1] * batch)
+                enclave.write(vaddrs[0], secret)
+                readback = enclave.read(vaddrs[0], len(secret))
+                enclave.efree_many(vaddrs)
+            quote = enclave.attest(report_data=f"chaosb{i}".encode())
+            assert quote.enclave.measurement
+        readbacks.append(readback)
+    for enclave in handles:
+        enclave.destroy()
+    return readbacks
+
+
 def check_invariants(system: HyperTEESystem) -> None:
     """Pool / bitmap / ownership invariants that no fault may break."""
     from repro.common.types import EnclaveState

@@ -1,0 +1,181 @@
+"""Property-based laws for the wire codec and the mailbox packet types.
+
+The codec's contract is two laws, checked here over Hypothesis-generated
+artifacts rather than hand-picked examples:
+
+* **round-trip**: ``decode(encode(x)) == x`` for every artifact type;
+* **tamper-evidence**: flipping *any single byte* of the wire form (or
+  truncating / extending it) makes decode raise :class:`CodecError` —
+  the CRC32 trailer guarantees single-byte flips can never parse.
+
+The packet-layer batch containers carry the algebraic identities the
+mailbox and EMCall rely on (``request_id`` aliasing, ``ok`` as the
+conjunction over elements), so those are pinned here too.
+
+Example counts are deliberately bounded (tier-1 runs this file).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.codec import (
+    CodecError,
+    decode_quote,
+    decode_sealed_blob,
+    decode_snapshot,
+    encode_quote,
+    encode_sealed_blob,
+    encode_snapshot,
+)
+from repro.common.packets import (
+    BatchRequest,
+    BatchResponse,
+    PrimitiveRequest,
+    PrimitiveResponse,
+    ResponseStatus,
+)
+from repro.common.types import Primitive, Privilege
+from repro.cvm.manager import CVMSnapshot
+from repro.ems.attestation import AttestationQuote, Certificate
+from repro.ems.sealing import SealedBlob
+
+# -- artifact strategies ----------------------------------------------------
+
+_blobs = st.builds(
+    SealedBlob,
+    nonce=st.binary(max_size=24),
+    ciphertext=st.binary(max_size=128),
+    tag=st.binary(max_size=48))
+
+_certs = st.builds(
+    Certificate,
+    subject=st.text(
+        alphabet=st.characters(codec="ascii", exclude_categories=("C",)),
+        max_size=24),
+    measurement=st.binary(max_size=32),
+    report_data=st.binary(max_size=32),
+    signature=st.binary(max_size=48))
+
+_quotes = st.builds(AttestationQuote, platform=_certs, enclave=_certs)
+
+_snapshots = st.builds(
+    CVMSnapshot,
+    snapshot_id=st.integers(min_value=0, max_value=2**63 - 1),
+    name=st.text(
+        alphabet=st.characters(codec="ascii", exclude_categories=("C",)),
+        max_size=16),
+    encrypted_pages=st.lists(
+        st.binary(max_size=64), max_size=4).map(tuple),
+    measurement=st.binary(max_size=32))
+
+_CODECS = {
+    "sealed_blob": (encode_sealed_blob, decode_sealed_blob, _blobs),
+    "quote": (encode_quote, decode_quote, _quotes),
+    "snapshot": (encode_snapshot, decode_snapshot, _snapshots),
+}
+
+
+# -- law 1: encode∘decode = identity ----------------------------------------
+
+@given(blob=_blobs)
+@settings(max_examples=60, deadline=None)
+def test_sealed_blob_roundtrip_law(blob):
+    assert decode_sealed_blob(encode_sealed_blob(blob)) == blob
+
+
+@given(quote=_quotes)
+@settings(max_examples=40, deadline=None)
+def test_quote_roundtrip_law(quote):
+    assert decode_quote(encode_quote(quote)) == quote
+
+
+@given(snapshot=_snapshots)
+@settings(max_examples=40, deadline=None)
+def test_snapshot_roundtrip_law(snapshot):
+    assert decode_snapshot(encode_snapshot(snapshot)) == snapshot
+
+
+# -- law 2: any single-byte flip is rejected --------------------------------
+
+@pytest.mark.parametrize("artifact", sorted(_CODECS))
+@given(data=st.data(), position=st.integers(min_value=0),
+       flip=st.integers(min_value=1, max_value=255))
+@settings(max_examples=80, deadline=None)
+def test_single_byte_flip_rejected(artifact, data, position, flip):
+    encode, decode, strategy = _CODECS[artifact]
+    wire = encode(data.draw(strategy))
+    index = position % len(wire)
+    corrupted = bytearray(wire)
+    corrupted[index] ^= flip  # flip != 0, so the byte really changes
+    with pytest.raises(CodecError):
+        decode(bytes(corrupted))
+
+
+@pytest.mark.parametrize("artifact", sorted(_CODECS))
+@given(data=st.data(), cut=st.integers(min_value=1, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_truncation_rejected(artifact, data, cut):
+    encode, decode, strategy = _CODECS[artifact]
+    wire = encode(data.draw(strategy))
+    with pytest.raises(CodecError):
+        decode(wire[:-min(cut, len(wire))])
+
+
+@pytest.mark.parametrize("artifact", sorted(_CODECS))
+@given(data=st.data(), extra=st.binary(min_size=1, max_size=8))
+@settings(max_examples=30, deadline=None)
+def test_extension_rejected(artifact, data, extra):
+    encode, decode, strategy = _CODECS[artifact]
+    wire = encode(data.draw(strategy))
+    with pytest.raises(CodecError):
+        decode(wire + extra)
+
+
+# -- packet-layer batch container laws --------------------------------------
+
+_requests = st.builds(
+    PrimitiveRequest,
+    request_id=st.integers(min_value=0, max_value=2**31),
+    primitive=st.sampled_from(Primitive),
+    enclave_id=st.none() | st.integers(min_value=1, max_value=64),
+    privilege=st.sampled_from(Privilege),
+    args=st.just({}))
+
+_responses = st.builds(
+    PrimitiveResponse,
+    request_id=st.integers(min_value=0, max_value=2**31),
+    status=st.sampled_from(ResponseStatus),
+    result=st.just({}),
+    service_cycles=st.integers(min_value=0, max_value=10_000))
+
+
+@given(batch_id=st.integers(min_value=0, max_value=2**31),
+       requests=st.lists(_requests, min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_batch_request_laws(batch_id, requests):
+    batch = BatchRequest(batch_id=batch_id, requests=requests)
+    # The transport keys every packet off request_id; for a batch that
+    # is the batch_id (one envelope == one packet).
+    assert batch.request_id == batch.batch_id == batch_id
+    assert len(batch) == len(requests)
+    assert list(batch.requests) == list(requests)
+
+
+@given(batch_id=st.integers(min_value=0, max_value=2**31),
+       responses=st.lists(_responses, min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_batch_response_ok_is_conjunction(batch_id, responses):
+    batch = BatchResponse(batch_id=batch_id, responses=responses)
+    assert batch.request_id == batch_id
+    assert batch.ok == all(r.ok for r in responses)
+    assert len(batch) == len(responses)
+
+
+def test_empty_batches_rejected():
+    with pytest.raises(ValueError):
+        BatchRequest(batch_id=1, requests=())
+    with pytest.raises(ValueError):
+        BatchResponse(batch_id=1, responses=())
