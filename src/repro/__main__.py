@@ -1,7 +1,8 @@
 """``python -m repro`` — evaluation artifacts plus observability surfaces.
 
 The argparse CLI lives in :mod:`repro.obs.cli`: ``regen`` (the default;
-bare artifact names keep working), ``metrics``, and ``trace``.
+bare artifact names keep working), ``metrics``, ``trace``, ``bench``,
+and ``lint``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,108 @@
+"""The ``python -m repro lint`` surface.
+
+Exit status: 0 when clean (or everything is baselined/suppressed),
+1 when blocking findings remain, 2 on usage errors. ``--write-baseline``
+accepts the current findings as documented exceptions (edit the reasons
+afterwards — "baselined pre-existing finding" is a placeholder, not
+documentation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.analysis.engine import run_lint
+from repro.analysis.render import render_github, render_human, render_json
+
+
+def default_scan_path() -> Path:
+    """The installed ``repro`` package directory (works from any cwd)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def default_baseline_path() -> Path:
+    """``teelint.baseline.json`` in cwd if present, else at the repo
+    root inferred from the package location (src/repro/.. -> repo)."""
+    cwd_candidate = Path.cwd() / BASELINE_FILENAME
+    if cwd_candidate.exists():
+        return cwd_candidate
+    package_dir = default_scan_path()
+    repo_candidate = package_dir.parent.parent / BASELINE_FILENAME
+    if repo_candidate.exists():
+        return repo_candidate
+    return cwd_candidate
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint arguments (shared with the ``repro`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files/directories to scan (default: the repro package)")
+    parser.add_argument(
+        "--format", choices=("human", "json", "github"), default="human",
+        help="report format (github = Actions annotations)")
+    parser.add_argument(
+        "--rules", default="", metavar="IDS",
+        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help=f"baseline file (default: {BASELINE_FILENAME} at the "
+             f"repo root)")
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file entirely")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept current findings into the baseline file and exit 0")
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="additionally write the JSON findings artifact here")
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute one lint run from parsed arguments."""
+    paths = [Path(p) for p in args.paths] or [default_scan_path()]
+    for path in paths:
+        if not path.exists():
+            print(f"error: no such path: {path}", file=sys.stderr)
+            return 2
+
+    only = tuple(r.strip() for r in args.rules.split(",") if r.strip())
+    baseline_path = (Path(args.baseline) if args.baseline
+                     else default_baseline_path())
+    baseline = Baseline() if args.no_baseline \
+        else Baseline.load(baseline_path)
+
+    try:
+        result = run_lint(paths, baseline=baseline, only=only)
+    except ValueError as exc:  # unknown rule ids
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(result.findings)
+        new_baseline.save(baseline_path)
+        print(f"wrote {len(new_baseline)} baseline entr"
+              f"{'y' if len(new_baseline) == 1 else 'ies'} to "
+              f"{baseline_path}")
+        print("edit each entry's reason: the baseline documents "
+              "exceptions, it does not grant them")
+        return 0
+
+    renderer = {"human": render_human, "json": render_json,
+                "github": render_github}[args.format]
+    print(renderer(result))
+    if args.json_out:
+        try:
+            Path(args.json_out).write_text(render_json(result) + "\n",
+                                           encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write {args.json_out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 2
+    return 0 if result.ok else 1

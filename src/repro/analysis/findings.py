@@ -1,0 +1,68 @@
+"""The findings model: what a rule reports and how it is identified.
+
+A finding's *fingerprint* deliberately excludes the line number: it
+hashes the rule id, the module-relative path, and a rule-chosen stable
+``key`` (the import edge, the banned call, the constant name, ...), so
+baseline entries survive unrelated edits to the same file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+
+
+class Severity(enum.Enum):
+    """How blocking a finding is.
+
+    ``ERROR`` findings fail the lint run (unless baselined or
+    suppressed); ``WARNING`` and ``INFO`` are reported but advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str                 #: rule id, e.g. ``"TEE001"``
+    severity: Severity
+    path: str                 #: path relative to the scan root (posix)
+    line: int                 #: 1-based line of the offending node
+    message: str              #: what is wrong, in one sentence
+    key: str                  #: stable identity token for fingerprinting
+    fix_hint: str = ""        #: how to repair it, in one sentence
+    col: int = 0              #: 0-based column of the offending node
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-number-independent identity for baseline matching."""
+        raw = f"{self.rule}|{self.path}|{self.key}"
+        return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+    @property
+    def blocking(self) -> bool:
+        """True when this finding should fail the run."""
+        return self.severity is Severity.ERROR
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the CI artifact schema)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "key": self.key,
+            "fix_hint": self.fix_hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def location(self) -> str:
+        """``path:line`` as shown in the human report."""
+        return f"{self.path}:{self.line}"

@@ -1,0 +1,78 @@
+"""Finding renderers: human report, JSON artifact, GitHub annotations."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding, Severity
+
+_ICON = {Severity.ERROR: "E", Severity.WARNING: "W", Severity.INFO: "I"}
+
+
+def render_human(result: LintResult) -> str:
+    """The terminal report: findings grouped by file, then a summary."""
+    lines: list[str] = []
+    current = None
+    for finding in result.findings:
+        if finding.path != current:
+            if current is not None:
+                lines.append("")
+            lines.append(finding.path)
+            current = finding.path
+        lines.append(f"  {finding.line:>4}  {_ICON[finding.severity]} "
+                     f"{finding.rule}  {finding.message}")
+        if finding.fix_hint:
+            lines.append(f"        fix: {finding.fix_hint}")
+    if result.findings:
+        lines.append("")
+    counts = result.counts()
+    lines.append(
+        f"teelint: {result.modules_scanned} modules scanned, "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed")
+    for entry in result.stale_baseline:
+        lines.append(f"stale baseline entry: {entry.rule} {entry.path} "
+                     f"({entry.key}) — no longer fires; drop it")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine-readable artifact uploaded by CI."""
+    payload = {
+        "version": 1,
+        "modules_scanned": result.modules_scanned,
+        "counts": result.counts(),
+        "findings": [f.to_dict() for f in result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+        "ok": result.ok,
+    }
+    return json.dumps(payload, indent=2)
+
+
+def _workflow_command(finding: Finding) -> str:
+    level = {"error": "error", "warning": "warning",
+             "info": "notice"}[finding.severity.value]
+    message = finding.message
+    if finding.fix_hint:
+        message = f"{message} — fix: {finding.fix_hint}"
+    # GitHub workflow-command escaping for the message payload.
+    message = (message.replace("%", "%25").replace("\r", "%0D")
+               .replace("\n", "%0A"))
+    return (f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title=teelint {finding.rule}::"
+            f"{message}")
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions annotations (one workflow command per finding)."""
+    lines = [_workflow_command(f) for f in result.findings]
+    counts = result.counts()
+    lines.append(
+        f"teelint: {counts['error']} error(s), "
+        f"{counts['warning']} warning(s) across "
+        f"{result.modules_scanned} modules")
+    return "\n".join(lines)

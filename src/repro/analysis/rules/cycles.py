@@ -1,0 +1,189 @@
+"""TEE003 — cycle accounting: costs reference calibration constants.
+
+Table IV (and every derived figure) stays reproducible only while
+``repro/eval/calibration.py`` is the single source of truth for timing.
+A bare ``SOME_COST_CYCLES = 40`` elsewhere is a second, silent truth
+that drifts. This rule flags:
+
+* any assignment or keyword argument whose name contains a cost token
+  (``cycle``/``cycles``/``instr``/``instrs``/``instructions``) and
+  whose value is a *pure numeric literal* other than ``0`` (zero is an
+  accumulator initialiser, not a cost) — outside the calibration
+  module itself;
+* calibration constants that nothing references anymore (dead truth is
+  as misleading as duplicated truth).
+
+A value that references *names* (``2 * TRANSFER_CYCLES``) is fine: the
+factor is structure, the magnitude is named.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import register
+
+#: The single source of timing truth; literals are legal only here.
+CALIBRATION_MODULE = "repro.eval.calibration"
+
+COST_TOKENS = frozenset({"cycle", "cycles", "instr", "instrs",
+                         "instructions"})
+
+FIX_HINT = ("name the cost in repro/eval/calibration.py and reference "
+            "the constant, so Table IV stays the single source of truth")
+
+
+def is_cost_name(name: str) -> bool:
+    """True when an identifier names a cycle/instruction cost."""
+    return any(token in COST_TOKENS for token in name.lower().split("_"))
+
+
+def literal_value(node: ast.AST) -> float | None:
+    """The numeric value of a pure-literal expression, else ``None``.
+
+    Pure means: number constants combined only with unary +/- and
+    arithmetic operators — no name references anywhere.
+    """
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, (int, float)) \
+                and not isinstance(node.value, bool):
+            return float(node.value)
+        return None
+    if isinstance(node, ast.UnaryOp) \
+            and isinstance(node.op, (ast.UAdd, ast.USub)):
+        inner = literal_value(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.BinOp):
+        left = literal_value(node.left)
+        right = literal_value(node.right)
+        if left is None or right is None:
+            return None
+        try:
+            return float(eval(compile(ast.Expression(
+                ast.fix_missing_locations(node)), "<lint>", "eval")))
+        except Exception:
+            return None
+    return None
+
+
+@register
+class CycleAccountingRule:
+    """Stray cost literals + dead calibration constants."""
+
+    id = "TEE003"
+    title = "cycle accounting: costs reference calibration constants"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Report stray cost literals and dead calibration constants."""
+        for module in project:
+            if module.name == CALIBRATION_MODULE:
+                continue
+            yield from self._check_module(module)
+        yield from self._dead_constants(project)
+
+    # -- stray literals -----------------------------------------------------
+
+    def _check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_binding(module, target,
+                                                   node.value)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if node.value is not None:
+                    yield from self._check_binding(module, node.target,
+                                                   node.value)
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg and is_cost_name(kw.arg):
+                        yield from self._flag_literal(
+                            module, kw.value, kw.arg,
+                            context=f"keyword {kw.arg}")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg, default in zip(
+                        args.args[len(args.args) - len(args.defaults):],
+                        args.defaults):
+                    if is_cost_name(arg.arg):
+                        yield from self._flag_literal(
+                            module, default, arg.arg,
+                            context=f"default of {node.name}({arg.arg}=...)")
+
+    def _check_binding(self, module: SourceModule, target: ast.AST,
+                       value: ast.AST) -> Iterator[Finding]:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is None or not is_cost_name(name):
+            return
+        if isinstance(value, ast.Dict):
+            for v in value.values:
+                yield from self._flag_literal(module, v, name,
+                                              context=f"dict {name}")
+            return
+        yield from self._flag_literal(module, value, name,
+                                      context=f"assignment to {name}")
+
+    def _flag_literal(self, module: SourceModule, value: ast.AST,
+                      name: str, context: str) -> Iterator[Finding]:
+        number = literal_value(value)
+        if number is None or number == 0:
+            return
+        rendered = int(number) if number == int(number) else number
+        yield Finding(
+            rule=self.id, severity=Severity.ERROR, path=module.relpath,
+            line=value.lineno, col=value.col_offset,
+            key=f"literal:{name}={rendered}",
+            message=(f"cycle-cost literal {rendered} in {context}; costs "
+                     f"must reference {CALIBRATION_MODULE} constants"),
+            fix_hint=FIX_HINT)
+
+    # -- dead calibration constants -----------------------------------------
+
+    def _dead_constants(self, project: Project) -> Iterator[Finding]:
+        calibration = project.by_name.get(CALIBRATION_MODULE)
+        if calibration is None:
+            return
+        defined: dict[str, int] = {}
+        for node in calibration.tree.body:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and target.id.isupper():
+                        defined[target.id] = node.lineno
+        if not defined:
+            return
+        used: set[str] = set()
+        for module in project:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ImportFrom) \
+                        and node.module == CALIBRATION_MODULE:
+                    used.update(alias.name for alias in node.names)
+                elif isinstance(node, ast.Attribute) \
+                        and node.attr in defined:
+                    used.add(node.attr)
+                elif module is not calibration \
+                        and isinstance(node, ast.Name) \
+                        and node.id in defined:
+                    used.add(node.id)
+                elif module is calibration and isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Load) \
+                        and node.id in defined:
+                    # A constant feeding another constant counts as used.
+                    used.add(node.id)
+        for name, line in sorted(defined.items(), key=lambda kv: kv[1]):
+            if name not in used:
+                yield Finding(
+                    rule=self.id, severity=Severity.WARNING,
+                    path=calibration.relpath, line=line,
+                    key=f"dead:{name}",
+                    message=(f"calibration constant {name} is referenced "
+                             f"nowhere; dead truth misleads"),
+                    fix_hint="delete it or wire the model back onto it")

@@ -1,0 +1,135 @@
+"""TEE002 — determinism: all entropy flows from the seeded streams.
+
+The fault-replay guarantee (PR 2) and the golden-pinned artifacts
+(PR 3) hold only because every stochastic draw in the model comes from
+:class:`repro.common.rng.DeterministicRng` sub-streams. Wall-clock
+reads and ambient entropy silently break replay, so inside
+``src/repro/`` this rule bans:
+
+* module-level ``random.*`` draws (``random.random()``,
+  ``random.randint()``, ...) and unseeded ``random.Random()``;
+* ``time.time()`` / ``time.time_ns()`` / monotonic and perf counters;
+* ``datetime.now()`` / ``utcnow()`` / ``today()``;
+* ``os.urandom``, ``secrets.*``, and ``uuid.uuid1/uuid4``.
+
+``random.Random(seed)`` with an explicit seed is allowed (it is how
+:mod:`repro.common.rng` itself builds its sub-streams); importing the
+``random`` module anywhere else is still reported as a warning, since
+it invites exactly the module-level draws the rule exists to stop.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import register
+
+#: The one module allowed to own a ``random`` import: the seeded-stream
+#: provider everything else must draw from.
+RNG_PROVIDER = "repro.common.rng"
+
+#: module -> banned attribute calls on it.
+BANNED_CALLS: dict[str, frozenset[str]] = {
+    "random": frozenset({
+        "random", "randint", "randrange", "choice", "choices", "shuffle",
+        "sample", "uniform", "gauss", "normalvariate", "seed",
+        "getrandbits", "randbytes", "betavariate", "expovariate",
+    }),
+    "time": frozenset({
+        "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+        "perf_counter_ns",
+    }),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+    "os": frozenset({"urandom", "getrandom"}),
+    "uuid": frozenset({"uuid1", "uuid4"}),
+}
+
+FIX_HINT = ("draw from a named DeterministicRng sub-stream "
+            "(repro.common.rng) so runs replay from the seed alone")
+
+
+@register
+class DeterminismRule:
+    """Ban ambient entropy and wall-clock reads in the model."""
+
+    id = "TEE002"
+    title = "determinism: randomness and time flow from seeded streams"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Report entropy/wall-clock use outside the rng provider."""
+        for module in project:
+            if module.name == RNG_PROVIDER:
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: SourceModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("random", "secrets"):
+                        yield self._finding(
+                            module, node, Severity.WARNING,
+                            key=f"import:{alias.name}",
+                            message=(f"import of {alias.name!r} outside "
+                                     f"{RNG_PROVIDER}"))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module in BANNED_CALLS or node.module == "secrets":
+                    banned = BANNED_CALLS.get(node.module, frozenset())
+                    for alias in node.names:
+                        if node.module == "secrets" or alias.name in banned:
+                            yield self._finding(
+                                module, node, Severity.ERROR,
+                                key=f"from:{node.module}.{alias.name}",
+                                message=(f"from {node.module} import "
+                                         f"{alias.name} bypasses the "
+                                         f"seeded streams"))
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+
+    def _check_call(self, module: SourceModule,
+                    node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if not isinstance(receiver, ast.Name):
+            # datetime.datetime.now() — one more attribute hop.
+            if (isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "datetime"
+                    and func.attr in BANNED_CALLS["datetime"]):
+                yield self._finding(
+                    module, node, Severity.ERROR,
+                    key=f"call:datetime.{receiver.attr}.{func.attr}",
+                    message=f"datetime.{receiver.attr}.{func.attr}() is "
+                            f"wall-clock time")
+            return
+        mod = receiver.id
+        if mod == "secrets":
+            yield self._finding(
+                module, node, Severity.ERROR,
+                key=f"call:secrets.{func.attr}",
+                message=f"secrets.{func.attr}() draws ambient entropy")
+            return
+        if mod == "random" and func.attr == "Random" and not node.args \
+                and not node.keywords:
+            yield self._finding(
+                module, node, Severity.ERROR, key="call:random.Random()",
+                message="unseeded random.Random() is irreproducible")
+            return
+        banned = BANNED_CALLS.get(mod)
+        if banned and func.attr in banned:
+            yield self._finding(
+                module, node, Severity.ERROR,
+                key=f"call:{mod}.{func.attr}",
+                message=f"{mod}.{func.attr}() bypasses the seeded streams")
+
+    def _finding(self, module: SourceModule, node: ast.AST,
+                 severity: Severity, key: str, message: str) -> Finding:
+        return Finding(
+            rule=self.id, severity=severity, path=module.relpath,
+            line=node.lineno, col=node.col_offset, key=key,
+            message=message, fix_hint=FIX_HINT)

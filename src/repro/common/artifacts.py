@@ -1,0 +1,43 @@
+"""Wire-format artifacts that cross the decoupling boundary.
+
+Attestation quotes and sealed blobs are *products* of EMS primitives
+that travel back to the CS inside mailbox response packets, so their
+dataclasses belong with the codec in ``repro.common`` — not inside the
+EMS. Keeping them here lets :mod:`repro.common.codec` frame them
+without importing EMS internals, preserving the one-way dependency
+structure the modelled hardware enforces (teelint rule TEE001).
+
+:mod:`repro.ems.attestation` and :mod:`repro.ems.sealing` re-export
+these names, so EMS-side call sites and existing tests are unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Certificate:
+    """A signed measurement (platform or enclave)."""
+
+    subject: str
+    measurement: bytes
+    report_data: bytes
+    signature: bytes
+
+
+@dataclasses.dataclass(frozen=True)
+class AttestationQuote:
+    """What EATTEST returns: platform + enclave certificates."""
+
+    platform: Certificate
+    enclave: Certificate
+
+
+@dataclasses.dataclass(frozen=True)
+class SealedBlob:
+    """Ciphertext + authentication tag + nonce, safe to store anywhere."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes

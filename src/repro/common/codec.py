@@ -23,8 +23,7 @@ from __future__ import annotations
 import zlib
 
 from repro.cvm.manager import CVMSnapshot
-from repro.ems.attestation import AttestationQuote, Certificate
-from repro.ems.sealing import SealedBlob
+from repro.common.artifacts import AttestationQuote, Certificate, SealedBlob
 from repro.errors import HyperTEEError
 
 _MAGIC_SEALED = b"HTSB"

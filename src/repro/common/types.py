@@ -11,6 +11,7 @@ These encode the paper's descriptive tables directly:
 from __future__ import annotations
 
 import enum
+from typing import Protocol
 
 
 class Privilege(enum.IntEnum):
@@ -113,6 +114,26 @@ class Permission(enum.Flag):
             AccessType.EXECUTE: Permission.EXECUTE,
         }[access]
         return bool(self & needed)
+
+
+class FrameSource(Protocol):
+    """Structural interface of the CS-side physical-frame provider.
+
+    The enclave memory pool draws bulk frames from the untrusted CS OS,
+    but the modelled hardware forbids the EMS from reaching into CS
+    state: the decoupling boundary (paper Section III) admits only the
+    mailbox and this narrow, type-only contract. ``repro.cs.os``
+    implements it; the EMS side depends on the shape alone, never on
+    the CS module (checked by teelint rule TEE001).
+    """
+
+    def alloc_frames(self, n: int, requestor: str = "os") -> list[int]:
+        """Hand out ``n`` physical frame numbers."""
+        ...  # pragma: no cover - protocol signature only
+
+    def release_frames(self, frames: list[int]) -> None:
+        """Accept frames back (already zeroed by the caller)."""
+        ...  # pragma: no cover - protocol signature only
 
 
 class AttackOutcome(enum.Enum):

@@ -29,6 +29,10 @@ from repro.common.constants import (
 )
 from repro.crypto.cipher import KeystreamCipher
 from repro.crypto.hashes import keyed_mac, measure
+from repro.eval.calibration import (
+    CRYPTO_ENGINE_SETUP_CYCLES,
+    CRYPTO_SOFTWARE_SETUP_CYCLES,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,7 +59,7 @@ ENGINE_CRYPTO = CryptoProfile(
     cipher_bytes_per_sec=_gbps(CRYPTO_AES_GBPS),
     sign_ops_per_sec=float(CRYPTO_RSA_SIGN_OPS),
     verify_ops_per_sec=float(CRYPTO_RSA_VERIFY_OPS),
-    setup_cycles=200,
+    setup_cycles=CRYPTO_ENGINE_SETUP_CYCLES,
 )
 
 #: Software crypto on the EMS core. Calibrated so that the EMEAS share of
@@ -67,7 +71,7 @@ SOFTWARE_CRYPTO = CryptoProfile(
     cipher_bytes_per_sec=_gbps(CRYPTO_AES_GBPS) / 12.0,
     sign_ops_per_sec=2.0,
     verify_ops_per_sec=150.0,
-    setup_cycles=50,
+    setup_cycles=CRYPTO_SOFTWARE_SETUP_CYCLES,
 )
 
 

@@ -22,9 +22,10 @@ from repro.common.types import Privilege
 from repro.core.api import Enclave, HyperTEE
 from repro.cs.cpu import CSCore
 from repro.cs.os import HostProcess
+from repro.eval.calibration import SCHED_QUANTUM_CYCLES
 
 #: Default quantum: 10 ms at the CS clock (a 100 Hz timer tick).
-DEFAULT_QUANTUM_CYCLES = 25_000_000
+DEFAULT_QUANTUM_CYCLES = SCHED_QUANTUM_CYCLES
 
 
 class Task(abc.ABC):

@@ -25,7 +25,7 @@ from repro.common.constants import (
     POOL_THRESHOLD_MIN,
 )
 from repro.common.rng import DeterministicRng
-from repro.cs.os import CSOperatingSystem
+from repro.common.types import FrameSource
 from repro.errors import OutOfEnclaveMemory
 from repro.hw.memory import PhysicalMemory
 
@@ -41,7 +41,7 @@ class PoolStats:
 class EnclaveMemoryPool:
     """Bulk frame reservoir between the CS OS and enclave allocations."""
 
-    def __init__(self, os: CSOperatingSystem, memory: PhysicalMemory,
+    def __init__(self, os: FrameSource, memory: PhysicalMemory,
                  rng: DeterministicRng, bitmap=None,
                  initial_pages: int = POOL_INITIAL_PAGES,
                  enlarge_pages: int = POOL_ENLARGE_PAGES) -> None:

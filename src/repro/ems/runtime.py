@@ -34,6 +34,10 @@ from repro.ems.lifecycle import EnclaveManager, HandlerOutput
 from repro.ems.page_mgmt import PageManager
 from repro.ems.shared_memory import SharedMemoryManager
 from repro.ems.swapping import SwapManager
+from repro.eval.calibration import (
+    EMS_REPLAY_LOOKUP_INSTR,
+    EMS_STALL_CYCLES_PER_ROUND,
+)
 from repro.errors import (
     AttestationError,
     ConnectionNotAuthorized,
@@ -66,10 +70,10 @@ _STATUS_FOR_ERROR: list[tuple[type, ResponseStatus]] = [
 _IDEMPOTENCY_CACHE_SIZE = 1024
 
 #: EMS instructions to look up and replay a cached idempotent result.
-_REPLAY_INSTR = 300
+_REPLAY_INSTR = EMS_REPLAY_LOOKUP_INSTR
 
 #: EMS cycles of injected stall converted into deferred pump rounds.
-_STALL_CYCLES_PER_ROUND = 50_000
+_STALL_CYCLES_PER_ROUND = EMS_STALL_CYCLES_PER_ROUND
 
 
 @dataclasses.dataclass

@@ -8,22 +8,14 @@ enclave (same measurement) on the *same* device can unseal.
 
 from __future__ import annotations
 
-import dataclasses
-
+from repro.common.artifacts import SealedBlob
 from repro.common.rng import DeterministicRng
 from repro.crypto.cipher import KeystreamCipher
 from repro.crypto.hashes import constant_time_equal, keyed_mac
 from repro.ems.key_mgmt import KeyManager
 from repro.errors import SealingError
 
-
-@dataclasses.dataclass(frozen=True)
-class SealedBlob:
-    """Ciphertext + authentication tag + nonce, safe to store anywhere."""
-
-    nonce: bytes
-    ciphertext: bytes
-    tag: bytes
+__all__ = ["SealedBlob", "SealingService"]
 
 
 class SealingService:

@@ -120,6 +120,70 @@ PRIMITIVE_BASE_INSTR = {
 #: Fitted to Table IV's "All Primitives" crypto vs non-crypto columns.
 PRIMITIVE_CRYPTO_FRACTION = 0.10
 
+#: EMS instructions to look up and replay a cached idempotent result
+#: (the PR-2 replay cache hit path; far below any real handler cost).
+EMS_REPLAY_LOOKUP_INSTR = 300
+
+#: EMS cycles of injected handler stall converted into one deferred
+#: pump round by the fault machinery (docs/fault_injection.md).
+EMS_STALL_CYCLES_PER_ROUND = 50_000
+
+# ---------------------------------------------------------------------------
+# Mailbox / iHub fabric (Section IV-C)
+# ---------------------------------------------------------------------------
+
+#: CS cycles for one packet to cross the fabric into a mailbox queue.
+#: Together with EMCALL_DISPATCH_CYCLES this fixes the fixed-cost floor
+#: that dominates small EALLOCs in Fig. 8a.
+MAILBOX_TRANSFER_CYCLES = 60
+
+# ---------------------------------------------------------------------------
+# CS scheduler (Fig. 6 multi-core runs)
+# ---------------------------------------------------------------------------
+
+#: Default scheduling quantum: 10 ms at the 2.5 GHz CS clock (a 100 Hz
+#: timer tick).
+SCHED_QUANTUM_CYCLES = 25_000_000
+
+# ---------------------------------------------------------------------------
+# CS memory hierarchy (workload trace replay; Table III cache latencies)
+# ---------------------------------------------------------------------------
+
+#: Load-to-use cycles on an L1 data-cache hit.
+CS_L1_HIT_CYCLES = 3
+
+#: Load-to-use cycles on an L2 hit.
+CS_L2_HIT_CYCLES = 14
+
+#: Cycles for a DRAM access that misses the on-chip hierarchy.
+CS_DRAM_ACCESS_CYCLES = 160
+
+# ---------------------------------------------------------------------------
+# Page-table walker (Fig. 5, Fig. 10)
+# ---------------------------------------------------------------------------
+
+#: Memory-access cycles per PTE load during a hardware walk.
+PTW_STEP_CYCLES = 40
+
+#: Serialized extra cycles for the PTW bitmap retrieval (the check
+#: itself overlaps the original permission check; Section VII-C).
+PTW_BITMAP_CHECK_CYCLES = 12
+
+#: Cycles for a TLB hit (no walk).
+TLB_HIT_CYCLES = 1
+
+# ---------------------------------------------------------------------------
+# Crypto engine fixed per-operation setup (Table III / Table IV)
+# ---------------------------------------------------------------------------
+
+#: EMS cycles of fixed per-operation setup on the hardware engine
+#: (command submission + DMA descriptor).
+CRYPTO_ENGINE_SETUP_CYCLES = 200
+
+#: EMS cycles of fixed per-operation setup for software crypto (a
+#: function call, no device round-trip).
+CRYPTO_SOFTWARE_SETUP_CYCLES = 50
+
 # ---------------------------------------------------------------------------
 # Memory encryption + integrity (Fig. 8b, Fig. 9)
 # ---------------------------------------------------------------------------

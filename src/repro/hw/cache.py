@@ -17,6 +17,11 @@ from __future__ import annotations
 import dataclasses
 
 from repro.common.constants import CACHE_LINE_SIZE
+from repro.eval.calibration import (
+    CS_DRAM_ACCESS_CYCLES,
+    CS_L1_HIT_CYCLES,
+    CS_L2_HIT_CYCLES,
+)
 
 
 @dataclasses.dataclass
@@ -168,9 +173,9 @@ class MemoryHierarchyModel:
     show nearly nothing.
     """
 
-    l1_hit_cycles: float = 3.0
-    l2_hit_cycles: float = 14.0
-    dram_cycles: float = 160.0
+    l1_hit_cycles: float = float(CS_L1_HIT_CYCLES)
+    l2_hit_cycles: float = float(CS_L2_HIT_CYCLES)
+    dram_cycles: float = float(CS_DRAM_ACCESS_CYCLES)
     encryption_adder_cycles: float = 0.0
 
     def average_access_cycles(self, l1_miss_rate: float, l2_miss_rate: float) -> float:

@@ -39,6 +39,7 @@ from repro.common.packets import (
     PrimitiveResponse,
 )
 from repro.errors import MailboxError
+from repro.eval.calibration import MAILBOX_TRANSFER_CYCLES
 
 #: Anything the CS side may transmit: a scalar request or one batch
 #: envelope (one doorbell/IRQ for N packed requests).
@@ -92,7 +93,7 @@ class Mailbox:
     """The hardware FIFO pair inside iHub."""
 
     #: Cycles (CS clock) for one packet to cross the fabric into a queue.
-    TRANSFER_CYCLES = 60
+    TRANSFER_CYCLES = MAILBOX_TRANSFER_CYCLES
 
     def __init__(self, capacity: int = 256) -> None:
         self.capacity = capacity

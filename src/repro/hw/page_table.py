@@ -30,6 +30,11 @@ from typing import Callable
 from repro.common.constants import HOST_KEYID, PAGE_SHIFT, PAGE_SIZE
 from repro.common.types import AccessType, Permission
 from repro.errors import AccessPermissionError, BitmapViolation, PageFault
+from repro.eval.calibration import (
+    PTW_BITMAP_CHECK_CYCLES,
+    PTW_STEP_CYCLES,
+    TLB_HIT_CYCLES,
+)
 from repro.hw.bitmap import BitmapReader
 from repro.hw.memory import PhysicalMemory
 from repro.hw.tlb import TLB, TLBEntry
@@ -269,12 +274,12 @@ class PageTableWalker:
     """
 
     #: Memory-access cycles per PTE load during a walk.
-    WALK_STEP_CYCLES = 40
+    WALK_STEP_CYCLES = PTW_STEP_CYCLES
     #: Extra cycles for the bitmap retrieval. The check runs in parallel
     #: with the original permission check (paper Section VII-C), so only
     #: the serialized tail is visible.
-    BITMAP_CHECK_CYCLES = 12
-    TLB_HIT_CYCLES = 1
+    BITMAP_CHECK_CYCLES = PTW_BITMAP_CHECK_CYCLES
+    TLB_HIT_CYCLES = TLB_HIT_CYCLES
 
     def __init__(self, memory: PhysicalMemory, tlb: TLB,
                  bitmap_reader: BitmapReader | None) -> None:

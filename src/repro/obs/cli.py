@@ -10,11 +10,15 @@ Subcommands::
     python -m repro trace --out /tmp/t.json # Chrome trace_event JSON
     python -m repro bench                   # scalar-vs-batched comm bench
     python -m repro bench --out BENCH_pr3.json  # refresh the artifact
+    python -m repro lint                    # teelint architectural checks
+    python -m repro lint --format=github    # CI annotation output
 
 ``metrics`` and ``trace`` boot an observability-enabled platform and run
 a quickstart-style enclave scenario that exercises the lifecycle, memory,
 shared-memory, and attestation primitives, then report from the registry
 or the tracer. Open the trace file in Perfetto (https://ui.perfetto.dev).
+``lint`` runs the :mod:`repro.analysis` rule catalogue (TEE001-TEE005)
+over the package sources.
 """
 
 from __future__ import annotations
@@ -141,12 +145,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
+
+
+#: Every subcommand name, in help order. ``main()`` uses this to decide
+#: whether the first token selects a subcommand or is a bare artifact
+#: name for ``regen`` — keep it in lockstep with :func:`build_parser`
+#: (pinned by the CLI smoke test).
+COMMANDS = ("regen", "metrics", "trace", "bench", "lint")
+
+
 def build_parser() -> argparse.ArgumentParser:
-    """The ``python -m repro`` argument parser (regen/metrics/trace)."""
+    """The ``python -m repro`` argument parser (one entry per COMMANDS)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="HyperTEE reproduction: evaluation artifacts and "
-                    "observability surfaces.")
+        description="HyperTEE reproduction: evaluation artifacts, "
+                    "observability surfaces, and architectural lint.")
     sub = parser.add_subparsers(dest="command")
 
     regen = sub.add_parser(
@@ -178,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0xBE4C)
     bench.set_defaults(func=_cmd_bench)
 
+    from repro.analysis.cli import configure_parser as configure_lint
+
+    lint = sub.add_parser(
+        "lint", help="teelint: AST checks for the CS/EMS decoupling "
+                     "invariants (TEE001-TEE005)")
+    configure_lint(lint)
+    lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -185,9 +210,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     argv = list(sys.argv[1:] if argv is None else argv)
     # Backward compatibility: bare artifact names still regenerate, so
-    # ``python -m repro table6 fig8a`` keeps working.
-    if not argv or argv[0] not in ("regen", "metrics", "trace", "bench",
-                                   "-h", "--help"):
+    # ``python -m repro table6 fig8a`` keeps working. Anything in
+    # COMMANDS (or a help flag) dispatches as a subcommand instead.
+    if not argv or argv[0] not in (*COMMANDS, "-h", "--help"):
         argv = ["regen", *argv]
     args = build_parser().parse_args(argv)
     return args.func(args)

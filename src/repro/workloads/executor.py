@@ -18,6 +18,11 @@ from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
 from repro.common.types import AccessType, Permission
 from repro.core.system import HyperTEESystem
 from repro.cs.os import HostProcess
+from repro.eval.calibration import (
+    CS_DRAM_ACCESS_CYCLES,
+    CS_L1_HIT_CYCLES,
+    CS_L2_HIT_CYCLES,
+)
 from repro.hw.cache import SetAssociativeCache
 from repro.workloads.trace import MemoryAccess
 
@@ -49,9 +54,9 @@ class TraceStats:
 class TraceExecutor:
     """Replays traces for a host process on a CS core."""
 
-    L1_HIT_CYCLES = 3
-    L2_HIT_CYCLES = 14
-    DRAM_CYCLES = 160
+    L1_HIT_CYCLES = CS_L1_HIT_CYCLES
+    L2_HIT_CYCLES = CS_L2_HIT_CYCLES
+    DRAM_CYCLES = CS_DRAM_ACCESS_CYCLES
 
     def __init__(self, system: HyperTEESystem,
                  process: HostProcess | None = None) -> None:

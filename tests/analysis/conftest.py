@@ -1,0 +1,26 @@
+"""Shared helpers for the teelint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Repository root (tests/analysis/ -> tests/ -> repo).
+REPO_ROOT = Path(__file__).parents[2]
+
+
+@pytest.fixture
+def lint_fixture():
+    """Run a single rule over one fixture tree's ``repro`` package."""
+
+    def _lint(fixture: str, rule: str):
+        root = FIXTURES / fixture / "repro"
+        assert root.is_dir(), f"missing fixture tree {root}"
+        return run_lint([root], only=(rule,))
+
+    return _lint

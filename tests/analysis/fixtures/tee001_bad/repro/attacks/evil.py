@@ -1,0 +1,1 @@
+from repro.ems.runtime import EnclaveRuntime  # adversary peeks at EMS

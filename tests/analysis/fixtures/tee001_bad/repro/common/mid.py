@@ -1,0 +1,5 @@
+from repro.ems.runtime import EnclaveRuntime  # common -> ems: legal alone
+
+
+def helper():
+    return EnclaveRuntime()

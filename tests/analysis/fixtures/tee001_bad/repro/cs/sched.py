@@ -1,0 +1,1 @@
+from repro.ems.runtime import EnclaveRuntime  # direct cs -> ems

@@ -1,0 +1,1 @@
+from repro.common.mid import helper  # transitive cs -> common -> ems

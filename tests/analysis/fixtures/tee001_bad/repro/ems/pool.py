@@ -1,0 +1,1 @@
+import repro.cs.sched  # direct ems -> cs

@@ -1,0 +1,5 @@
+from repro.cs.sched import schedule
+
+
+def attack():
+    return schedule()

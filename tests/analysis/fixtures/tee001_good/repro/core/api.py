@@ -1,0 +1,6 @@
+from repro.cs.sched import schedule
+from repro.ems.runtime import EnclaveRuntime
+
+
+def boot():
+    return schedule(), EnclaveRuntime()

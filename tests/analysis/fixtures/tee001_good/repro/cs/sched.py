@@ -1,0 +1,5 @@
+from repro.common.types import WireType
+
+
+def schedule():
+    return WireType()

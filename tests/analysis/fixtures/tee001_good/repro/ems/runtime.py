@@ -1,0 +1,5 @@
+from repro.common.types import WireType
+
+
+class EnclaveRuntime:
+    kind = WireType

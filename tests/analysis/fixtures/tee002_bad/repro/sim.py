@@ -1,0 +1,21 @@
+import datetime
+import os
+import random
+import time
+from random import randint
+
+
+def jitter():
+    return random.random() + time.time()
+
+
+def stamp():
+    return datetime.datetime.now()
+
+
+def nonce():
+    return os.urandom(8) + bytes([randint(0, 255)])
+
+
+def fresh_rng():
+    return random.Random()

@@ -1,0 +1,9 @@
+import random
+
+
+class DeterministicRng:
+    def __init__(self, seed):
+        self._seed = seed
+
+    def stream(self, name):
+        return random.Random((self._seed, name).__hash__())

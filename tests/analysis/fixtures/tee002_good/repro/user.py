@@ -1,0 +1,5 @@
+from repro.common.rng import DeterministicRng
+
+
+def draw(seed):
+    return DeterministicRng(seed).stream("user").randint(0, 9)

@@ -1,0 +1,13 @@
+from repro.eval.calibration import USED_CYCLES
+
+STALL_CYCLES = 123
+
+COSTS_CYCLES = {"decode": 9}
+
+
+def run(engine):
+    engine.step(flush_cycles=42)
+
+
+def warm(warmup_cycles=10):
+    return warmup_cycles + USED_CYCLES

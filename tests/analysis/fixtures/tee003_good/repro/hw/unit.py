@@ -1,0 +1,8 @@
+from repro.eval.calibration import FLUSH_CYCLES, STALL_CYCLES
+
+
+def run(engine):
+    spent_cycles = 0
+    engine.step(flush_cycles=FLUSH_CYCLES)
+    spent_cycles += 2 * STALL_CYCLES
+    return spent_cycles

@@ -1,0 +1,4 @@
+def run(inj, rng):
+    dropped = inj.fires("mailbox.drop", rng)
+    ghosted = inj.fires("mailbox.dorp", rng)
+    return dropped, ghosted

@@ -1,0 +1,4 @@
+FAULT_POINTS = {
+    "mailbox.drop": "drop one EMCall packet",
+    "ems.stall": "stall the handler",
+}

@@ -1,0 +1,2 @@
+def setup(reg):
+    return reg.counter("hypertee_demo_total", "demo counter")

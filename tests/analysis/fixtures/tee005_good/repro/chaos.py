@@ -1,0 +1,4 @@
+def run(inj, rng):
+    dropped = inj.fires("mailbox.drop", rng)
+    stalled = inj.magnitude("ems.stall", rng)
+    return dropped, stalled

@@ -1,0 +1,102 @@
+"""Project scanning, module naming, import resolution, and the graph."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Project, run_lint
+from repro.analysis.project import module_name_for
+
+from .conftest import FIXTURES
+
+
+def write_tree(root, files: dict[str, str]) -> None:
+    for rel, body in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(body), encoding="utf-8")
+
+
+def test_module_names_follow_init_chain(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/cs/__init__.py": "",
+        "repro/cs/sched.py": "",
+        "repro/orphan_dir/loose.py": "",  # no __init__.py: not a package
+    })
+    assert module_name_for(tmp_path / "repro/cs/sched.py") == \
+        "repro.cs.sched"
+    assert module_name_for(tmp_path / "repro/cs/__init__.py") == "repro.cs"
+    assert module_name_for(tmp_path / "repro/orphan_dir/loose.py") == "loose"
+
+
+def test_scan_collects_modules_and_relpaths():
+    project = Project.scan([FIXTURES / "tee001_good" / "repro"])
+    names = {m.name for m in project}
+    assert "repro.core.api" in names
+    assert project.by_name["repro.core.api"].relpath == "repro/core/api.py"
+    assert project.by_name["repro.core.api"].subsystem == "core"
+    assert project.by_name["repro"].subsystem == ""
+
+
+def test_from_import_resolves_submodule_vs_symbol(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/pkg/__init__.py": "",
+        "repro/pkg/sub.py": "",
+        "repro/user.py": """\
+            from repro.pkg import sub
+            from repro.pkg.sub import something
+        """,
+    })
+    project = Project.scan([tmp_path / "repro"])
+    targets = [e.target for e in project.import_edges()["repro.user"]]
+    # ``from repro.pkg import sub`` reaches the submodule; importing a
+    # symbol from it reaches the module that defines the symbol.
+    assert targets == ["repro.pkg.sub", "repro.pkg.sub"]
+
+
+def test_relative_imports_resolve_against_the_package(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/pkg/__init__.py": "from .sub import thing\n",
+        "repro/pkg/sub.py": "thing = 1\n",
+        "repro/pkg/peer.py": "from . import sub\nfrom .sub import thing\n",
+    })
+    project = Project.scan([tmp_path / "repro"])
+    edges = project.import_edges()
+    assert [e.target for e in edges["repro.pkg"]] == ["repro.pkg.sub"]
+    assert [e.target for e in edges["repro.pkg.peer"]] == \
+        ["repro.pkg.sub", "repro.pkg.sub"]
+
+
+def test_graph_excludes_mediator_subsystems():
+    project = Project.scan([FIXTURES / "tee001_good" / "repro"])
+    adj = project.graph(exclude_subsystems=("core",))
+    assert "repro.core.api" not in adj
+    assert all("repro.core.api" not in targets for targets in adj.values())
+    full = project.graph()
+    assert {"repro.cs.sched", "repro.ems.runtime"} <= \
+        full["repro.core.api"]
+
+
+def test_shortest_path_finds_the_transitive_chain():
+    project = Project.scan([FIXTURES / "tee001_bad" / "repro"])
+    adj = project.graph(exclude_subsystems=("core",))
+    goals = {m.name for m in project if m.subsystem == "ems"}
+    path = project.shortest_path("repro.cs.top", goals, adj)
+    assert path == ["repro.cs.top", "repro.common.mid", "repro.ems.runtime"]
+
+
+def test_syntax_errors_become_tee000_findings(tmp_path):
+    write_tree(tmp_path, {
+        "repro/__init__.py": "",
+        "repro/broken.py": "def oops(:\n",
+        "repro/fine.py": "x = 1\n",
+    })
+    result = run_lint([tmp_path / "repro"])
+    assert result.modules_scanned == 2  # the broken file is not a module
+    tee000 = [f for f in result.findings if f.rule == "TEE000"]
+    assert len(tee000) == 1
+    assert tee000[0].path == "repro/broken.py"
+    assert tee000[0].blocking

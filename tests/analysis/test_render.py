@@ -1,0 +1,73 @@
+"""Renderer edge cases not reached through the CLI tests."""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.cli import default_baseline_path, default_scan_path
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.render import render_github, render_human, render_json
+
+from .conftest import REPO_ROOT
+
+
+def result_with(findings=(), stale=()):
+    return LintResult(findings=list(findings), baselined=[], suppressed=[],
+                      stale_baseline=list(stale), modules_scanned=3)
+
+
+STALE = BaselineEntry(fingerprint="ab" * 8, rule="TEE003",
+                      path="repro/gone.py", key="dead:X", reason="r")
+
+
+def test_human_report_shows_stale_baseline_entries():
+    out = render_human(result_with(stale=[STALE]))
+    assert "stale baseline entry: TEE003 repro/gone.py" in out
+    assert "drop it" in out
+
+
+def test_human_report_groups_findings_by_file():
+    findings = [
+        Finding(rule="TEE002", severity=Severity.ERROR, path="repro/a.py",
+                line=3, key="k1", message="first", fix_hint="hint one"),
+        Finding(rule="TEE002", severity=Severity.WARNING, path="repro/a.py",
+                line=9, key="k2", message="second"),
+        Finding(rule="TEE005", severity=Severity.INFO, path="repro/b.py",
+                line=1, key="k3", message="third"),
+    ]
+    out = render_human(result_with(findings))
+    # One header per file, icons per severity, hints only when present.
+    assert out.index("repro/a.py") < out.index("repro/b.py")
+    assert "E TEE002  first" in out
+    assert "W TEE002  second" in out
+    assert "I TEE005  third" in out
+    assert out.count("fix:") == 1
+
+
+def test_json_reports_stale_entries():
+    import json
+    payload = json.loads(render_json(result_with(stale=[STALE])))
+    assert payload["stale_baseline"][0]["key"] == "dead:X"
+
+
+def test_github_escapes_newlines_and_percent():
+    finding = Finding(rule="TEE001", severity=Severity.ERROR,
+                      path="repro/a.py", line=2, key="k",
+                      message="50% broken\nsecond line")
+    out = render_github(result_with([finding]))
+    assert "50%25 broken%0Asecond line" in out
+    assert "\nsecond line" not in out.splitlines()[0]
+
+
+def test_default_paths_resolve_to_this_checkout():
+    scan = default_scan_path()
+    assert scan.name == "repro"
+    assert (scan / "analysis").is_dir()
+    assert default_baseline_path() == REPO_ROOT / "teelint.baseline.json"
+
+
+def test_default_baseline_prefers_cwd_copy(tmp_path, monkeypatch):
+    local = tmp_path / "teelint.baseline.json"
+    local.write_text("{}")
+    monkeypatch.chdir(tmp_path)
+    assert default_baseline_path() == local
