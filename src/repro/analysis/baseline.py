@@ -17,6 +17,7 @@ Two escape hatches, both loud:
 from __future__ import annotations
 
 import dataclasses
+import datetime
 import json
 import re
 from pathlib import Path
@@ -43,17 +44,37 @@ def line_suppresses(source_line: str, rule: str) -> bool:
 
 @dataclasses.dataclass
 class BaselineEntry:
-    """One documented exception."""
+    """One documented exception.
+
+    ``added``/``expires`` are optional ISO dates (``YYYY-MM-DD``). An
+    entry past its ``expires`` date still matches — the lint stays
+    green — but every run warns about it until the exception is
+    re-justified or the finding fixed: documented exceptions cannot
+    live forever by default.
+    """
 
     fingerprint: str
     rule: str
     path: str
     key: str
     reason: str
+    added: str = ""
+    expires: str = ""
 
     def to_dict(self) -> dict:
-        """The JSON form stored in the baseline file."""
-        return dataclasses.asdict(self)
+        """The JSON form stored in the baseline file (no empty dates)."""
+        out = dataclasses.asdict(self)
+        return {k: v for k, v in out.items() if v != ""}
+
+    def expired(self, today: datetime.date) -> bool:
+        """Is this entry past its ``expires`` date?"""
+        if not self.expires:
+            return False
+        try:
+            expires = datetime.date.fromisoformat(self.expires)
+        except ValueError:
+            return True     # unparsable date: treat as expired, loudly
+        return expires < today
 
 
 class Baseline:
@@ -75,6 +96,11 @@ class Baseline:
         live = {f.fingerprint for f in findings}
         return [e for e in self.entries if e.fingerprint not in live]
 
+    def expired_entries(self,
+                        today: datetime.date) -> list[BaselineEntry]:
+        """Entries past their ``expires`` date (re-justify or fix)."""
+        return [e for e in self.entries if e.expired(today)]
+
     # -- persistence --------------------------------------------------------
 
     @classmethod
@@ -89,12 +115,24 @@ class Baseline:
 
     @classmethod
     def from_findings(cls, findings: list[Finding],
-                      reason: str = "baselined pre-existing finding"
-                      ) -> "Baseline":
-        """Accept every current finding (the ``--write-baseline`` path)."""
+                      reason: str = "baselined pre-existing finding",
+                      added: datetime.date | None = None,
+                      expire_days: int | None = None) -> "Baseline":
+        """Accept every current finding (the ``--write-baseline`` path).
+
+        ``added`` stamps the entries with a date; ``expire_days`` (with
+        ``added``) additionally sets ``expires`` so the exception
+        self-reports once it outlives its welcome.
+        """
+        added_iso = added.isoformat() if added is not None else ""
+        expires_iso = ""
+        if added is not None and expire_days is not None:
+            expires_iso = (added + datetime.timedelta(
+                days=expire_days)).isoformat()
         entries = [BaselineEntry(
             fingerprint=f.fingerprint, rule=f.rule, path=f.path,
-            key=f.key, reason=reason) for f in findings]
+            key=f.key, reason=reason, added=added_iso,
+            expires=expires_iso) for f in findings]
         # One entry per fingerprint: same-key findings in one file share it.
         unique: dict[str, BaselineEntry] = {}
         for entry in entries:

@@ -1,0 +1,150 @@
+"""The incremental lint cache under ``.teelint-cache/``.
+
+Two layers, both keyed by *content*, never by mtime:
+
+* the **parse cache** — one pickled AST per source file, keyed by the
+  SHA-256 of its text (plus the Python minor version: AST pickles are
+  not portable across interpreters). A warm run that missed the result
+  cache still skips re-parsing unchanged files;
+* the **result cache** — the full deduplicated finding list of one
+  run, keyed by the sorted ``relpath:content-hash`` manifest of every
+  scanned file *and* the active rule set's ``id:version`` signature
+  (bumping a rule's ``version`` class attribute invalidates every
+  result computed with the older behaviour). The payload also carries
+  the serialized import graph so ``--changed`` can compute reverse
+  dependencies on a cache hit without parsing anything.
+
+Suppressions and the baseline are deliberately *outside* the key:
+they are applied after the cache, so editing a reason or an inline
+``# teelint: disable`` never needs an engine re-run — the raw finding
+list is identical. (A disable comment edit changes the file's hash
+anyway, so the conservative invalidation still holds.)
+
+Cache files are best-effort: any unreadable/corrupt entry is treated
+as a miss and rewritten. Nothing here affects findings, only speed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import sys
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import SourceFile
+from repro.analysis.rules import Rule, rules_signature
+
+#: Default cache directory name, created next to the baseline.
+CACHE_DIRNAME = ".teelint-cache"
+
+#: Bump to invalidate every cached artifact (schema changes).
+CACHE_SCHEMA_VERSION = 1
+
+
+def content_hash(text: str) -> str:
+    """The SHA-256 hex digest of one file's text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """Parse + result caching for :func:`repro.analysis.engine.run_lint`."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.parse_hits = 0
+        self.parse_misses = 0
+
+    # -- layout --------------------------------------------------------------
+
+    def _parse_path(self, key: str) -> Path:
+        return self.directory / "parse" / f"{key}.pkl"
+
+    def _result_path(self, key: str) -> Path:
+        return self.directory / "results" / f"{key}.json"
+
+    # -- the parse cache -----------------------------------------------------
+
+    def parse(self, text: str, filename: str = "<unknown>"):
+        """``ast.parse`` with a content-keyed pickle cache.
+
+        Raises :class:`SyntaxError` exactly like ``ast.parse`` (syntax
+        errors are never cached; the engine reports them as TEE000
+        findings which live in the result cache instead).
+        """
+        import ast
+
+        key = (f"{content_hash(text)}-py{sys.version_info[0]}"
+               f"{sys.version_info[1]}-v{CACHE_SCHEMA_VERSION}")
+        path = self._parse_path(key)
+        if path.exists():
+            try:
+                tree = pickle.loads(path.read_bytes())
+                self.parse_hits += 1
+                return tree
+            except (pickle.PickleError, EOFError, AttributeError,
+                    OSError):
+                pass    # corrupt entry: fall through and re-parse
+        self.parse_misses += 1
+        tree = ast.parse(text, filename=filename)
+        self._write_bytes(path, pickle.dumps(tree))
+        return tree
+
+    # -- the result cache ----------------------------------------------------
+
+    def result_key(self, files: list[SourceFile],
+                   rules: list[Rule]) -> str:
+        """One key per (file contents, rule behaviours) combination."""
+        manifest = "\n".join(sorted(
+            f"{f.relpath}:{content_hash(f.text)}" for f in files))
+        raw = (f"schema={CACHE_SCHEMA_VERSION}\n"
+               f"rules={rules_signature(rules)}\n{manifest}")
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+    def load_result(self, key: str) -> dict | None:
+        """The cached run payload, or ``None`` on miss/corruption."""
+        path = self._result_path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError):
+            return None
+        if not isinstance(payload, dict) \
+                or "findings" not in payload:
+            return None
+        return payload
+
+    def store_result(self, key: str, payload: dict) -> None:
+        """Persist one run's raw results (best-effort)."""
+        self._write_bytes(
+            self._result_path(key),
+            (json.dumps(payload, indent=1) + "\n").encode("utf-8"))
+
+    @staticmethod
+    def findings_from_payload(payload: dict) -> list[Finding]:
+        """Rebuild :class:`Finding`s from their cached dict form."""
+        out: list[Finding] = []
+        for entry in payload.get("findings", []):
+            out.append(Finding(
+                rule=entry["rule"],
+                severity=Severity(entry["severity"]),
+                path=entry["path"], line=entry["line"],
+                message=entry["message"], key=entry["key"],
+                fix_hint=entry.get("fix_hint", ""),
+                col=entry.get("col", 0)))
+        return out
+
+    # -- plumbing ------------------------------------------------------------
+
+    @staticmethod
+    def _write_bytes(path: Path, data: bytes) -> None:
+        """Atomic-enough write; cache corruption only costs a re-run."""
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(path.suffix + ".tmp")
+            tmp.write_bytes(data)
+            tmp.replace(path)
+        except OSError:
+            pass    # read-only tree: run uncached

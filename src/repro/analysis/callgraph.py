@@ -1,0 +1,275 @@
+"""Project-wide symbol table and call resolution.
+
+The per-module AST walks of PR 4 cannot see across a function boundary:
+a helper that formats a key and a caller that logs the result live in
+two different walks. This module builds the whole-program view every
+interprocedural rule shares:
+
+* a **symbol table** — every top-level function, every class with its
+  methods and (project-local) bases, and every import binding a module
+  establishes, including ``import a.b as c`` and ``from pkg import x``;
+* **facade re-export chasing** — ``repro.ems`` re-exports
+  ``KeyManager`` from ``repro.ems.key_mgmt``; a dotted reference is
+  chased through up to :data:`MAX_REEXPORT_HOPS` binding hops so the
+  caller resolves to the defining module;
+* **call resolution** — ``helper(...)`` via the caller's module
+  bindings, ``module.func(...)`` via an imported-module binding,
+  ``self.method(...)`` via class attribute lookup (walking project-
+  local base classes), ``Cls.method(...)`` via a class binding, and a
+  guarded unique-method-name fallback for ``obj.method(...)`` when
+  exactly one definition of that name exists in the whole project.
+
+Resolution is deliberately *sound-ish, not complete*: an unresolvable
+call returns ``None`` and the taint engine falls back to its
+conservative intra-procedural treatment.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.analysis.project import Project, SourceModule
+
+#: How many facade re-export hops a dotted reference may chase.
+MAX_REEXPORT_HOPS = 8
+
+#: Method names too generic for the unique-name fallback: one stray
+#: definition must not capture every ``obj.get(...)`` in the tree.
+GENERIC_METHOD_NAMES = frozenset({
+    "get", "put", "pop", "add", "set", "run", "read", "write", "open",
+    "close", "send", "recv", "update", "append", "extend", "insert",
+    "remove", "clear", "copy", "items", "keys", "values", "format",
+    "join", "split", "strip", "encode", "decode", "check", "reset",
+    "start", "stop", "step", "tick", "next", "name", "value",
+})
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition, addressable by qualname."""
+
+    qualname: str         #: ``repro.crypto.keys.derive_key`` or
+                          #: ``repro.core.api.Enclave.enter``
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None = None   #: bare class name when this is a method
+
+    @property
+    def short_name(self) -> str:
+        """``Enclave.enter`` for methods, ``derive_key`` for functions."""
+        if self.cls is not None:
+            return f"{self.cls}.{self.node.name}"
+        return self.node.name
+
+
+class SymbolTable:
+    """Functions, classes, and import bindings across the project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: qualname -> definition.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: class qualname -> {method name -> function qualname}.
+        self._methods: dict[str, dict[str, str]] = {}
+        #: class qualname -> base class qualnames (project-local only).
+        self._bases: dict[str, list[str]] = {}
+        #: module name -> {local name -> dotted target}.
+        self._bindings: dict[str, dict[str, str]] = {}
+        #: bare method name -> qualnames defining it (for the unique-
+        #: name fallback).
+        self._by_bare_name: dict[str, list[str]] = {}
+        for module in project:
+            self._index_module(module)
+            self._index_nested(module)
+        self._resolve_bases()
+
+    # -- construction --------------------------------------------------------
+
+    def _index_module(self, module: SourceModule) -> None:
+        bindings = self._bindings.setdefault(module.name, {})
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, cls=None)
+                bindings[node.name] = f"{module.name}.{node.name}"
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, node)
+                bindings[node.name] = f"{module.name}.{node.name}"
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        bindings[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` in the namespace.
+                        bindings[alias.name.split(".")[0]] = \
+                            alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom):
+                base = Project._resolve_from(module, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    bindings[alias.asname or alias.name] = \
+                        f"{base}.{alias.name}"
+
+    def _index_nested(self, module: SourceModule) -> None:
+        """Register function definitions nested inside other functions.
+
+        They are unreachable by name from other modules (so they stay
+        out of the bindings and the unique-name index), but the taint
+        engine still analyzes their bodies in their own scope.
+        """
+        indexed = {id(info.node) for info in self.functions.values()}
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and id(node) not in indexed:
+                qualname = (f"{module.name}.<locals>."
+                            f"{node.name}@{node.lineno}")
+                self.functions[qualname] = FunctionInfo(
+                    qualname=qualname, module=module, node=node, cls=None)
+
+    def _index_class(self, module: SourceModule, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        methods = self._methods.setdefault(qualname, {})
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._add_function(module, item, cls=node.name)
+                methods[item.name] = info.qualname
+        self._bases[qualname] = [
+            ast.unparse(base) for base in node.bases
+            if isinstance(base, (ast.Name, ast.Attribute))]
+
+    def _add_function(self, module: SourceModule,
+                      node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      cls: str | None) -> FunctionInfo:
+        qualname = (f"{module.name}.{cls}.{node.name}" if cls
+                    else f"{module.name}.{node.name}")
+        info = FunctionInfo(qualname=qualname, module=module,
+                            node=node, cls=cls)
+        self.functions[qualname] = info
+        self._by_bare_name.setdefault(node.name, []).append(qualname)
+        return info
+
+    def _resolve_bases(self) -> None:
+        """Re-resolve class base references to class qualnames."""
+        resolved: dict[str, list[str]] = {}
+        for qualname, bases in self._bases.items():
+            module_name = qualname.rsplit(".", 1)[0]
+            out: list[str] = []
+            for base in bases:
+                target = self._chase(self._dotted_target(module_name, base))
+                if target is not None and target in self._methods:
+                    out.append(target)
+            resolved[qualname] = out
+        self._bases = resolved
+
+    # -- dotted-reference resolution -----------------------------------------
+
+    def _dotted_target(self, module_name: str, dotted: str) -> str | None:
+        """Resolve a possibly-local dotted reference against a module's
+        bindings: ``keys.derive_key`` -> ``repro.crypto.keys.derive_key``
+        when ``keys`` is bound by an import."""
+        head, _, rest = dotted.partition(".")
+        bound = self._bindings.get(module_name, {}).get(head)
+        if bound is None:
+            return dotted
+        return f"{bound}.{rest}" if rest else bound
+
+    def _chase(self, dotted: str | None) -> str | None:
+        """Follow facade re-exports until the dotted name stabilises."""
+        for _ in range(MAX_REEXPORT_HOPS):
+            if dotted is None:
+                return None
+            if dotted in self.functions or dotted in self._methods:
+                return dotted
+            # Split into a scanned-module prefix and a trailing attr
+            # chain, then look the first attr up in that module's
+            # bindings (the facade's ``from .x import y``).
+            module = self.project._to_scanned(dotted)
+            if module is None or module == dotted:
+                return None
+            rest = dotted[len(module) + 1:]
+            head, _, tail = rest.partition(".")
+            bound = self._bindings.get(module, {}).get(head)
+            if bound is None:
+                # Not a re-export; maybe a plain module attribute.
+                candidate = f"{module}.{head}"
+                if candidate != dotted:
+                    dotted = candidate + (f".{tail}" if tail else "")
+                    continue
+                return None
+            dotted = bound + (f".{tail}" if tail else "")
+        return None
+
+    def resolve(self, module_name: str, dotted: str) -> FunctionInfo | None:
+        """A dotted reference, seen from ``module_name``, to a function."""
+        target = self._chase(self._dotted_target(module_name, dotted))
+        if target is None:
+            return None
+        if target in self.functions:
+            return self.functions[target]
+        # ``pkg.mod.Cls`` resolves the constructor when one is defined.
+        if target in self._methods:
+            init = self.lookup_method(target, "__init__")
+            return init
+        # ``pkg.mod.Cls.method`` with the method on a base class.
+        cls, _, attr = target.rpartition(".")
+        if cls in self._methods:
+            return self.lookup_method(cls, attr)
+        return None
+
+    def lookup_method(self, class_qualname: str,
+                      method: str) -> FunctionInfo | None:
+        """Attribute lookup on a class, walking project-local bases."""
+        seen: set[str] = set()
+        stack = [class_qualname]
+        while stack:
+            cls = stack.pop(0)
+            if cls in seen:
+                continue
+            seen.add(cls)
+            qual = self._methods.get(cls, {}).get(method)
+            if qual is not None:
+                return self.functions.get(qual)
+            stack.extend(self._bases.get(cls, []))
+        return None
+
+    # -- call resolution -----------------------------------------------------
+
+    def resolve_call(self, caller: FunctionInfo,
+                     call: ast.Call) -> FunctionInfo | None:
+        """The definition a call site reaches, or ``None``."""
+        func = call.func
+        module_name = caller.module.name
+        if isinstance(func, ast.Name):
+            return self.resolve(module_name, func.id)
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id == "self" and caller.cls is not None:
+                cls_qual = f"{module_name}.{caller.cls}"
+                found = self.lookup_method(cls_qual, func.attr)
+                if found is not None:
+                    return found
+            else:
+                found = self.resolve(module_name,
+                                     f"{value.id}.{func.attr}")
+                if found is not None:
+                    return found
+        elif isinstance(value, ast.Attribute):
+            found = self.resolve(module_name, ast.unparse(func))
+            if found is not None:
+                return found
+        return self._unique_method(func.attr)
+
+    def _unique_method(self, name: str) -> FunctionInfo | None:
+        """Guarded fallback: ``obj.method(...)`` with an opaque receiver
+        resolves only when exactly one *method* of that name exists
+        project-wide and the name is not generic."""
+        if name.startswith("__") or name in GENERIC_METHOD_NAMES:
+            return None
+        candidates = [q for q in self._by_bare_name.get(name, ())
+                      if self.functions[q].cls is not None]
+        if len(candidates) == 1:
+            return self.functions[candidates[0]]
+        return None

@@ -5,15 +5,24 @@ Exit status: 0 when clean (or everything is baselined/suppressed),
 accepts the current findings as documented exceptions (edit the reasons
 afterwards — "baselined pre-existing finding" is a placeholder, not
 documentation).
+
+Incremental flags: caching is on by default (``.teelint-cache/`` in
+the cwd; ``--no-cache`` / ``--cache-dir`` override), ``--changed``
+scopes the report to git-modified files plus their reverse
+dependencies, and ``--stats`` prints one machine-parseable timing
+line after the report.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import BASELINE_FILENAME, Baseline
+from repro.analysis.cache import CACHE_DIRNAME, LintCache
 from repro.analysis.engine import run_lint
 from repro.analysis.render import render_github, render_human, render_json
 
@@ -38,6 +47,32 @@ def default_baseline_path() -> Path:
     return cwd_candidate
 
 
+def git_changed_files() -> set[Path] | None:
+    """Absolute paths of git-modified + untracked files, or ``None``
+    when git is unavailable / the cwd is not a work tree."""
+    def _git(*argv: str) -> list[str] | None:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True,
+                timeout=30, check=False)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        return proc.stdout.splitlines()
+
+    top = _git("rev-parse", "--show-toplevel")
+    if not top:
+        return None
+    root = Path(top[0].strip())
+    changed = _git("diff", "--name-only", "HEAD")
+    untracked = _git("ls-files", "--others", "--exclude-standard")
+    if changed is None or untracked is None:
+        return None
+    return {(root / rel).resolve()
+            for rel in changed + untracked if rel.strip()}
+
+
 def configure_parser(parser: argparse.ArgumentParser) -> None:
     """Attach the lint arguments (shared with the ``repro`` CLI)."""
     parser.add_argument(
@@ -60,8 +95,37 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--write-baseline", action="store_true",
         help="accept current findings into the baseline file and exit 0")
     parser.add_argument(
+        "--baseline-expire", type=int, default=None, metavar="DAYS",
+        help="with --write-baseline: stamp entries with added/expires "
+             "dates DAYS from today (expired entries warn on every run)")
+    parser.add_argument(
         "--json-out", default=None, metavar="PATH",
-        help="additionally write the JSON findings artifact here")
+        help="additionally write the JSON findings artifact here "
+             "(composes with --write-baseline)")
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in git-modified files and their "
+             "reverse dependencies")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache for this run")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help=f"cache directory (default: {CACHE_DIRNAME} in the cwd)")
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print a machine-parseable timing line after the report")
+
+
+def _write_json_out(path: str, result) -> int:
+    try:
+        Path(path).write_text(render_json(result) + "\n",
+                              encoding="utf-8")
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc.strerror}",
+              file=sys.stderr)
+        return 2
+    return 0
 
 
 def run(args: argparse.Namespace) -> int:
@@ -72,37 +136,68 @@ def run(args: argparse.Namespace) -> int:
             print(f"error: no such path: {path}", file=sys.stderr)
             return 2
 
+    if args.baseline_expire is not None and not args.write_baseline:
+        print("error: --baseline-expire only applies with "
+              "--write-baseline", file=sys.stderr)
+        return 2
+
     only = tuple(r.strip() for r in args.rules.split(",") if r.strip())
     baseline_path = (Path(args.baseline) if args.baseline
                      else default_baseline_path())
     baseline = Baseline() if args.no_baseline \
         else Baseline.load(baseline_path)
 
+    cache = None
+    if not args.no_cache:
+        cache_dir = (Path(args.cache_dir) if args.cache_dir
+                     else Path.cwd() / CACHE_DIRNAME)
+        cache = LintCache(cache_dir)
+
+    changed_files: set[Path] | None = None
+    if args.changed:
+        changed_files = git_changed_files()
+        if changed_files is None:
+            print("error: --changed needs a git work tree (git "
+                  "rev-parse/diff failed)", file=sys.stderr)
+            return 2
+
+    today = datetime.date.today()  # teelint: disable=TEE002 -- lint
+    # tooling wall-clock date for baseline expiry, not model state
+
     try:
-        result = run_lint(paths, baseline=baseline, only=only)
+        result = run_lint(paths, baseline=baseline, only=only,
+                          cache=cache, changed_files=changed_files,
+                          today=today)
     except ValueError as exc:  # unknown rule ids
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     if args.write_baseline:
-        new_baseline = Baseline.from_findings(result.findings)
+        expire = args.baseline_expire
+        new_baseline = Baseline.from_findings(
+            result.findings, added=today if expire is not None else None,
+            expire_days=expire)
         new_baseline.save(baseline_path)
         print(f"wrote {len(new_baseline)} baseline entr"
               f"{'y' if len(new_baseline) == 1 else 'ies'} to "
               f"{baseline_path}")
         print("edit each entry's reason: the baseline documents "
               "exceptions, it does not grant them")
+        if args.json_out:
+            status = _write_json_out(args.json_out, result)
+            if status:
+                return status
+        if args.stats:
+            print(result.stats_line())
         return 0
 
     renderer = {"human": render_human, "json": render_json,
                 "github": render_github}[args.format]
     print(renderer(result))
     if args.json_out:
-        try:
-            Path(args.json_out).write_text(render_json(result) + "\n",
-                                           encoding="utf-8")
-        except OSError as exc:
-            print(f"error: cannot write {args.json_out}: {exc.strerror}",
-                  file=sys.stderr)
-            return 2
+        status = _write_json_out(args.json_out, result)
+        if status:
+            return status
+    if args.stats:
+        print(result.stats_line())
     return 0 if result.ok else 1

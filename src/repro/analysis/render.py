@@ -27,30 +27,57 @@ def render_human(result: LintResult) -> str:
     if result.findings:
         lines.append("")
     counts = result.counts()
-    lines.append(
+    summary = (
         f"teelint: {result.modules_scanned} modules scanned, "
         f"{counts['error']} error(s), {counts['warning']} warning(s), "
         f"{len(result.baselined)} baselined, "
         f"{len(result.suppressed)} suppressed")
+    if result.scoped_modules is not None:
+        summary += (f" (scoped to {result.scoped_modules} changed/"
+                    f"dependent modules)")
+    lines.append(summary)
     for entry in result.stale_baseline:
         lines.append(f"stale baseline entry: {entry.rule} {entry.path} "
                      f"({entry.key}) — no longer fires; drop it")
+    for entry in result.expired_baseline:
+        lines.append(f"expired baseline entry: {entry.rule} {entry.path} "
+                     f"({entry.key}) — expired {entry.expires}; fix the "
+                     f"finding or re-justify the exception")
     return "\n".join(lines)
 
 
 def render_json(result: LintResult) -> str:
     """The machine-readable artifact uploaded by CI."""
     payload = {
-        "version": 1,
+        "version": 2,
         "modules_scanned": result.modules_scanned,
         "counts": result.counts(),
         "findings": [f.to_dict() for f in result.findings],
         "baselined": [f.to_dict() for f in result.baselined],
         "suppressed": [f.to_dict() for f in result.suppressed],
         "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+        "expired_baseline": [e.to_dict()
+                             for e in result.expired_baseline],
+        "cache_state": result.cache_state,
+        "scoped_modules": result.scoped_modules,
         "ok": result.ok,
     }
     return json.dumps(payload, indent=2)
+
+
+def _escape_property(value: str) -> str:
+    """GitHub workflow-command escaping for property values (file=,
+    title=): the message rules plus ``:`` and ``,``, which would
+    otherwise terminate the property list or the command itself."""
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A").replace(":", "%3A")
+            .replace(",", "%2C"))
+
+
+def _escape_message(value: str) -> str:
+    """GitHub workflow-command escaping for the message payload."""
+    return (value.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
 
 
 def _workflow_command(finding: Finding) -> str:
@@ -59,12 +86,10 @@ def _workflow_command(finding: Finding) -> str:
     message = finding.message
     if finding.fix_hint:
         message = f"{message} — fix: {finding.fix_hint}"
-    # GitHub workflow-command escaping for the message payload.
-    message = (message.replace("%", "%25").replace("\r", "%0D")
-               .replace("\n", "%0A"))
-    return (f"::{level} file={finding.path},line={finding.line},"
-            f"col={finding.col + 1},title=teelint {finding.rule}::"
-            f"{message}")
+    return (f"::{level} file={_escape_property(finding.path)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={_escape_property(f'teelint {finding.rule}')}::"
+            f"{_escape_message(message)}")
 
 
 def render_github(result: LintResult) -> str:

@@ -66,7 +66,8 @@ def literal_value(node: ast.AST) -> float | None:
         try:
             return float(eval(compile(ast.Expression(
                 ast.fix_missing_locations(node)), "<lint>", "eval")))
-        except Exception:
+        except (ArithmeticError, ValueError, TypeError):
+            # 1/0, 10**huge, complex results: not a cost literal.
             return None
     return None
 

@@ -4,7 +4,8 @@ The observability layer (PR 1) is *out-of-band by contract*: metrics,
 span args, and logs are CS-visible surfaces. Enclave key material —
 sealing keys, signing keys, attestation keys, derived session keys —
 must never flow into them, nor into CS-visible packet fields. This
-rule runs a lightweight forward taint walk inside each function:
+rule reports the flow events of the shared taint engine
+(:mod:`repro.analysis.taint`):
 
 * **sources** — names matching the secret patterns (``*_secret``,
   ``sealing_key``, ``signing_key``, ``session_key``, ``privkey``,
@@ -12,8 +13,13 @@ rule runs a lightweight forward taint walk inside each function:
   ``*.something_key(...)`` method, e.g. ``KeyManager.sealing_key``,
   or functions from ``repro.crypto.keys``);
 * **propagation** — assignment from a tainted expression taints the
-  target, statement order, single pass (deliberately lightweight:
-  no branches-joins, no inter-procedural flow);
+  target in statement order, *and* — new in this PR — taint crosses
+  function boundaries: per-function summaries record which parameters
+  flow to the return value or to a sink, the call graph
+  (:mod:`repro.analysis.callgraph`) resolves ``module.func`` /
+  ``self.method`` / facade re-exports, and summaries propagate to
+  fixpoint. A helper that formats a key plus a caller that logs the
+  result is one flow, even across ``crypto/`` → ``ems/`` → ``obs/``;
 * **sinks** — ``print``, ``*.labels(...)``, ``*.add_span(...)``,
   obs probes (``*.record_*``), logging methods, ``str.format`` /
   f-strings, and CS-visible packet constructors
@@ -22,54 +28,28 @@ rule runs a lightweight forward taint walk inside each function:
 
 Hashes *of* secrets (``keyed_mac(key, ...)`` results bound to
 non-secret names) do not taint: only the named secret itself does.
+
+Direct flows keep the PR-4 finding key ``flow:{func}->{sink}``;
+interprocedural flows are keyed ``flow:{func}->{callee}~>{sink}`` so
+a baseline entry pins exactly one call chain.
 """
 
 from __future__ import annotations
 
-import ast
-import re
 from typing import Iterator
 
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.project import Project, SourceModule
+from repro.analysis.project import Project
 from repro.analysis.rules import register
-
-#: Identifier patterns that *are* secret material.
-SECRET_NAME_PATTERNS = (
-    r"(^|_)secret(_|$)",
-    r"(^|_)privkey$",
-    r"(^|_)private_key$",
-    r"(^|_)key_material$",
-    r"(^|_)(sealing|signing|attestation|session|platform|enclave|root|"
-    r"derived|device)_key$",
-    r"(^|_)sk$",
+from repro.analysis.taint import (  # noqa: F401  (re-exported contract)
+    LOG_METHODS,
+    PACKET_CONSTRUCTORS,
+    SANITIZER_CALLS,
+    SECRET_NAME_PATTERNS,
+    SOURCE_CALL_PATTERNS,
+    FlowEvent,
+    engine_for,
 )
-
-#: Method/function names whose *return value* is secret material.
-SOURCE_CALL_PATTERNS = (
-    r"(^|_)(sealing|signing|attestation|session|platform|enclave|root|"
-    r"derived|device)_key$",
-    r"^derive_key",
-    r"^platform_signing_key$",
-    r"^shared_key$",
-)
-
-#: Logging-flavoured attribute calls treated as sinks.
-LOG_METHODS = frozenset({"debug", "info", "warning", "error", "critical",
-                         "exception", "log"})
-
-#: CS-visible packet constructors (wire fields the CS OS can read).
-PACKET_CONSTRUCTORS = frozenset({"PrimitiveRequest", "PrimitiveResponse",
-                                 "BatchRequest", "BatchResponse"})
-
-#: Call names whose result is *derived from* a secret but safe to
-#: observe: digests, MACs, lengths, redactions. An expression rooted in
-#: one of these neither taints its assignment target nor trips a sink.
-SANITIZER_CALLS = frozenset({
-    "sha1", "sha256", "sha384", "sha512", "blake2b", "blake2s", "md5",
-    "digest", "hexdigest", "keyed_mac", "hash_measurement", "len",
-    "fingerprint", "redact", "hash",
-})
 
 FIX_HINT = ("export a digest or redacted identifier instead; raw key "
             "material must never reach metrics, traces, logs, or "
@@ -78,172 +58,34 @@ FIX_HINT = ("export a digest or redacted identifier instead; raw key "
 
 @register
 class SecretFlowRule:
-    """Intra-function taint walk from key material to observable sinks."""
+    """Interprocedural taint from key material to observable sinks."""
 
     id = "TEE004"
     title = "secret flow: key material stays out of observable sinks"
-
-    def __init__(self,
-                 secret_patterns: tuple[str, ...] = SECRET_NAME_PATTERNS,
-                 source_patterns: tuple[str, ...] = SOURCE_CALL_PATTERNS
-                 ) -> None:
-        self._secret = re.compile("|".join(secret_patterns))
-        self._source = re.compile("|".join(source_patterns))
-
-    # -- classification helpers ---------------------------------------------
-
-    def is_secret_name(self, name: str) -> bool:
-        """Does the identifier itself denote key material?"""
-        return bool(self._secret.search(name.lower()))
-
-    def _is_source_call(self, node: ast.AST) -> bool:
-        if not isinstance(node, ast.Call):
-            return False
-        func = node.func
-        name = func.attr if isinstance(func, ast.Attribute) else (
-            func.id if isinstance(func, ast.Name) else "")
-        return bool(self._source.search(name.lower()))
-
-    @classmethod
-    def _is_sanitized(cls, node: ast.AST) -> bool:
-        """Is the expression rooted in a sanitizing call (digest/MAC/len)?
-
-        Follows attribute/subscript/call chains inward, so
-        ``sha256(key).hexdigest()[:8]`` is sanitized end to end.
-        """
-        if isinstance(node, ast.Call):
-            func = node.func
-            name = func.attr if isinstance(func, ast.Attribute) else (
-                func.id if isinstance(func, ast.Name) else "")
-            if name in SANITIZER_CALLS:
-                return True
-            if isinstance(func, ast.Attribute):
-                return cls._is_sanitized(func.value)
-            return False
-        if isinstance(node, (ast.Attribute, ast.Subscript)):
-            return cls._is_sanitized(node.value)
-        return False
-
-    def _expr_tainted(self, node: ast.AST, tainted: set[str]) -> bool:
-        if self._is_sanitized(node):
-            return False
-        for sub in ast.walk(node):
-            if isinstance(sub, ast.Name) and (
-                    sub.id in tainted or self.is_secret_name(sub.id)):
-                return True
-            if isinstance(sub, ast.Attribute) \
-                    and self.is_secret_name(sub.attr):
-                return True
-            if self._is_source_call(sub):
-                return True
-        return False
-
-    # -- the rule -----------------------------------------------------------
+    #: bumped when findings change for identical sources (cache key).
+    version = 2
 
     def check(self, project: Project) -> Iterator[Finding]:
-        """Run the taint walk over every function in the project."""
-        for module in project:
-            for node in ast.walk(module.tree):
-                if isinstance(node, (ast.FunctionDef,
-                                     ast.AsyncFunctionDef)):
-                    yield from self._check_function(module, node)
+        """Report every secret-to-sink flow event in the project."""
+        engine = engine_for(project)
+        for event in engine.flow_events():
+            yield self._finding(event)
 
-    def _check_function(self, module: SourceModule,
-                        func: ast.FunctionDef) -> Iterator[Finding]:
-        tainted: set[str] = {
-            arg.arg for arg in (func.args.posonlyargs + func.args.args
-                                + func.args.kwonlyargs)
-            if self.is_secret_name(arg.arg)}
-        for stmt in self._statements(func):
-            # Propagate first: a sink on the same statement still sees
-            # the taint state *before* the assignment lands.
-            yield from self._check_sinks(module, func, stmt, tainted)
-            self._propagate(stmt, tainted)
-
-    @classmethod
-    def _statements(cls, func: ast.FunctionDef) -> Iterator[ast.stmt]:
-        """Nested statements in source order, skipping nested functions
-        (they get their own taint scope)."""
-        yield from cls._walk_body(func.body)
-
-    @classmethod
-    def _walk_body(cls, body: list[ast.stmt]) -> Iterator[ast.stmt]:
-        for stmt in body:
-            yield stmt
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.ClassDef)):
-                continue
-            for field in ("body", "orelse", "finalbody"):
-                yield from cls._walk_body(getattr(stmt, field, []))
-            for handler in getattr(stmt, "handlers", []):
-                yield from cls._walk_body(handler.body)
-
-    def _propagate(self, stmt: ast.stmt, tainted: set[str]) -> None:
-        targets: list[ast.expr] = []
-        value: ast.expr | None = None
-        if isinstance(stmt, ast.Assign):
-            targets, value = stmt.targets, stmt.value
-        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)) \
-                and stmt.value is not None:
-            targets, value = [stmt.target], stmt.value
-        if value is None:
-            return
-        if self._expr_tainted(value, tainted):
-            for target in targets:
-                for sub in ast.walk(target):
-                    if isinstance(sub, ast.Name):
-                        tainted.add(sub.id)
-
-    def _check_sinks(self, module: SourceModule, func: ast.FunctionDef,
-                     stmt: ast.stmt,
-                     tainted: set[str]) -> Iterator[Finding]:
-        for node in ast.walk(stmt):
-            if isinstance(node, ast.Call):
-                sink = self._sink_name(node)
-                if sink is None:
-                    continue
-                for arg in list(node.args) + [kw.value
-                                              for kw in node.keywords]:
-                    if self._expr_tainted(arg, tainted):
-                        yield self._finding(module, func, node, sink)
-                        break
-            elif isinstance(node, ast.JoinedStr):
-                for part in node.values:
-                    if isinstance(part, ast.FormattedValue) \
-                            and self._expr_tainted(part.value, tainted):
-                        yield self._finding(module, func, node, "f-string")
-                        break
-
-    @staticmethod
-    def _sink_name(node: ast.Call) -> str | None:
-        func = node.func
-        if isinstance(func, ast.Name):
-            if func.id == "print":
-                return "print"
-            if func.id in PACKET_CONSTRUCTORS:
-                return f"packet field ({func.id})"
-            return None
-        if isinstance(func, ast.Attribute):
-            attr = func.attr
-            if attr == "labels":
-                return "metric label"
-            if attr == "add_span":
-                return "trace span arg"
-            if attr.startswith("record_"):
-                return f"obs probe ({attr})"
-            if attr in LOG_METHODS and isinstance(func.value, ast.Name) \
-                    and ("log" in func.value.id.lower()):
-                return f"log call ({attr})"
-            if attr == "format":
-                return "format string"
-        return None
-
-    def _finding(self, module: SourceModule, func: ast.FunctionDef,
-                 node: ast.AST, sink: str) -> Finding:
+    def _finding(self, event: FlowEvent) -> Finding:
+        func_name = event.function.node.name
+        if event.via:
+            key = f"flow:{func_name}->{event.via}~>{event.sink}"
+            message = (f"key material passed to {event.via}() in "
+                       f"{func_name}() reaches {event.sink} inside the "
+                       f"callee; observability and packet surfaces are "
+                       f"CS-visible")
+        else:
+            key = f"flow:{func_name}->{event.sink}"
+            message = (f"key material flows into {event.sink} in "
+                       f"{func_name}(); observability and packet "
+                       f"surfaces are CS-visible")
         return Finding(
-            rule=self.id, severity=Severity.ERROR, path=module.relpath,
-            line=node.lineno, col=node.col_offset,
-            key=f"flow:{func.name}->{sink}",
-            message=(f"key material flows into {sink} in {func.name}(); "
-                     f"observability and packet surfaces are CS-visible"),
-            fix_hint=FIX_HINT)
+            rule=self.id, severity=Severity.ERROR,
+            path=event.function.module.relpath,
+            line=event.node_line, col=event.node_col,
+            key=key, message=message, fix_hint=FIX_HINT)

@@ -17,7 +17,7 @@ Subcommands::
 a quickstart-style enclave scenario that exercises the lifecycle, memory,
 shared-memory, and attestation primitives, then report from the registry
 or the tracer. Open the trace file in Perfetto (https://ui.perfetto.dev).
-``lint`` runs the :mod:`repro.analysis` rule catalogue (TEE001-TEE005)
+``lint`` runs the :mod:`repro.analysis` rule catalogue (TEE001-TEE008)
 over the package sources.
 """
 
@@ -199,7 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint", help="teelint: AST checks for the CS/EMS decoupling "
-                     "invariants (TEE001-TEE005)")
+                     "invariants (TEE001-TEE008)")
     configure_lint(lint)
     lint.set_defaults(func=_cmd_lint)
 

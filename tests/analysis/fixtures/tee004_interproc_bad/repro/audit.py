@@ -1,0 +1,4 @@
+def emit(logger, value):
+    # Sink: parameter 1 reaches a log call, recorded in emit()'s
+    # summary. Nothing fires here — "value" is not secret-named.
+    logger.info("value=%s", value)

@@ -1,0 +1,10 @@
+from repro.audit import emit
+
+
+def announce(logger, vault):
+    # Method call: vault.material() resolves through the symbol table
+    # (unique method name) and its summary says the result is secret.
+    token = vault.material()
+    # Two calls away from the source: emit()'s summary says parameter 1
+    # reaches a log sink inside the callee.
+    emit(logger, token)

@@ -1,0 +1,6 @@
+class Vault:
+    def material(self):
+        # Source: the provider call taints the return value, so the
+        # *summary* of material() says returns_secret — the name
+        # "material" itself matches no secret pattern.
+        return self.session_key("enclave-1")

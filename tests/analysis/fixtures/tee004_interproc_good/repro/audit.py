@@ -1,0 +1,2 @@
+def emit(logger, value):
+    logger.info("value=%s", value)

@@ -1,0 +1,10 @@
+import hashlib
+
+from repro.audit import emit
+
+
+def announce(logger, vault):
+    # Sanitized twin: the digest erases the label, so the summary-based
+    # chain through emit() stays silent.
+    token = hashlib.sha256(vault.material()).hexdigest()[:8]
+    emit(logger, token)

@@ -1,0 +1,3 @@
+class Vault:
+    def material(self):
+        return self.session_key("enclave-1")

@@ -1,0 +1,35 @@
+def use_without_enter(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.write(0, b"data")         # MEASURED: never entered
+    e.destroy()
+
+
+def double_destroy(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    e.exit()
+    e.destroy()
+    e.destroy()                 # already DESTROYED
+
+
+def resume_before_exit(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    e.resume()                  # RUNNING: resume needs SUSPENDED
+    e.exit()
+    e.destroy()
+
+
+def reenter(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    with e.running():           # already RUNNING
+        e.read(0, 4)
+    e.destroy()
+
+
+def leak(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    e.read(0, 16)
+    # never exited, destroyed, or handed off: the slot leaks

@@ -1,0 +1,45 @@
+def straight(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    e.write(0, b"x")
+    e.exit()
+    e.destroy()
+
+
+def with_block(ems):
+    e = ems.launch_enclave("workload.bin")
+    with e.running():
+        e.read(0, 8)
+    e.destroy()
+
+
+def suspend_and_resume(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    e.exit()
+    e.resume()
+    e.exit()
+    e.destroy()
+
+
+def handoff(ems):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    return e                    # escapes: the caller owns the lifecycle
+
+
+def branchy(ems, flag):
+    e = ems.launch_enclave("workload.bin")
+    e.enter()
+    if flag:
+        e.write(0, b"a")
+    else:
+        e.read(0, 4)
+    e.exit()
+    e.destroy()
+
+
+def unknown_provenance(e):
+    # Parameter receivers start UNKNOWN: no claims, no findings.
+    e.write(0, b"x")
+    e.exit()

@@ -1,0 +1,27 @@
+from repro.common.packets import PrimitiveResponse
+from repro.errors import EMCallTimeout
+
+
+def swallow_timeout(call):
+    try:
+        return call()
+    except EMCallTimeout:
+        return None             # the timeout vanishes
+
+
+def swallow_all(call):
+    try:
+        return call()
+    except Exception:
+        pass                    # everything vanishes
+
+
+def bare(call):
+    try:
+        return call()
+    except:                     # noqa: E722
+        return 0
+
+
+def no_status(request_id):
+    return PrimitiveResponse(request_id)    # no ResponseStatus

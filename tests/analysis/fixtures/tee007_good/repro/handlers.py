@@ -1,0 +1,36 @@
+from repro.common.packets import PrimitiveResponse, ResponseStatus
+from repro.cs.emcall import DegradedResult
+from repro.errors import EMCallTimeout
+
+
+def narrow(mapping, key):
+    try:
+        return mapping[key]
+    except KeyError:            # narrow: not a fault signal
+        return None
+
+
+def typed(call):
+    try:
+        return call()
+    except EMCallTimeout:
+        return DegradedResult(reason="timeout")
+
+
+def reraise(call):
+    try:
+        return call()
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc
+
+
+def with_status(request_id):
+    return PrimitiveResponse(request_id, ResponseStatus.OK)
+
+
+def kw_status(request_id):
+    return PrimitiveResponse(request_id, status=ResponseStatus.ERROR)
+
+
+def splat_status(request_id, fields):
+    return PrimitiveResponse(request_id, **fields)

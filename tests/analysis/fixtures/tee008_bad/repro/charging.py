@@ -1,0 +1,15 @@
+from repro.eval.calibration import AES_BLOCK_CYCLES, RSA_SIGN_CYCLES
+
+
+def charge(meter, secret_key):
+    if secret_key[0] == 0:
+        meter.charge(cycles=AES_BLOCK_CYCLES)   # only this arm charges
+    else:
+        meter.idle()
+
+
+def accumulate(state, private_key):
+    if private_key:
+        state.total_cycles += RSA_SIGN_CYCLES
+    else:
+        state.total_cycles += 0                 # free on the else arm

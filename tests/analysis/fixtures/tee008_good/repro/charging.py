@@ -1,0 +1,22 @@
+from repro.eval.calibration import AES_BLOCK_CYCLES
+
+
+def equalized(meter, secret_key):
+    if secret_key[0] == 0:
+        meter.charge(cycles=AES_BLOCK_CYCLES)
+    else:
+        meter.charge(cycles=AES_BLOCK_CYCLES)   # same cost both arms
+
+
+def sanitized_branch(meter, secret_key):
+    if len(secret_key) > 16:                    # len() erases the label
+        meter.charge(cycles=AES_BLOCK_CYCLES)
+    else:
+        meter.idle()
+
+
+def public_branch(meter, mode):
+    if mode == "fast":                          # not secret-tainted
+        meter.charge(cycles=AES_BLOCK_CYCLES)
+    else:
+        meter.idle()

@@ -1,0 +1,143 @@
+"""The incremental cache: parse layer, result layer, invalidation.
+
+The two invariants that keep caching honest:
+
+* **identical inputs replay identical findings** (hit: no parsing, no
+  rule execution);
+* **any input change re-runs** — file content (hash key) or rule
+  behaviour (the ``version`` class attribute in the rules signature).
+"""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.analysis.cache import CACHE_DIRNAME, LintCache, content_hash
+from repro.analysis.engine import run_lint
+from repro.analysis.rules import rules_signature
+
+BAD_SOURCE = "STALL_CYCLES = 123\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text(BAD_SOURCE)
+    return pkg
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return LintCache(tmp_path / CACHE_DIRNAME)
+
+
+# -- the parse layer ---------------------------------------------------------
+
+def test_parse_cache_round_trips_the_ast(cache):
+    text = "def f(x):\n    return x + 1\n"
+    cold = cache.parse(text)
+    warm = cache.parse(text)
+    assert (cache.parse_misses, cache.parse_hits) == (1, 1)
+    assert ast.dump(cold) == ast.dump(warm) == ast.dump(ast.parse(text))
+
+
+def test_corrupt_parse_entries_fall_back_to_reparsing(cache):
+    text = "x = 1\n"
+    cache.parse(text)
+    (pickle_file,) = (cache.directory / "parse").glob("*.pkl")
+    pickle_file.write_bytes(b"not a pickle")
+    assert ast.dump(cache.parse(text)) == ast.dump(ast.parse(text))
+    assert cache.parse_misses == 2
+
+
+def test_syntax_errors_propagate_and_are_never_cached(cache):
+    with pytest.raises(SyntaxError):
+        cache.parse("def broken(:\n")
+    with pytest.raises(SyntaxError):
+        cache.parse("def broken(:\n")
+    assert cache.parse_hits == 0
+
+
+# -- the result layer --------------------------------------------------------
+
+def test_warm_run_replays_findings_without_rule_execution(tree, cache):
+    cold = run_lint([tree], only=("TEE003",), cache=cache)
+    warm = run_lint([tree], only=("TEE003",), cache=cache)
+    assert cold.cache_state == "miss"
+    assert warm.cache_state == "hit"
+    assert [f.fingerprint for f in warm.findings] == \
+        [f.fingerprint for f in cold.findings]
+    assert warm.findings[0].key == "literal:STALL_CYCLES=123"
+    assert warm.modules_scanned == cold.modules_scanned
+
+
+def test_content_change_invalidates_the_result(tree, cache):
+    run_lint([tree], only=("TEE003",), cache=cache)
+    (tree / "mod.py").write_text("STALL_CYCLES = 999\n")
+    rerun = run_lint([tree], only=("TEE003",), cache=cache)
+    assert rerun.cache_state == "miss"
+    assert rerun.findings[0].key == "literal:STALL_CYCLES=999"
+
+
+def test_rule_version_bump_invalidates_the_result(tree, cache):
+    class CountingRule:
+        id = "TST001"
+        title = "counts its own executions"
+        version = 1
+        calls = 0
+
+        def check(self, project):
+            type(self).calls += 1
+            return iter(())
+
+    rule = CountingRule()
+    run_lint([tree], rules=[rule], cache=cache)
+    run_lint([tree], rules=[rule], cache=cache)
+    assert CountingRule.calls == 1          # second run was a hit
+    CountingRule.version = 2
+    result = run_lint([tree], rules=[rule], cache=cache)
+    assert result.cache_state == "miss"
+    assert CountingRule.calls == 2
+
+
+def test_rules_signature_covers_id_and_version():
+    class A:
+        id = "TEEX"
+        version = 3
+
+    class B:
+        id = "TEEY"                          # no version attr -> 1
+
+    assert rules_signature([B(), A()]) == "TEEX:3,TEEY:1"
+
+
+def test_corrupt_result_entries_are_misses(tree, cache):
+    run_lint([tree], only=("TEE003",), cache=cache)
+    for path in (cache.directory / "results").glob("*.json"):
+        path.write_text("{ not json")
+    rerun = run_lint([tree], only=("TEE003",), cache=cache)
+    assert rerun.cache_state == "miss"
+    assert rerun.findings[0].key == "literal:STALL_CYCLES=123"
+
+
+def test_suppressions_and_baseline_are_applied_after_the_cache(
+        tree, cache):
+    from repro.analysis.baseline import Baseline
+
+    cold = run_lint([tree], only=("TEE003",), cache=cache)
+    accepted = Baseline.from_findings(cold.findings, reason="known")
+    warm = run_lint([tree], only=("TEE003",), baseline=accepted,
+                    cache=cache)
+    # Same raw results replayed, but the baseline (outside the key)
+    # reclassifies them live.
+    assert warm.cache_state == "hit"
+    assert warm.findings == [] and len(warm.baselined) == 1
+
+
+def test_content_hash_is_stable_and_sensitive():
+    assert content_hash("a") == content_hash("a")
+    assert content_hash("a") != content_hash("b")

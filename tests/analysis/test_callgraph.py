@@ -1,0 +1,149 @@
+"""Symbol-table and call-resolution unit tests.
+
+The interprocedural rules are only as good as call resolution, so the
+resolution strategies each get a direct test: module bindings, dotted
+module references, facade re-exports, ``self.method`` with base-class
+walks, and the guarded unique-method-name fallback.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import SymbolTable
+from repro.analysis.project import Project
+
+TREE = {
+    "pkg/__init__.py": """
+        from pkg.impl import derive_key
+    """,
+    "pkg/impl.py": """
+        def derive_key(seed):
+            return seed * 2
+    """,
+    "pkg/api.py": """
+        class Base:
+            def helper(self):
+                return 1
+
+        class Child(Base):
+            def caller(self):
+                return self.helper()
+
+            def unique_op(self):
+                return 2
+    """,
+    "pkg/use.py": """
+        import pkg
+        import pkg.impl
+        from pkg.impl import derive_key
+
+        def by_name(seed):
+            return derive_key(seed)
+
+        def by_module(seed):
+            return pkg.impl.derive_key(seed)
+
+        def by_facade(seed):
+            return pkg.derive_key(seed)
+
+        def by_fallback(obj):
+            return obj.unique_op()
+
+        def generic_fallback(obj):
+            return obj.get("x")
+    """,
+}
+
+
+def build(tmp_path, files=TREE):
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text))
+    project = Project.scan([tmp_path / "pkg"])
+    return project, SymbolTable(project)
+
+
+def first_call(table, qualname) -> ast.Call:
+    info = table.functions[qualname]
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Call):
+            return node
+    raise AssertionError(f"no call in {qualname}")
+
+
+def resolved(table, caller_qualname):
+    caller = table.functions[caller_qualname]
+    target = table.resolve_call(caller, first_call(table, caller_qualname))
+    return target.qualname if target is not None else None
+
+
+def test_name_call_resolves_through_import_binding(tmp_path):
+    _, table = build(tmp_path)
+    assert resolved(table, "pkg.use.by_name") == "pkg.impl.derive_key"
+
+
+def test_dotted_module_call_resolves(tmp_path):
+    _, table = build(tmp_path)
+    assert resolved(table, "pkg.use.by_module") == "pkg.impl.derive_key"
+
+
+def test_facade_reexport_is_chased_to_the_definition(tmp_path):
+    # ``pkg.derive_key`` is a re-export in pkg/__init__.py; resolution
+    # must land on the defining module.
+    _, table = build(tmp_path)
+    assert resolved(table, "pkg.use.by_facade") == "pkg.impl.derive_key"
+
+
+def test_self_method_walks_base_classes(tmp_path):
+    _, table = build(tmp_path)
+    assert resolved(table, "pkg.api.Child.caller") == "pkg.api.Base.helper"
+
+
+def test_unique_method_fallback_resolves_opaque_receivers(tmp_path):
+    _, table = build(tmp_path)
+    assert resolved(table, "pkg.use.by_fallback") == \
+        "pkg.api.Child.unique_op"
+
+
+def test_generic_names_never_use_the_fallback(tmp_path):
+    # Even a unique ``get`` definition must not capture every
+    # ``obj.get(...)`` in the tree.
+    _, table = build(tmp_path)
+    assert resolved(table, "pkg.use.generic_fallback") is None
+
+
+def test_ambiguous_method_names_do_not_resolve(tmp_path):
+    files = dict(TREE)
+    files["pkg/other.py"] = """
+        class Other:
+            def unique_op(self):
+                return 3
+    """
+    _, table = build(tmp_path, files)
+    assert resolved(table, "pkg.use.by_fallback") is None
+
+
+def test_nested_functions_are_indexed_but_not_name_addressable(tmp_path):
+    files = dict(TREE)
+    files["pkg/nested.py"] = """
+        def outer():
+            def inner():
+                return 1
+            return inner()
+    """
+    _, table = build(tmp_path, files)
+    nested = [q for q in table.functions if "<locals>" in q]
+    assert len(nested) == 1 and "inner" in nested[0]
+    # The nested name is invisible to cross-module resolution.
+    assert table.resolve("pkg.use", "inner") is None
+
+
+def test_method_short_names_include_the_class(tmp_path):
+    _, table = build(tmp_path)
+    assert table.functions["pkg.api.Child.caller"].short_name == \
+        "Child.caller"
+    assert table.functions["pkg.impl.derive_key"].short_name == \
+        "derive_key"

@@ -82,7 +82,7 @@ def test_warning_only_findings_do_not_block(capsys):
 def test_json_format_is_valid_and_complete(capsys):
     assert main(["lint", BAD, "--no-baseline", "--format", "json"]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["ok"] is False
     assert payload["counts"]["error"] == len(payload["findings"])
     first = payload["findings"][0]

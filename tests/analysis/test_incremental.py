@@ -1,0 +1,193 @@
+"""CLI-level incremental behaviour: --stats, --changed, cache flags,
+--json-out/--write-baseline composition, and --baseline-expire."""
+
+from __future__ import annotations
+
+import datetime
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import run_lint
+from repro.obs.cli import main
+
+from .conftest import FIXTURES, REPO_ROOT
+
+BAD = str(FIXTURES / "tee001_bad" / "repro")
+GOOD = str(FIXTURES / "tee001_good" / "repro")
+
+
+def stats_fields(out: str) -> dict[str, str]:
+    line = next(ln for ln in out.splitlines()
+                if ln.startswith("teelint-stats: "))
+    return dict(part.split("=", 1)
+                for part in line.split(" ")[1:])
+
+
+# -- --stats and the warm/cold speedup ---------------------------------------
+
+def test_stats_line_is_machine_parseable(tmp_path, capsys):
+    assert main(["lint", GOOD, "--no-baseline", "--stats",
+                 "--cache-dir", str(tmp_path / "c")]) == 0
+    fields = stats_fields(capsys.readouterr().out)
+    assert fields["cache"] == "miss"
+    assert float(fields["total_ms"]) > 0
+    assert int(fields["modules"]) > 0
+    # Identical file contents (empty __init__.py files) share one
+    # parse entry, so repeats hit even on a cold run; every file is
+    # accounted for either way.
+    assert int(fields["parse_misses"]) > 0
+    assert int(fields["parse_hits"]) + int(fields["parse_misses"]) \
+        == int(fields["modules"])
+
+
+def test_warm_lint_is_at_least_3x_faster_than_cold(tmp_path, capsys):
+    # The acceptance bar for the whole incremental engine. The analysis
+    # package itself is the workload: big enough (~25 modules, all 8
+    # rules incl. the taint fixpoint) that the ratio is not noise.
+    target = str(REPO_ROOT / "src" / "repro" / "analysis")
+    args = ["lint", target, "--no-baseline", "--stats",
+            "--cache-dir", str(tmp_path / "c")]
+    main(args)
+    cold = stats_fields(capsys.readouterr().out)
+    main(args)
+    warm = stats_fields(capsys.readouterr().out)
+    assert (cold["cache"], warm["cache"]) == ("miss", "hit")
+    assert float(cold["total_ms"]) >= 3 * float(warm["total_ms"]), \
+        f"warm lint not >=3x faster: cold={cold['total_ms']}ms " \
+        f"warm={warm['total_ms']}ms"
+
+
+def test_no_cache_disables_both_layers(tmp_path, capsys):
+    args = ["lint", GOOD, "--no-baseline", "--stats", "--no-cache"]
+    main(args)
+    main(args)
+    fields = stats_fields(capsys.readouterr().out)
+    assert fields["cache"] == "off"
+
+
+# -- --changed ---------------------------------------------------------------
+
+@pytest.fixture
+def git_repo(tmp_path, monkeypatch):
+    """A committed package: a violation in dep.py, which imports base."""
+    repo = tmp_path / "work"
+    pkg = repo / "pkg"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "base.py").write_text("VALUE = 1\n")
+    (pkg / "dep.py").write_text(
+        "from pkg.base import VALUE\n\nSTALL_CYCLES = 123\n")
+    (pkg / "clean.py").write_text("OTHER = 2\n")
+    env_git = ["git", "-C", str(repo), "-c", "user.email=t@t",
+               "-c", "user.name=t"]
+    subprocess.run([*env_git[:3], "init", "-q"], check=True)
+    subprocess.run([*env_git[:3], "add", "."], check=True)
+    subprocess.run([*env_git, "commit", "-qm", "seed"], check=True)
+    monkeypatch.chdir(repo)
+    return repo
+
+
+def lint_changed(repo, capsys) -> tuple[int, str]:
+    status = main(["lint", str(repo / "pkg"), "--no-baseline",
+                   "--changed", "--no-cache", "--stats"])
+    return status, capsys.readouterr().out
+
+
+def test_changed_with_a_clean_diff_reports_nothing(git_repo, capsys):
+    # dep.py holds a TEE003 violation, but nothing changed: exit 0.
+    status, out = lint_changed(git_repo, capsys)
+    assert status == 0
+    assert stats_fields(out)["scoped_modules"] == "0"
+
+
+def test_changed_ignores_violations_outside_the_diff(git_repo, capsys):
+    (git_repo / "pkg" / "clean.py").write_text("OTHER = 3\n")
+    status, out = lint_changed(git_repo, capsys)
+    assert status == 0          # dep.py's violation is out of scope
+    assert stats_fields(out)["scoped_modules"] == "1"
+
+
+def test_changed_reports_violations_in_modified_files(git_repo, capsys):
+    (git_repo / "pkg" / "dep.py").write_text(
+        "from pkg.base import VALUE\n\nSTALL_CYCLES = 124\n")
+    status, out = lint_changed(git_repo, capsys)
+    assert status == 1
+    assert "TEE003" in out
+
+
+def test_changed_includes_reverse_dependencies(git_repo, capsys):
+    # Touch base.py only: dep.py imports it, so dep.py's existing
+    # violation comes back into scope.
+    (git_repo / "pkg" / "base.py").write_text("VALUE = 7\n")
+    status, out = lint_changed(git_repo, capsys)
+    assert status == 1
+    assert "TEE003" in out
+    assert int(stats_fields(out)["scoped_modules"]) >= 2
+
+
+def test_changed_scoping_skips_stale_baseline_noise(git_repo):
+    # A scoped run sees a slice of the findings; baseline entries for
+    # out-of-scope findings must not be reported as stale.
+    result = run_lint([git_repo / "pkg"], changed_files=set())
+    assert result.stale_baseline == []
+    assert result.scoped_modules == 0
+
+
+def test_changed_outside_a_git_tree_exits_two(tmp_path, monkeypatch,
+                                              capsys):
+    tree = tmp_path / "nogit" / "pkg"
+    tree.mkdir(parents=True)
+    (tree / "__init__.py").write_text("")
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+    monkeypatch.chdir(tmp_path / "nogit")
+    assert main(["lint", str(tree), "--no-baseline", "--changed",
+                 "--no-cache"]) == 2
+    assert "git" in capsys.readouterr().err
+
+
+# -- flag composition --------------------------------------------------------
+
+def test_json_out_composes_with_write_baseline(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    artifact = tmp_path / "out.json"
+    assert main(["lint", BAD, "--no-cache", "--baseline", str(baseline),
+                 "--write-baseline", "--json-out", str(artifact)]) == 0
+    assert baseline.exists()
+    payload = json.loads(artifact.read_text())
+    # The artifact captures the findings as they were accepted.
+    assert payload["findings"] and payload["ok"] is False
+
+
+def test_baseline_expire_requires_write_baseline(capsys):
+    assert main(["lint", GOOD, "--no-cache",
+                 "--baseline-expire", "90"]) == 2
+    assert "--write-baseline" in capsys.readouterr().err
+
+
+def test_baseline_expire_stamps_dates(tmp_path, capsys):
+    baseline = tmp_path / "b.json"
+    assert main(["lint", BAD, "--no-cache", "--baseline", str(baseline),
+                 "--write-baseline", "--baseline-expire", "30"]) == 0
+    entries = Baseline.load(baseline).entries
+    assert entries
+    for entry in entries:
+        added = datetime.date.fromisoformat(entry.added)
+        expires = datetime.date.fromisoformat(entry.expires)
+        assert (expires - added).days == 30
+
+
+def test_expired_entries_warn_but_do_not_fail(tmp_path, capsys):
+    baseline_path = tmp_path / "b.json"
+    findings = run_lint([BAD]).findings
+    Baseline.from_findings(
+        findings, reason="time-boxed exception",
+        added=datetime.date(2020, 1, 1), expire_days=1,
+    ).save(baseline_path)
+    assert main(["lint", BAD, "--no-cache",
+                 "--baseline", str(baseline_path)]) == 0
+    out = capsys.readouterr().out
+    assert "expired baseline entry" in out
+    assert "0 error(s)" in out

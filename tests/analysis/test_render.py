@@ -71,3 +71,60 @@ def test_default_baseline_prefers_cwd_copy(tmp_path, monkeypatch):
     local.write_text("{}")
     monkeypatch.chdir(tmp_path)
     assert default_baseline_path() == local
+
+
+# -- GitHub property escaping ------------------------------------------------
+
+def test_github_escapes_colons_and_commas_in_properties():
+    # ``:`` would terminate the workflow command and ``,`` the property
+    # list; both must be %-escaped in file= and title= (but line=/col=
+    # are integers and the message payload keeps literal colons).
+    finding = Finding(rule="TEE004", severity=Severity.ERROR,
+                      path="repro/odd,name:v2.py", line=7, key="k",
+                      message="flows into sink: metric label")
+    out = render_github(result_with([finding])).splitlines()[0]
+    assert "file=repro/odd%2Cname%3Av2.py," in out
+    assert "title=teelint TEE004::" in out
+    assert out.endswith("flows into sink: metric label")
+
+
+def test_github_property_escaping_composes_with_percent():
+    finding = Finding(rule="TEE001", severity=Severity.ERROR,
+                      path="repro/50%,x.py", line=1, key="k", message="m")
+    out = render_github(result_with([finding]))
+    assert "file=repro/50%25%2Cx.py," in out
+
+
+# -- expired baseline entries ------------------------------------------------
+
+EXPIRED = BaselineEntry(fingerprint="cd" * 8, rule="TEE004",
+                        path="repro/old.py", key="flow:x->print",
+                        reason="time-boxed", added="2026-01-01",
+                        expires="2026-02-01")
+
+
+def result_with_expired():
+    result = result_with()
+    result.expired_baseline = [EXPIRED]
+    return result
+
+
+def test_human_report_warns_on_expired_entries():
+    out = render_human(result_with_expired())
+    assert "expired baseline entry: TEE004 repro/old.py" in out
+    assert "2026-02-01" in out
+
+
+def test_json_carries_expired_entries_and_cache_state():
+    import json
+    payload = json.loads(render_json(result_with_expired()))
+    assert payload["version"] == 2
+    assert payload["expired_baseline"][0]["expires"] == "2026-02-01"
+    assert payload["cache_state"] == "off"
+
+
+def test_human_summary_mentions_changed_scoping():
+    result = result_with()
+    result.scoped_modules = 4
+    out = render_human(result)
+    assert "scoped to 4 changed/dependent modules" in out

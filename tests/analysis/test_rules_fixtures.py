@@ -141,3 +141,114 @@ def test_tee005_bad_fires_on_typo_dead_point_and_dup_metric(lint_fixture):
 def test_tee005_good_consulted_points_and_unique_metrics(lint_fixture):
     result = lint_fixture("tee005_good", "TEE005")
     assert result.findings == []
+
+
+# -- TEE004 interprocedural --------------------------------------------------
+
+def test_tee004_interproc_bad_crosses_two_calls_and_a_method(lint_fixture):
+    # Source in Vault.material() (a method), secret returned through a
+    # summary, sink reached two calls away inside emit().
+    result = lint_fixture("tee004_interproc_bad", "TEE004")
+    assert keys(result) == {"flow:announce->emit~>log call (info)"}
+    finding = by_key(result)["flow:announce->emit~>log call (info)"]
+    assert finding.severity is Severity.ERROR
+    assert finding.path == "repro/flow.py"
+    assert "emit" in finding.message
+
+
+def test_tee004_interproc_good_sanitized_twin_is_silent(lint_fixture):
+    result = lint_fixture("tee004_interproc_good", "TEE004")
+    assert result.findings == []
+
+
+# -- TEE006 lifecycle typestate ----------------------------------------------
+
+def test_tee006_bad_fires_on_every_protocol_violation(lint_fixture):
+    result = lint_fixture("tee006_bad", "TEE006")
+    assert keys(result) == {
+        "typestate:use_without_enter:e.write():measured",
+        "typestate:double_destroy:e.destroy():destroyed",
+        "typestate:resume_before_exit:e.resume():running",
+        "typestate:reenter:e.running():running",
+        "left-running:leak:e",
+    }
+    found = by_key(result)
+    assert found["left-running:leak:e"].severity is Severity.WARNING
+    assert found["typestate:double_destroy:e.destroy():destroyed"] \
+        .severity is Severity.ERROR
+
+
+def test_tee006_good_ordered_branches_and_handoffs_are_silent(lint_fixture):
+    # Straight-line use, `with e.running():`, suspend/resume, branch
+    # joins, escaping receivers, and unknown provenance: all silent.
+    result = lint_fixture("tee006_good", "TEE006")
+    assert result.findings == []
+
+
+def test_tee006_real_sdk_lifecycle_is_clean():
+    # The real CS SDK and the benchmark driver launch/enter/destroy in
+    # protocol order — the rule must agree with the runtime machine.
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    src = REPO_ROOT / "src" / "repro"
+    result = run_lint([src / "cs" / "sdk.py", src / "eval" / "bench.py"],
+                      only=("TEE006",))
+    assert result.findings == []
+
+
+# -- TEE007 exception safety -------------------------------------------------
+
+def test_tee007_bad_fires_on_swallowed_signals_and_missing_status(
+        lint_fixture):
+    result = lint_fixture("tee007_bad", "TEE007")
+    assert keys(result) == {
+        "swallow:swallow_timeout:EMCallTimeout",
+        "swallow:swallow_all:Exception",
+        "swallow:bare:bare except",
+        "missing-status:no_status",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+
+
+def test_tee007_good_typed_outcomes_are_exempt(lint_fixture):
+    # Narrow handlers, re-raises, DegradedResult construction, and
+    # status-carrying/splatted PrimitiveResponse calls: all silent.
+    result = lint_fixture("tee007_good", "TEE007")
+    assert result.findings == []
+
+
+def test_tee007_real_ems_crash_handler_is_exempt():
+    # ems/runtime.py catches Exception on the dispatch path but turns
+    # it into a typed PrimitiveResponse — exactly the idiom the rule
+    # must not flag.
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    runtime = REPO_ROOT / "src" / "repro" / "ems" / "runtime.py"
+    result = run_lint([runtime], only=("TEE007",))
+    assert result.findings == []
+
+
+# -- TEE008 secret-dependent timing ------------------------------------------
+
+def test_tee008_bad_fires_on_asymmetric_cost_arms(lint_fixture):
+    result = lint_fixture("tee008_bad", "TEE008")
+    functions = sorted(k.split(":")[1] for k in keys(result))
+    assert functions == ["accumulate", "charge"]
+    for finding in result.findings:
+        assert finding.severity is Severity.ERROR
+        assert finding.key.startswith("timing:")
+        assert "asymmetric" in finding.message
+
+
+def test_tee008_good_equal_sanitized_and_public_branches(lint_fixture):
+    result = lint_fixture("tee008_good", "TEE008")
+    assert result.findings == []
+
+
+def test_tee008_real_model_charges_uniformly():
+    # The real model's cycle accounting never branches on key material:
+    # the defense the paper claims is the one the code implements.
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    result = run_lint([REPO_ROOT / "src" / "repro"], only=("TEE008",))
+    assert result.findings == []

@@ -61,4 +61,5 @@ def test_known_exceptions_are_baselined_not_fixed(self_result):
 
 def test_rule_catalogue_is_complete():
     assert set(rule_catalogue()) == \
-        {"TEE001", "TEE002", "TEE003", "TEE004", "TEE005"}
+        {"TEE001", "TEE002", "TEE003", "TEE004", "TEE005",
+         "TEE006", "TEE007", "TEE008"}
