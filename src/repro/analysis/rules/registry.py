@@ -31,7 +31,8 @@ PLAN_MODULE = "repro.faults.plan"
 CONSULT_METHODS = frozenset({"fires", "magnitude", "fires_each"})
 
 #: Registry methods whose first argument declares a metric family.
-DECLARE_METHODS = frozenset({"counter", "gauge", "histogram"})
+DECLARE_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "quantile_histogram"})
 
 
 def _first_str_arg(node: ast.Call) -> tuple[str, ast.AST] | None:
@@ -47,6 +48,8 @@ class RegistryConsistencyRule:
 
     id = "TEE005"
     title = "registry consistency: fault points and metric names resolve"
+    #: v2: quantile_histogram declarations join the duplicate check.
+    version = 2
 
     def check(self, project: Project) -> Iterator[Finding]:
         """Cross-check fault-point and metric names against declarations."""

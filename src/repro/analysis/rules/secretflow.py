@@ -63,7 +63,8 @@ class SecretFlowRule:
     id = "TEE004"
     title = "secret flow: key material stays out of observable sinks"
     #: bumped when findings change for identical sources (cache key).
-    version = 2
+    #: v3: flight-recorder sinks (record_event / flightrec.* receivers).
+    version = 3
 
     def check(self, project: Project) -> Iterator[Finding]:
         """Report every secret-to-sink flow event in the project."""

@@ -97,6 +97,15 @@ def sink_name(node: ast.Call) -> str | None:
             return "metric label"
         if attr == "add_span":
             return "trace span arg"
+        if attr == "record_event":
+            return "flight recorder event"
+        # Any call on a flight-recorder-named receiver is a sink: its
+        # ring ends up verbatim in crash-dump artifacts.
+        base = func.value
+        base_name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else "")
+        if "flightrec" in base_name.lower():
+            return f"flight recorder ({attr})"
         if attr.startswith("record_"):
             return f"obs probe ({attr})"
         if attr in LOG_METHODS and isinstance(func.value, ast.Name) \

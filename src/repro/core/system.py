@@ -194,6 +194,7 @@ class HyperTEESystem:
         self.pool.obs = self.obs
         self.swap.obs = self.obs
         self.crypto.obs = self.obs
+        self.os.obs = self.obs
         for core in self.cores:
             core.tlb.obs = self.obs
             core.ptw.obs = self.obs

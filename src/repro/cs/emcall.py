@@ -279,7 +279,8 @@ class EMCall:
             except MailboxError:
                 # Queue full (real backlog or injected burst): the
                 # transmitter backs off and re-sends.
-                extra_cycles += self._backoff(primitive, attempts)
+                extra_cycles += self._backoff(primitive, attempts,
+                                              core.current_enclave_id)
                 continue
             # Both transfer legs cross the iHub; latency spikes land here.
             extra_cycles += \
@@ -301,8 +302,11 @@ class EMCall:
                 # become stale) and back off before the re-send.
                 self.mailbox.cancel_request(request.request_id)
                 if self.obs is not None:
-                    self.obs.record_emcall_timeout(primitive.value, attempts)
-                extra_cycles += self._backoff(primitive, attempts)
+                    self.obs.record_emcall_timeout(
+                        primitive.value, attempts,
+                        enclave_id=core.current_enclave_id)
+                extra_cycles += self._backoff(primitive, attempts,
+                                              core.current_enclave_id)
                 continue
             if response.request_id != request.request_id:
                 raise EMCallError(
@@ -312,7 +316,8 @@ class EMCall:
                 # The EMS runtime failed before touching state; safe to
                 # re-send under the same idempotency key.
                 response = None
-                extra_cycles += self._backoff(primitive, attempts)
+                extra_cycles += self._backoff(primitive, attempts,
+                                              core.current_enclave_id)
                 continue
             extra_cycles += \
                 self.mailbox.transfer_cycles("response") - Mailbox.TRANSFER_CYCLES
@@ -322,13 +327,21 @@ class EMCall:
             waited = extra_cycles + EMCALL_DISPATCH_CYCLES
             if policy.degrade:
                 if self.obs is not None:
-                    self.obs.record_emcall_degraded(primitive.value, attempts)
+                    self.obs.record_emcall_degraded(
+                        primitive.value, attempts,
+                        enclave_id=core.current_enclave_id)
                 return DegradedResult(
                     primitive=primitive, attempts=attempts,
                     cs_cycles=waited,
                     reason=f"no response within {deadline_polls} polls x "
                            f"{attempts} attempts",
                     request_ids=tuple(request_ids))
+            if self.obs is not None:
+                self.obs.trip_flightrec(
+                    "emcall-timeout", primitive=primitive.value,
+                    attempts=attempts, deadline_polls=deadline_polls,
+                    waited_cycles=waited,
+                    enclave_id=core.current_enclave_id)
             raise EMCallTimeout(primitive.value, attempts, deadline_polls,
                                 waited)
 
@@ -431,7 +444,8 @@ class EMCall:
             try:
                 self.mailbox.push_request(batch)
             except MailboxError:
-                extra_cycles += self._batch_backoff(attempts)
+                extra_cycles += self._batch_backoff(attempts,
+                                                    core.current_enclave_id)
                 continue
             extra_cycles += \
                 self.mailbox.transfer_cycles("request") - Mailbox.TRANSFER_CYCLES
@@ -451,8 +465,11 @@ class EMCall:
                 # make the EMS replay what it already applied.
                 self.mailbox.cancel_request(batch.batch_id)
                 if self.obs is not None:
-                    self.obs.record_emcall_timeout("BATCH", attempts)
-                extra_cycles += self._batch_backoff(attempts)
+                    self.obs.record_emcall_timeout(
+                        "BATCH", attempts,
+                        enclave_id=core.current_enclave_id)
+                extra_cycles += self._batch_backoff(attempts,
+                                                    core.current_enclave_id)
                 continue
             if not isinstance(response, BatchResponse) or \
                     response.batch_id != batch.batch_id:
@@ -472,14 +489,17 @@ class EMCall:
                     final[index] = element_response
             pending = still_pending
             if pending:
-                extra_cycles += self._batch_backoff(attempts)
+                extra_cycles += self._batch_backoff(attempts,
+                                                    core.current_enclave_id)
 
         if pending:
             waited = extra_cycles + EMCALL_DISPATCH_CYCLES
             unresolved = calls[pending[0]][0]
             if policy.degrade:
                 if self.obs is not None:
-                    self.obs.record_emcall_degraded("BATCH", attempts)
+                    self.obs.record_emcall_degraded(
+                        "BATCH", attempts,
+                        enclave_id=core.current_enclave_id)
                 return DegradedResult(
                     primitive=unresolved, attempts=attempts,
                     cs_cycles=waited,
@@ -487,6 +507,13 @@ class EMCall:
                            f"unacknowledged within {deadline_polls} polls x "
                            f"{attempts} attempts",
                     request_ids=tuple(batch_ids))
+            if self.obs is not None:
+                self.obs.trip_flightrec(
+                    "emcall-batch-timeout",
+                    primitive=f"BATCH[{unresolved.value}]",
+                    attempts=attempts, deadline_polls=deadline_polls,
+                    waited_cycles=waited, pending=len(pending),
+                    batch_size=n, enclave_id=core.current_enclave_id)
             raise EMCallTimeout(f"BATCH[{unresolved.value}]", attempts,
                                 deadline_polls, waited)
 
@@ -520,9 +547,10 @@ class EMCall:
         return BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
                                  attempts=attempts)
 
-    def _batch_backoff(self, attempt: int) -> int:
+    def _batch_backoff(self, attempt: int,
+                       enclave_id: int | None = None) -> int:
         """Backoff before a batch re-send (same policy as the scalar gate)."""
-        return self._backoff_named("BATCH", attempt)
+        return self._backoff_named("BATCH", attempt, enclave_id)
 
     def _apply_batch_cs_actions(self, core: CSCore,
                                 responses: tuple[PrimitiveResponse, ...]) -> None:
@@ -552,11 +580,13 @@ class EMCall:
             for other in self._cores:
                 other.tlb.flush_all()
 
-    def _backoff(self, primitive: Primitive, attempt: int) -> int:
+    def _backoff(self, primitive: Primitive, attempt: int,
+                 enclave_id: int | None = None) -> int:
         """Cycles of exponential backoff (with jitter) before a re-send."""
-        return self._backoff_named(primitive.value, attempt)
+        return self._backoff_named(primitive.value, attempt, enclave_id)
 
-    def _backoff_named(self, label: str, attempt: int) -> int:
+    def _backoff_named(self, label: str, attempt: int,
+                       enclave_id: int | None = None) -> int:
         """Backoff implementation shared by the scalar and batch gates.
 
         Drawn from a dedicated RNG stream that is only touched on actual
@@ -569,7 +599,8 @@ class EMCall:
             0, self.retry_policy.backoff_jitter_cycles,
             stream="emcall-backoff")
         if self.obs is not None:
-            self.obs.record_emcall_retry(label, attempt, wait + jitter)
+            self.obs.record_emcall_retry(label, attempt, wait + jitter,
+                                         enclave_id=enclave_id)
         return wait + jitter
 
     # -- CS-side effects the EMS cannot perform itself ------------------------------------------
@@ -649,4 +680,6 @@ class EMCall:
         """
         if not core.in_enclave:
             raise EMCallError("enclave page-fault path taken outside an enclave")
+        if self.obs is not None:
+            self.obs.record_demand_fault(core.current_enclave_id)
         return self.invoke(Primitive.EALLOC, {"fault_vaddr": vaddr}, core=core)

@@ -86,6 +86,8 @@ class CSOperatingSystem:
         self.processes: dict[int, HostProcess] = {}
         self.allocation_log: list[AllocationEvent] = []
         self.swap_log: list[SwapEvent] = []
+        #: Observability facade (attached by enable_observability).
+        self.obs = None
 
     # -- frame management -------------------------------------------------------------
 
@@ -103,6 +105,8 @@ class CSOperatingSystem:
         self.allocation_log.append(AllocationEvent(
             seq=next(self._seq), requestor=requestor,
             pages=n, frames=tuple(frames)))
+        if self.obs is not None:
+            self.obs.record_os_alloc(requestor, n)
         return frames
 
     def release_frames(self, frames: list[int]) -> None:

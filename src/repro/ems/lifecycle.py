@@ -91,7 +91,7 @@ class EnclaveManager:
         per-allocation events are invisible to the CS OS. ``flush_list``
         picks up any bits the refill path did flip.
         """
-        frames = self.pool.take(count)
+        frames = self.pool.take(count, owner=owner)
         self.ownership.claim_all(frames, owner)
         for frame in frames:
             self.memory.zero_frame(frame)
@@ -119,7 +119,7 @@ class EnclaveManager:
         back to the CS OS (EWB).
         """
         self.ownership.release_all(frames, owner)
-        self.pool.give_back(frames)
+        self.pool.give_back(frames, owner=owner)
         flush_list.extend(self.pool.drain_flush_list())
 
     def ensure_keyid(self, control: EnclaveControl) -> None:

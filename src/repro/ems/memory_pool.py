@@ -121,7 +121,7 @@ class EnclaveMemoryPool:
     def used_count(self) -> int:
         return self._used
 
-    def take(self, pages: int) -> list[int]:
+    def take(self, pages: int, owner=None) -> list[int]:
         """Hand ``pages`` frames to an enclave — invisible to the CS OS."""
         if pages <= 0:
             raise ValueError("must take a positive number of pages")
@@ -134,10 +134,11 @@ class EnclaveMemoryPool:
         self._used += pages
         self.stats.takes += pages
         if self.obs is not None:
-            self.obs.record_pool_take(pages, len(self._free), self._used)
+            self.obs.record_pool_take(pages, len(self._free), self._used,
+                                      owner=owner)
         return taken
 
-    def take_contiguous(self, pages: int) -> list[int]:
+    def take_contiguous(self, pages: int, owner=None) -> list[int]:
         """Take ``pages`` physically contiguous frames.
 
         DMA engines issue physically continuous accesses (Section V-C),
@@ -154,6 +155,9 @@ class EnclaveMemoryPool:
                     self._free.remove(frame)
                 self._used += pages
                 self.stats.takes += pages
+                if self.obs is not None:
+                    self.obs.record_pool_take(pages, len(self._free),
+                                              self._used, owner=owner)
                 return run
             self._refill(max(self._enlarge_pages, pages))
         raise OutOfEnclaveMemory(
@@ -169,7 +173,7 @@ class EnclaveMemoryPool:
                 run_start = i
         return None
 
-    def give_back(self, frames: list[int]) -> None:
+    def give_back(self, frames: list[int], owner=None) -> None:
         """Return frames to the pool, zeroed (EFREE / EDESTROY path)."""
         for frame in frames:
             self._memory.zero_frame(frame)
@@ -178,7 +182,7 @@ class EnclaveMemoryPool:
         self.stats.returns += len(frames)
         if self.obs is not None:
             self.obs.record_pool_return(len(frames), len(self._free),
-                                        self._used)
+                                        self._used, owner=owner)
 
     def take_host_visible(self, pages: int) -> list[int]:
         """Frames for HostApp<->enclave transfer buffers.

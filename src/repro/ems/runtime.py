@@ -205,7 +205,8 @@ class EMSRuntime:
                     primitive=request.primitive.value,
                     status=response.status.value,
                     service_cycles=response.service_cycles,
-                    core_index=self._next_core)
+                    core_index=self._next_core,
+                    enclave_id=request.enclave_id)
             self._next_core = (self._next_core + 1) % self.num_cores
         return len(requests)
 
@@ -232,7 +233,8 @@ class EMSRuntime:
                     primitive=element.primitive.value,
                     status=sub.status.value,
                     service_cycles=sub.service_cycles,
-                    core_index=self._next_core)
+                    core_index=self._next_core,
+                    enclave_id=element.enclave_id)
             self._next_core = (self._next_core + 1) % self.num_cores
 
     def dispatch_batch(self, batch: BatchRequest) -> BatchResponse:

@@ -117,7 +117,8 @@ class SharedMemoryManager:
         keyid = self._keys.allocate_keyid(key)
 
         flush: list[int] = []
-        frames = self._enclaves.pool.take_contiguous(pages)
+        frames = self._enclaves.pool.take_contiguous(
+            pages, owner=Owner.shared(shm_id))
         self._enclaves.ownership.claim_all(frames, Owner.shared(shm_id))
         self._enclaves.zero_under(frames, keyid)
         flush.extend(self._enclaves.pool.drain_flush_list())
@@ -209,7 +210,8 @@ class SharedMemoryManager:
             self._iommu.clear_device(device_id, from_ems=True)
         self._enclaves.ownership.release_all(region.frames,
                                              Owner.shared(region.shm_id))
-        self._enclaves.pool.give_back(region.frames)
+        self._enclaves.pool.give_back(region.frames,
+                                      owner=Owner.shared(region.shm_id))
         flush.extend(self._enclaves.pool.drain_flush_list())
         self._keys.release_keyid(region.keyid)
         del self.regions[region.shm_id]

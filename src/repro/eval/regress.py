@@ -1,0 +1,291 @@
+"""Statistical performance-regression gating over the SLO digests.
+
+``BENCH_pr3.json`` pins the batched-EMCall *communication* model
+bit-for-bit; what nothing pinned until now is the end-to-end latency
+distribution — a change that quietly doubles the EALLOC p99 sails
+through every functional test. This module closes that gap:
+
+* :func:`build_report` runs a small matrix of deterministic scenarios
+  on an observability-enabled platform and snapshots, per operation,
+  the ``count``/``p50``/``p95``/``p99``/``mean`` read straight from the
+  SLO engine's quantile digests (dogfooding: the gate consumes the same
+  percentile surface the SLO report serves). The committed artifact is
+  ``BENCH_pr6.json``.
+* The **noise band** is calibrated, not guessed: the same scenarios run
+  again under :data:`CALIBRATION_SEEDS` (different jitter draws, same
+  code), and each scenario's tolerance is the worst relative deviation
+  observed across seeds, times :data:`SAFETY_FACTOR`, floored at
+  :data:`TOLERANCE_FLOOR`.
+* :func:`check_report` re-runs the scenarios at the committed seed and
+  compares. Slower beyond the band -> regression (CI exits 1); faster
+  beyond the band -> noted but passing (an improvement should be
+  re-baselined, not reverted); count drift -> structural failure (the
+  scenario itself changed, so the baseline is meaningless).
+
+Everything is seed-deterministic: ``python -m repro bench --regress-out
+BENCH_pr6.json`` regenerates the artifact bit-for-bit on unchanged
+code, and CI diffs it before checking it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+#: Artifact document version; bump on any schema change.
+SCHEMA = "hypertee.regress/1"
+
+#: Default committed artifact name.
+DEFAULT_REPORT = "BENCH_pr6.json"
+
+#: Base seed for the committed baseline.
+DEFAULT_SEED = 0x9E96
+
+#: Extra seeds used only to measure seed-to-seed noise.
+CALIBRATION_SEEDS = (0x9E97, 0x9E98, 0x9E99)
+
+#: Calibrated noise, widened by this factor to keep the gate quiet.
+SAFETY_FACTOR = 2.0
+
+#: Minimum tolerance: integer-cycle quantization alone can move tiny
+#: samples by a couple of percent.
+TOLERANCE_FLOOR = 0.02
+
+#: The per-operation statistics the gate compares.
+STAT_KEYS = ("p50", "p95", "p99", "mean")
+
+
+def _scenario_lifecycle(seed: int):
+    """Create/enter/exit/destroy churn: the Table IV lifecycle row."""
+    from repro.core.api import HyperTEE
+    from repro.core.config import SystemConfig
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE(SystemConfig(seed=seed))
+    tee.system.enable_observability()
+    for round_index in range(4):
+        enclave = tee.launch_enclave(
+            b"regress lifecycle enclave " * 16,
+            EnclaveConfig(name=f"regress-{round_index}", heap_pages_max=32))
+        with enclave.running():
+            vaddr = enclave.ealloc(2)
+            enclave.write(vaddr, b"regress bytes")
+            enclave.efree(vaddr)
+        enclave.destroy()
+    return tee
+
+
+def _scenario_alloc_scalar(seed: int):
+    """Scalar EALLOC/EFREE rounds: the hot memory-management path."""
+    from repro.core.api import HyperTEE
+    from repro.core.config import SystemConfig
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE(SystemConfig(seed=seed))
+    tee.system.enable_observability()
+    enclave = tee.launch_enclave(b"regress scalar alloc " * 16,
+                                 EnclaveConfig(name="regress-scalar",
+                                               heap_pages_max=128))
+    with enclave.running():
+        for _ in range(3):
+            vaddrs = [enclave.ealloc(1) for _ in range(8)]
+            for vaddr in vaddrs:
+                enclave.efree(vaddr)
+    enclave.destroy()
+    return tee
+
+
+def _scenario_alloc_batch8(seed: int):
+    """The batched fast path: 8-element EALLOC/EFREE envelopes."""
+    from repro.core.api import HyperTEE
+    from repro.core.config import SystemConfig
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE(SystemConfig(seed=seed))
+    tee.system.enable_observability()
+    enclave = tee.launch_enclave(b"regress batched alloc " * 16,
+                                 EnclaveConfig(name="regress-batch",
+                                               heap_pages_max=128))
+    with enclave.running():
+        for _ in range(3):
+            vaddrs = enclave.ealloc_many([1] * 8)
+            enclave.efree_many(vaddrs)
+    enclave.destroy()
+    return tee
+
+
+def _scenario_mixed(seed: int):
+    """Shared memory, demand faults, attestation, and EWB pressure."""
+    from repro.common.types import Permission, Primitive
+    from repro.core.api import HyperTEE
+    from repro.core.config import SystemConfig
+    from repro.core.enclave import EnclaveConfig
+
+    tee = HyperTEE(SystemConfig(seed=seed))
+    tee.system.enable_observability()
+    enclave = tee.launch_enclave(b"regress mixed workload " * 16,
+                                 EnclaveConfig(name="regress-mixed",
+                                               heap_pages_max=64))
+    with enclave.running():
+        vaddr = enclave.ealloc(4)
+        enclave.write(vaddr, b"mixed bytes")
+        enclave.write(vaddr + 5 * 4096, b"demand page")  # page-fault path
+        region = enclave.create_shared_region(2, Permission.RW)
+        share_va = enclave.attach(region)
+        enclave.write(share_va, b"shared")
+        enclave.detach(region)
+        enclave.destroy_region(region)
+        enclave.attest(report_data=b"regress")
+        enclave.efree(vaddr)
+    tee.invoke_os(Primitive.EWB, {"pages": 2})
+    enclave.destroy()
+    return tee
+
+
+#: Scenario name -> workload, in artifact order.
+SCENARIOS: dict[str, Callable[[int], Any]] = {
+    "lifecycle": _scenario_lifecycle,
+    "alloc_scalar": _scenario_alloc_scalar,
+    "alloc_batch8": _scenario_alloc_batch8,
+    "mixed": _scenario_mixed,
+}
+
+
+def run_scenario(name: str, seed: int) -> dict[str, dict[str, float]]:
+    """One scenario's per-operation latency stats at ``seed``."""
+    tee = SCENARIOS[name](seed)
+    slo = tee.system.obs.slo
+    out: dict[str, dict[str, float]] = {}
+    for operation in sorted(slo.operations()):
+        digest = slo.digest(operation)
+        out[operation] = {
+            "count": digest.count,
+            "p50": round(digest.percentile(0.50), 3),
+            "p95": round(digest.percentile(0.95), 3),
+            "p99": round(digest.percentile(0.99), 3),
+            "mean": round(digest.mean, 3),
+        }
+    return out
+
+
+def _relative_deviation(base: float, other: float) -> float:
+    if base == 0:
+        return 0.0 if other == 0 else float("inf")
+    return abs(other - base) / base
+
+
+def build_report(seed: int = DEFAULT_SEED,
+                 calibration_seeds: tuple[int, ...] = CALIBRATION_SEEDS
+                 ) -> dict[str, Any]:
+    """The full regression baseline: stats plus calibrated tolerances."""
+    scenarios: dict[str, Any] = {}
+    for name in SCENARIOS:
+        base = run_scenario(name, seed)
+        worst = 0.0
+        for cal_seed in calibration_seeds:
+            cal = run_scenario(name, cal_seed)
+            for operation, stats in base.items():
+                cal_stats = cal.get(operation)
+                if cal_stats is None:
+                    continue  # seed-dependent op; count check still guards
+                for key in STAT_KEYS:
+                    worst = max(worst, _relative_deviation(
+                        stats[key], cal_stats[key]))
+        tolerance = round(max(worst * SAFETY_FACTOR, TOLERANCE_FLOOR), 4)
+        scenarios[name] = {"operations": base, "tolerance": tolerance}
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "calibration_seeds": list(calibration_seeds),
+        "scenarios": scenarios,
+    }
+
+
+def check_report(committed: dict[str, Any],
+                 inflate: float = 1.0) -> tuple[bool, list[str]]:
+    """Re-run the committed baseline's scenarios and compare.
+
+    Returns ``(ok, messages)``. ``inflate`` multiplies the freshly
+    measured latencies — a test hook that simulates a uniform slowdown
+    without patching the model.
+    """
+    if committed.get("schema") != SCHEMA:
+        return False, [f"artifact schema {committed.get('schema')!r} != "
+                       f"{SCHEMA} (regenerate with --regress-out)"]
+    seed = committed["seed"]
+    messages: list[str] = []
+    ok = True
+    for name, baseline in committed["scenarios"].items():
+        if name not in SCENARIOS:
+            ok = False
+            messages.append(f"{name}: unknown scenario in artifact")
+            continue
+        fresh = run_scenario(name, seed)
+        tolerance = baseline["tolerance"]
+        for operation, stats in baseline["operations"].items():
+            measured = fresh.get(operation)
+            if measured is None:
+                ok = False
+                messages.append(f"{name}/{operation}: operation missing "
+                                "from fresh run (workload changed?)")
+                continue
+            if measured["count"] != stats["count"]:
+                ok = False
+                messages.append(
+                    f"{name}/{operation}: count {measured['count']} != "
+                    f"baseline {stats['count']} (workload changed; "
+                    "re-baseline)")
+                continue
+            for key in STAT_KEYS:
+                value = measured[key] * inflate
+                deviation = _relative_deviation(stats[key], value)
+                if deviation <= tolerance:
+                    continue
+                if value > stats[key]:
+                    ok = False
+                    messages.append(
+                        f"{name}/{operation}: {key} regressed "
+                        f"{stats[key]:.0f} -> {value:.0f} "
+                        f"(+{deviation:.1%}, band {tolerance:.1%})")
+                else:
+                    messages.append(
+                        f"{name}/{operation}: {key} improved "
+                        f"{stats[key]:.0f} -> {value:.0f} "
+                        f"(-{deviation:.1%}); consider re-baselining")
+        extra = sorted(set(fresh) - set(baseline["operations"]))
+        if extra:
+            messages.append(f"{name}: new operations not in baseline: "
+                            f"{', '.join(extra)}; consider re-baselining")
+    if ok:
+        messages.append("regression check passed: every tracked stat "
+                        "inside its calibrated band")
+    return ok, messages
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """The artifact as a readable table (one block per scenario)."""
+    from repro.eval.report import render_table
+
+    blocks = []
+    for name, scenario in report["scenarios"].items():
+        rows = [[op, s["count"], f"{s['p50']:.0f}", f"{s['p95']:.0f}",
+                 f"{s['p99']:.0f}", f"{s['mean']:.0f}"]
+                for op, s in scenario["operations"].items()]
+        blocks.append(render_table(
+            f"{name} (seed {report['seed']:#x}, "
+            f"band {scenario['tolerance']:.1%})",
+            ["operation", "count", "p50", "p95", "p99", "mean"], rows))
+    return "\n\n".join(blocks)
+
+
+def write_report(report: dict[str, Any], path: str) -> None:
+    """Serialize deterministically (stable key order, trailing newline)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> dict[str, Any]:
+    """Read a committed artifact back."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,226 @@
+"""Per-enclave attribution: a cardinality-bounded tenant dimension.
+
+The multi-EMS router and the confidential-ML scenario both need to
+answer *which enclave is spending the platform's budget* — cycles,
+retries, demand faults, pool pages, swap traffic — without letting the
+label space grow with the enclave population (a million-enclave fleet
+must not mint a million metric children).
+
+:class:`TenantBuckets` bounds the dimension: up to ``capacity`` enclave
+ids are tracked by name (``e<id>``), managed LRU — a new id evicts the
+least-recently-seen one — and a hard ``label_limit`` caps how many
+distinct labels are ever minted; past it, new ids aggregate into the
+``other`` overflow bucket. Non-enclave owners map to their kind
+(``ems`` metadata, ``shared`` regions), and ownerless traffic to
+``host``/``unowned``.
+
+Two deliberate attribution gaps, straight from the paper's threat model:
+
+* **pool refills** are bulk and demand-decoupled *by design* (Section
+  IV-A) — the OS-facing frame traffic is attributed to the normalized
+  requestor (``ems-pool``), never to an enclave, because the whole point
+  is that no per-enclave signal exists at that boundary;
+* **EWB swap traffic** surrenders random never-hot pool-free frames, so
+  it lands on the ``host`` bucket — a per-enclave swap series would be
+  the controlled channel the design removes.
+
+All bookkeeping is registry-side; nothing here touches model state
+(``tests/obs/test_noninterference.py``).
+"""
+
+from __future__ import annotations
+
+import collections
+import re
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Label for traffic with no enclave identity (OS-driven EWB, host side).
+HOST_LABEL = "host"
+
+#: Overflow bucket once the label budget is spent.
+OVERFLOW_LABEL = "other"
+
+#: Label for pool traffic that reached the pool without an owner record.
+UNOWNED_LABEL = "unowned"
+
+#: Digits in requestor strings (pids, enclave numbers) would mint one
+#: label per process; normalization folds them so the requestor
+#: dimension stays bounded: ``pid7-malloc`` -> ``pid-malloc``.
+_DIGITS = re.compile(r"\d+")
+
+
+def normalize_requestor(requestor: str) -> str:
+    """Bound the CS OS requestor label space (digits folded out)."""
+    return _DIGITS.sub("", requestor)
+
+
+class TenantBuckets:
+    """LRU-capped enclave-id -> label map with an ``other`` overflow.
+
+    ``capacity`` bounds how many ids are *tracked at once*;
+    ``label_limit`` (default ``4 * capacity``) bounds how many distinct
+    labels are ever created, because a metric child outlives the LRU
+    entry that minted it. Once the limit is reached, unseen ids share
+    :data:`OVERFLOW_LABEL` forever — total cardinality is
+    ``label_limit + 2`` whatever the fleet does.
+    """
+
+    def __init__(self, capacity: int = 32,
+                 label_limit: int | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.label_limit = (4 * capacity if label_limit is None
+                            else label_limit)
+        self._tracked: collections.OrderedDict[str, None] = \
+            collections.OrderedDict()
+        self.minted = 0
+        self.overflowed = 0
+
+    def label(self, enclave_id: int | None) -> str:
+        """The bounded label for one enclave id (None = host context)."""
+        if enclave_id is None:
+            return HOST_LABEL
+        key = f"e{enclave_id}"
+        if key in self._tracked:
+            self._tracked.move_to_end(key)
+            return key
+        if len(self._tracked) >= self.capacity:
+            if self.minted >= self.label_limit:
+                self.overflowed += 1
+                return OVERFLOW_LABEL
+            self._tracked.popitem(last=False)
+        self._tracked[key] = None
+        self.minted += 1
+        return key
+
+
+class Attribution:
+    """The per-enclave metric families and their bounded label policy."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 capacity: int = 32) -> None:
+        self.buckets = TenantBuckets(capacity)
+        self._cs_cycles = registry.counter(
+            "hypertee_enclave_cs_cycles_total",
+            "CS-visible EMCall latency cycles, by enclave bucket",
+            ("enclave",))
+        self._invocations = registry.counter(
+            "hypertee_enclave_invocations_total",
+            "Primitive invocations, by enclave bucket", ("enclave",))
+        self._ems_cycles = registry.counter(
+            "hypertee_enclave_ems_cycles_total",
+            "EMS handler service cycles, by enclave bucket", ("enclave",))
+        self._retries = registry.counter(
+            "hypertee_enclave_retries_total",
+            "EMCall re-sends, by enclave bucket", ("enclave",))
+        self._timeouts = registry.counter(
+            "hypertee_enclave_timeouts_total",
+            "Expired poll deadlines, by enclave bucket", ("enclave",))
+        self._demand_faults = registry.counter(
+            "hypertee_enclave_demand_faults_total",
+            "In-enclave page faults routed to the EMS, by enclave bucket",
+            ("enclave",))
+        self._pool_pages = registry.gauge(
+            "hypertee_enclave_pool_pages",
+            "Pool frames currently held, by owner bucket", ("owner",))
+        self._swap_pages = registry.counter(
+            "hypertee_enclave_swap_pages_total",
+            "EWB pages surrendered (host-attributed by design)",
+            ("enclave",))
+        self._os_frames = registry.counter(
+            "hypertee_os_frames_total",
+            "Frames the CS OS handed out, by normalized requestor",
+            ("requestor",))
+
+    # -- owner -> label ------------------------------------------------------
+
+    def owner_label(self, owner: Any) -> str:
+        """Bounded label for a pool frame owner (duck-typed ``Owner``)."""
+        if owner is None:
+            return UNOWNED_LABEL
+        kind = getattr(owner, "kind", None)
+        kind_value = getattr(kind, "value", None)
+        if kind_value == "enclave":
+            return self.buckets.label(getattr(owner, "ident", None))
+        if isinstance(kind_value, str):
+            return kind_value
+        return UNOWNED_LABEL
+
+    # -- recording hooks (called by the probe facade) ------------------------
+
+    def record_invocation(self, enclave_id: int | None,
+                          cs_cycles: int, count: int = 1) -> None:
+        """``count`` primitives completed for ``enclave_id``'s bucket."""
+        label = self.buckets.label(enclave_id)
+        self._invocations.labels(label).inc(count)
+        self._cs_cycles.labels(label).inc(cs_cycles)
+
+    def record_ems_service(self, enclave_id: int | None,
+                           service_cycles: int) -> None:
+        """An EMS handler spent ``service_cycles`` on this enclave."""
+        self._ems_cycles.labels(self.buckets.label(enclave_id)).inc(
+            service_cycles)
+
+    def record_retry(self, enclave_id: int | None) -> None:
+        """An EMCall re-send was charged to this enclave."""
+        self._retries.labels(self.buckets.label(enclave_id)).inc()
+
+    def record_timeout(self, enclave_id: int | None) -> None:
+        """A poll deadline expired on this enclave's invocation."""
+        self._timeouts.labels(self.buckets.label(enclave_id)).inc()
+
+    def record_demand_fault(self, enclave_id: int | None) -> None:
+        """An in-enclave page fault was routed to the EMS."""
+        self._demand_faults.labels(self.buckets.label(enclave_id)).inc()
+
+    def record_pool_take(self, pages: int, owner: Any) -> None:
+        """Pool frames moved to ``owner`` (gauge up)."""
+        self._pool_pages.labels(self.owner_label(owner)).inc(pages)
+
+    def record_pool_return(self, pages: int, owner: Any) -> None:
+        """Pool frames came back from ``owner`` (gauge down)."""
+        self._pool_pages.labels(self.owner_label(owner)).dec(pages)
+
+    def record_swap(self, pages: int) -> None:
+        """EWB surrendered pages — host-attributed by design (no
+        per-enclave swap series exists to leak through)."""
+        self._swap_pages.labels(HOST_LABEL).inc(pages)
+
+    def record_os_alloc(self, requestor: str, pages: int) -> None:
+        """The CS OS handed out frames to a (normalized) requestor."""
+        self._os_frames.labels(normalize_requestor(requestor)).inc(pages)
+
+    # -- queries -------------------------------------------------------------
+
+    def table(self) -> list[dict[str, Any]]:
+        """One row per enclave bucket that recorded anything."""
+        rows: dict[str, dict[str, Any]] = {}
+
+        def row(label: str) -> dict[str, Any]:
+            return rows.setdefault(label, {
+                "enclave": label, "invocations": 0, "cs_cycles": 0,
+                "ems_cycles": 0, "retries": 0, "timeouts": 0,
+                "demand_faults": 0, "pool_pages": 0, "swap_pages": 0})
+
+        for family, field in ((self._invocations, "invocations"),
+                              (self._cs_cycles, "cs_cycles"),
+                              (self._ems_cycles, "ems_cycles"),
+                              (self._retries, "retries"),
+                              (self._timeouts, "timeouts"),
+                              (self._demand_faults, "demand_faults"),
+                              (self._swap_pages, "swap_pages")):
+            for labels, child in family.samples():
+                row(labels["enclave"])[field] = child.value
+        for labels, child in self._pool_pages.samples():
+            label = labels["owner"]
+            # Only enclave/host/other buckets join the tenant table; the
+            # ems/shared/unowned owner buckets stay registry-only.
+            if re.fullmatch(r"e\d+", label) or \
+                    label in (HOST_LABEL, OVERFLOW_LABEL):
+                row(label)["pool_pages"] = child.value
+        out = sorted(rows.values(), key=lambda r: (-r["cs_cycles"],
+                                                   r["enclave"]))
+        return out

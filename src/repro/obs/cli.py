@@ -8,8 +8,13 @@ Subcommands::
     python -m repro metrics --format prom   # Prometheus text exposition
     python -m repro metrics --format json   # full registry JSON dump
     python -m repro trace --out /tmp/t.json # Chrome trace_event JSON
+    python -m repro slo                     # SLO report: quantiles + budgets
+    python -m repro slo --json              # the same, machine-readable
+    python -m repro flightrec dump          # flight-recorder black box
     python -m repro bench                   # scalar-vs-batched comm bench
     python -m repro bench --out BENCH_pr3.json  # refresh the artifact
+    python -m repro bench --regress-out BENCH_pr6.json  # latency baseline
+    python -m repro bench --check           # gate against BENCH_pr6.json
     python -m repro lint                    # teelint architectural checks
     python -m repro lint --format=github    # CI annotation output
 
@@ -71,6 +76,11 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
     tee = run_instrumented_scenario(seed=args.seed)
     obs = tee.system.obs
+    if not obs.primitive_latency_table():
+        print("error: the instrumented run recorded no primitive samples; "
+              "observability is wired wrong (is enable_observability() "
+              "attached before the scenario runs?)", file=sys.stderr)
+        return 1
     if args.format == "prom":
         print(render_prometheus(obs.metrics), end="")
         return 0
@@ -125,12 +135,77 @@ def _cmd_regen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json as _json
+
+    tee = run_instrumented_scenario(seed=args.seed)
+    rows = tee.system.obs.slo.report()
+    if not rows:
+        print("error: the instrumented run recorded no SLO samples",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(rows, indent=1))
+        return 0
+
+    def fmt(value, spec=".0f"):
+        return "-" if value is None else format(value, spec)
+
+    table = [[r["operation"], r["count"],
+              fmt(r["p50"]), fmt(r["p95"]), fmt(r["p99"]), fmt(r["p999"]),
+              "-" if r["threshold"] is None
+              else f"{r['percentile']}<={r['threshold']:.0f}",
+              fmt(r["burn_rate"], ".2f"),
+              {True: "yes", False: "NO", None: "-"}[r["compliant"]]]
+             for r in rows]
+    print(render_table(
+        "SLO report (latency quantiles, targets, error-budget burn)",
+        ["operation", "count", "p50", "p95", "p99", "p999", "target",
+         "burn", "ok"], table))
+    return 0
+
+
+def _cmd_flightrec(args: argparse.Namespace) -> int:
+    tee = run_instrumented_scenario(seed=args.seed)
+    recorder = tee.system.obs.flightrec
+    if args.action == "dump":
+        try:
+            dump = recorder.write(args.out)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {len(dump['events'])} events "
+              f"({dump['dropped']} dropped, schema {dump['schema']}) "
+              f"to {args.out}")
+        return 0
+    dump = recorder.snapshot()
+    print(f"flight recorder: {len(dump['events'])} events held, "
+          f"{dump['recorded_total']} recorded, {dump['dropped']} dropped, "
+          f"{dump['trips']} trips")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.bench import (
         render_report,
         run_batch_comm_bench,
         write_report,
     )
+    from repro.eval import regress
+
+    if args.check is not None:
+        path = args.check or regress.DEFAULT_REPORT
+        try:
+            committed = regress.load_report(path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load {path}: {exc}", file=sys.stderr)
+            return 2
+        ok, messages = regress.check_report(committed,
+                                            inflate=args.check_inflate)
+        for message in messages:
+            print(message)
+        return 0 if ok else 1
 
     report = run_batch_comm_bench(seed=args.seed)
     print(render_report(report))
@@ -142,6 +217,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 1
         print(f"wrote {args.out}")
+    if args.regress_out:
+        latency = regress.build_report()
+        print()
+        print(regress.render_report(latency))
+        try:
+            regress.write_report(latency, args.regress_out)
+        except OSError as exc:
+            print(f"error: cannot write {args.regress_out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {args.regress_out}")
     return 0
 
 
@@ -155,7 +241,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 #: whether the first token selects a subcommand or is a bare artifact
 #: name for ``regen`` — keep it in lockstep with :func:`build_parser`
 #: (pinned by the CLI smoke test).
-COMMANDS = ("regen", "metrics", "trace", "bench", "lint")
+COMMANDS = ("regen", "metrics", "trace", "slo", "flightrec", "bench",
+            "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -186,12 +273,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=0x1EE7)
     trace.set_defaults(func=_cmd_trace)
 
+    slo = sub.add_parser(
+        "slo", help="run an instrumented scenario, report SLO quantiles "
+                    "and error-budget burn")
+    slo.add_argument("--json", action="store_true",
+                     help="machine-readable report rows")
+    slo.add_argument("--seed", type=int, default=0x1EE7)
+    slo.set_defaults(func=_cmd_slo)
+
+    flightrec = sub.add_parser(
+        "flightrec", help="flight-recorder black box: status or JSON dump")
+    flightrec.add_argument("action", nargs="?", choices=("status", "dump"),
+                           default="status")
+    flightrec.add_argument("--out", default="hypertee-flightrec.json",
+                           help="output path for the dump document")
+    flightrec.add_argument("--seed", type=int, default=0x1EE7)
+    flightrec.set_defaults(func=_cmd_flightrec)
+
     bench = sub.add_parser(
         "bench", help="scalar vs batched EMCall comm-cycle baseline "
-                      "(the BENCH_pr3.json artifact)")
+                      "(BENCH_pr3.json) and the latency-regression gate "
+                      "(BENCH_pr6.json)")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="also write the JSON artifact (e.g. "
                             "BENCH_pr3.json)")
+    bench.add_argument("--regress-out", default=None, metavar="PATH",
+                       help="also build and write the latency-regression "
+                            "baseline (e.g. BENCH_pr6.json)")
+    bench.add_argument("--check", nargs="?", const="", default=None,
+                       metavar="PATH",
+                       help="re-run the committed baseline's scenarios and "
+                            "fail on regressions beyond the calibrated "
+                            "band (default artifact: BENCH_pr6.json)")
+    bench.add_argument("--check-inflate", type=float, default=1.0,
+                       help=argparse.SUPPRESS)  # test hook: fake slowdown
     bench.add_argument("--seed", type=int, default=0xBE4C)
     bench.set_defaults(func=_cmd_bench)
 

@@ -4,11 +4,21 @@ Two formats:
 
 * :func:`render_prometheus` — the text exposition format Prometheus
   scrapes (``# HELP`` / ``# TYPE`` headers, ``_bucket``/``_sum``/
-  ``_count`` series for histograms with cumulative ``le`` buckets);
+  ``_count`` series for histograms with cumulative ``le`` buckets).
+  Label values and HELP text are escaped per the exposition format:
+  ``\\`` -> ``\\\\`` and newline -> ``\\n`` in both, plus ``"`` ->
+  ``\\"`` inside label values — a hostile enclave name cannot corrupt
+  the scrape.
 * :func:`render_json` — one JSON document with every instrument, the
   histogram percentiles pre-computed, and the federated per-subsystem
   ``*Stats`` snapshot — the machine-readable twin of
   ``HyperTEESystem.stats_summary()``.
+
+Both histogram kinds share the ``_bucket`` exposition: the base-2
+:class:`~repro.obs.metrics.Histogram` and the SLO engine's
+:class:`~repro.obs.metrics.QuantileHistogram` (exposed with Prometheus
+TYPE ``histogram`` — the exact-mode refinement is a query-side detail
+scrapers do not see).
 """
 
 from __future__ import annotations
@@ -16,7 +26,29 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileHistogram,
+)
+
+#: Registry kind -> Prometheus TYPE keyword (everything else passes
+#: through unchanged).
+_PROM_TYPE = {"quantile_histogram": "histogram"}
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format spec."""
+    return (value.replace("\\", "\\\\")
+                 .replace("\n", "\\n")
+                 .replace('"', '\\"'))
+
+
+def _escape_help(text: str) -> str:
+    """Escape HELP text (backslash and newline only, per the spec)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _fmt_value(value: float) -> str:
@@ -31,7 +63,8 @@ def _label_str(labels: dict[str, str], extra: dict[str, str] | None = None) -> s
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in merged.items())
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                     for k, v in merged.items())
     return "{" + inner + "}"
 
 
@@ -39,13 +72,14 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format."""
     lines: list[str] = []
     for family in registry.families():
-        lines.append(f"# HELP {family.name} {family.help}")
-        lines.append(f"# TYPE {family.name} {family.kind}")
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} "
+                     f"{_PROM_TYPE.get(family.kind, family.kind)}")
         for labels, child in family.samples():
             if isinstance(child, (Counter, Gauge)):
                 lines.append(f"{family.name}{_label_str(labels)} "
                              f"{_fmt_value(child.value)}")
-            elif isinstance(child, Histogram):
+            elif isinstance(child, (Histogram, QuantileHistogram)):
                 cumulative = 0
                 for upper, count in child.buckets():
                     cumulative += count
@@ -66,6 +100,20 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 def _instrument_json(child: Any) -> Any:
     if isinstance(child, (Counter, Gauge)):
         return child.value
+    if isinstance(child, QuantileHistogram):
+        if not child.count:
+            return {"count": 0}
+        doc = {
+            "count": child.count,
+            "sum": child.sum,
+            "min": child.min,
+            "max": child.max,
+            "mean": child.mean,
+            "exact": child.exact_mode,
+            "buckets": child.buckets(),
+        }
+        doc.update(child.quantiles())
+        return doc
     if isinstance(child, Histogram):
         if not child.count:
             return {"count": 0}

@@ -20,6 +20,7 @@ model RNG or touches any modelled cycle count.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 import math
 from typing import Any, Callable, Iterable
@@ -142,11 +143,119 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
 
+class QuantileHistogram:
+    """Streaming latency digest: exact small samples, log-spaced buckets.
+
+    The SLO engine needs tail quantiles (p95/p99/p999) that are *exact*
+    for the small per-operation sample counts a single run produces, yet
+    stay O(1)-per-sample and bounded-memory under a long soak. Two modes:
+
+    * **exact** — while ``count <= exact_limit`` every sample is kept in
+      a sorted list and quantiles are exact order statistics
+      (nearest-rank);
+    * **bucketed** — past the limit the sample list is released and
+      quantiles are answered from fixed log-spaced buckets. The default
+      base is a quarter octave (``2 ** 0.25``), bounding the relative
+      quantile error at ~9% — an order of magnitude tighter than the
+      base-2 :class:`Histogram`, which is what makes p999 meaningful.
+
+    Buckets are maintained in *both* modes so the Prometheus
+    ``_bucket``/``_sum``/``_count`` exposition never changes shape when
+    the digest crosses the threshold.
+    """
+
+    __slots__ = ("base", "exact_limit", "_log_base", "_buckets", "count",
+                 "sum", "min", "max", "_exact")
+
+    #: Quarter-octave buckets: <= ~9% relative error on any quantile.
+    DEFAULT_BASE = 2.0 ** 0.25
+    #: Samples kept verbatim before degrading to bucketed estimates.
+    DEFAULT_EXACT_LIMIT = 512
+
+    def __init__(self, base: float = DEFAULT_BASE,
+                 exact_limit: int = DEFAULT_EXACT_LIMIT) -> None:
+        if base <= 1.0:
+            raise MetricError("histogram base must exceed 1")
+        if exact_limit < 0:
+            raise MetricError("exact_limit must be non-negative")
+        self.base = base
+        self.exact_limit = exact_limit
+        self._log_base = math.log(base)
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._exact: list[float] | None = []
+
+    @property
+    def exact_mode(self) -> bool:
+        """Still answering from the verbatim sample list?"""
+        return self._exact is not None
+
+    def _bucket_index(self, value: float) -> int:
+        if value <= 1.0:
+            return 0
+        return int(math.ceil(math.log(value) / self._log_base - 1e-12))
+
+    def observe(self, value: float) -> None:
+        """Record one sample (both the bucket and, if small, verbatim)."""
+        if value < 0:
+            raise MetricError("histograms take non-negative observations")
+        index = self._bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if self._exact is not None:
+            bisect.insort(self._exact, value)
+            if len(self._exact) > self.exact_limit:
+                self._exact = None
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Sorted (upper_bound, count) pairs for non-empty buckets."""
+        return [(self.base ** index, count)
+                for index, count in sorted(self._buckets.items())]
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-quantile (0..1): exact if small, bucketed if not."""
+        if not 0.0 <= p <= 1.0:
+            raise MetricError("percentile wants p in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if self._exact is not None:
+            # Nearest-rank: the smallest sample with cumulative
+            # frequency >= p. Exact for every quantile the table prints.
+            rank = max(1, math.ceil(p * self.count))
+            return self._exact[min(rank, self.count) - 1]
+        rank = p * self.count
+        seen = 0
+        for index, count in sorted(self._buckets.items()):
+            seen += count
+            if seen >= rank:
+                upper = self.base ** index
+                lower = 0.0 if index == 0 else self.base ** (index - 1)
+                mid = (lower + upper) / 2.0
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def quantiles(self) -> dict[str, float]:
+        """The SLO report's standard quantile set."""
+        return {"p50": self.percentile(0.50), "p95": self.percentile(0.95),
+                "p99": self.percentile(0.99), "p999": self.percentile(0.999)}
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
 #: Instrument kind -> child factory.
 _KIND_FACTORY: dict[str, Callable[..., Any]] = {
     "counter": Counter,
     "gauge": Gauge,
     "histogram": Histogram,
+    "quantile_histogram": QuantileHistogram,
 }
 
 
@@ -247,6 +356,16 @@ class MetricsRegistry:
                   base: float = 2.0) -> MetricFamily:
         """Register (or fetch) a log-bucketed histogram family."""
         return self._family("histogram", name, help, labelnames, base=base)
+
+    def quantile_histogram(self, name: str, help: str = "",
+                           labelnames: tuple[str, ...] = (),
+                           base: float = QuantileHistogram.DEFAULT_BASE,
+                           exact_limit: int =
+                           QuantileHistogram.DEFAULT_EXACT_LIMIT,
+                           ) -> MetricFamily:
+        """Register (or fetch) a :class:`QuantileHistogram` family."""
+        return self._family("quantile_histogram", name, help, labelnames,
+                            base=base, exact_limit=exact_limit)
 
     def families(self) -> list[MetricFamily]:
         """Every registered family, in registration order."""

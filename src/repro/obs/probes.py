@@ -30,8 +30,23 @@ caller                probe
                       instant marker on the ``faults`` trace track
 ``cs/emcall.py``      :meth:`record_emcall_retry`,
                       :meth:`record_emcall_timeout`,
-                      :meth:`record_emcall_degraded`
+                      :meth:`record_emcall_degraded`,
+                      :meth:`record_demand_fault`, :meth:`trip_flightrec`
+``cs/os.py``          :meth:`record_os_alloc` — frame traffic by
+                      normalized requestor
 ====================  ==========================================
+
+PR-6 layers riding the same facade (all out-of-band):
+
+* the **SLO engine** (:mod:`repro.obs.slo`) — every Table IV primitive,
+  batch envelopes, and mailbox enqueue->drain residency feed per-
+  operation quantile digests with targets and error budgets;
+* **per-enclave attribution** (:mod:`repro.obs.attribution`) — a
+  cardinality-bounded tenant dimension over cycles, retries, faults,
+  pool pages, and swap traffic;
+* the **flight recorder** (:mod:`repro.obs.flightrec`) — a ring of
+  recent structured events, frozen to a JSON black box on
+  ``EMCallTimeout``, chaos invariant violations, or CLI request.
 
 **Out-of-band contract.** A probe may read whatever its caller hands it
 and write registry/tracer state, and nothing else: no model RNG draws,
@@ -45,9 +60,19 @@ from __future__ import annotations
 
 from typing import Any
 
+import collections
+
 from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+from repro.obs.attribution import Attribution
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import BATCH_OPERATION, MAILBOX_WAIT_OPERATION, SLOEngine
 from repro.obs.trace import Tracer
+
+#: Bound on the mailbox-residency FIFO: under sustained drops/cancels
+#: the push and fetch streams can drift apart; stale entries age out
+#: instead of growing without bound.
+_MAILBOX_PENDING_MAX = 1024
 
 
 class Observability:
@@ -60,6 +85,15 @@ class Observability:
         #: request_id -> EMS dispatch detail, consumed by record_invocation
         #: to nest the handler span inside the invocation's service span.
         self._pending_ems: dict[int, dict[str, Any]] = {}
+        self.slo = SLOEngine(self.metrics)
+        self.attribution = Attribution(self.metrics)
+        self.flightrec = FlightRecorder()
+        #: Push-event sequence numbers of requests still queued, FIFO —
+        #: the mailbox enqueue->drain residency series (in probe-event
+        #: ticks; the mailbox has no modelled clock of its own).
+        self._mailbox_pending: collections.deque[int] = collections.deque(
+            maxlen=_MAILBOX_PENDING_MAX)
+        self._mailbox_event_seq = 0
 
         reg = self.metrics
         self._invocations = reg.counter(
@@ -172,6 +206,12 @@ class Observability:
         self._invocations.labels(primitive, status).inc()
         self._latency.labels(primitive).observe(cs_cycles)
         self._polls.observe(polls)
+        self.slo.record(primitive, cs_cycles)
+        self.attribution.record_invocation(enclave_id, cs_cycles)
+        self.flightrec.record(
+            "invocation", self.tracer.clock, primitive=primitive,
+            status=status, request_id=request_id, cs_cycles=cs_cycles,
+            enclave_id=enclave_id, attempts=attempts)
 
         tracer = self.tracer
         if not tracer.enabled:
@@ -237,11 +277,20 @@ class Observability:
         self._batch_size.observe(n)
         self._batch_latency.observe(cs_cycles)
         self._polls.observe(polls)
+        self.slo.record(BATCH_OPERATION, cs_cycles)
+        self.attribution.record_invocation(enclave_id, cs_cycles, count=n)
+        self.flightrec.record(
+            "batch", self.tracer.clock, batch_size=n, cs_cycles=cs_cycles,
+            enclave_id=enclave_id, attempts=attempts,
+            statuses=sorted(set(statuses)))
         share, remainder = divmod(cs_cycles, n)
         for index, (primitive, status) in enumerate(zip(primitives, statuses)):
             self._invocations.labels(primitive, status).inc()
-            self._latency.labels(primitive).observe(
-                share + (1 if index < remainder else 0))
+            amortized = share + (1 if index < remainder else 0)
+            self._latency.labels(primitive).observe(amortized)
+            # The per-primitive SLO series stays live under batching:
+            # each element contributes its amortized envelope share.
+            self.slo.record(primitive, amortized)
 
         tracer = self.tracer
         if not tracer.enabled:
@@ -291,9 +340,11 @@ class Observability:
 
     def record_ems_dispatch(self, *, request_id: int, primitive: str,
                             status: str, service_cycles: int,
-                            core_index: int) -> None:
+                            core_index: int,
+                            enclave_id: int | None = None) -> None:
         """The EMS dispatched one request (handler detail for the trace)."""
         self._ems_service.labels(primitive).observe(service_cycles)
+        self.attribution.record_ems_service(enclave_id, service_cycles)
         self._pending_ems[request_id] = {
             "primitive": primitive, "status": status,
             "service_cycles": service_cycles, "ems_core": core_index,
@@ -309,11 +360,22 @@ class Observability:
         """A request entered the mailbox."""
         self._mailbox_events.labels("request_pushed").inc()
         self._mailbox_depth.set(queue_depth)
+        self._mailbox_event_seq += 1
+        self._mailbox_pending.append(self._mailbox_event_seq)
 
     def record_mailbox_fetch(self, drained: int, remaining: int) -> None:
         """The EMS drained ``drained`` requests; ``remaining`` still queued."""
         self._mailbox_events.labels("requests_fetched").inc(drained)
         self._mailbox_depth.set(remaining)
+        # Enqueue->drain residency in probe-event ticks, FIFO-matched to
+        # the push stream (1 on the clean synchronous path). Drops and
+        # cancellations can leave the streams slightly offset; the FIFO
+        # is bounded and drains at most what it holds.
+        self._mailbox_event_seq += 1
+        for _ in range(min(drained, len(self._mailbox_pending))):
+            pushed = self._mailbox_pending.popleft()
+            self.slo.record(MAILBOX_WAIT_OPERATION,
+                            self._mailbox_event_seq - pushed)
 
     def record_mailbox_response(self) -> None:
         """A response packet was posted."""
@@ -322,6 +384,7 @@ class Observability:
     def record_mailbox_reject(self, kind: str) -> None:
         """The mailbox refused a packet (capacity, forgery, ...)."""
         self._mailbox_events.labels(f"rejected_{kind}").inc()
+        self.flightrec.record("reject", self.tracer.clock, reject=kind)
 
     # -- fault injection / EMCall hardening ---------------------------------------------
 
@@ -334,27 +397,56 @@ class Observability:
         """
         self._faults.labels(point).inc()
         self._fault_magnitude.labels(point).observe(magnitude)
+        self.flightrec.record("fault", self.tracer.clock, point=point,
+                              magnitude=magnitude)
         tracer = self.tracer
         if tracer.enabled:
             tracer.add_span(f"fault:{point}", "fault", tracer.clock, 0,
                             track="faults", point=point, magnitude=magnitude)
 
     def record_emcall_retry(self, primitive: str, attempt: int,
-                            backoff_cycles: int) -> None:
+                            backoff_cycles: int,
+                            enclave_id: int | None = None) -> None:
         """EMCall is about to re-send after backing off."""
-        del attempt
         self._retries.labels(primitive).inc()
         self._backoff_cycles.observe(backoff_cycles)
+        self.attribution.record_retry(enclave_id)
+        self.flightrec.record("retry", self.tracer.clock,
+                              primitive=primitive, attempt=attempt,
+                              backoff_cycles=backoff_cycles,
+                              enclave_id=enclave_id)
 
-    def record_emcall_timeout(self, primitive: str, attempt: int) -> None:
+    def record_emcall_timeout(self, primitive: str, attempt: int,
+                              enclave_id: int | None = None) -> None:
         """A poll deadline expired with no response collected."""
-        del attempt
         self._timeouts.labels(primitive).inc()
+        self.attribution.record_timeout(enclave_id)
+        self.flightrec.record("timeout", self.tracer.clock,
+                              primitive=primitive, attempt=attempt,
+                              enclave_id=enclave_id)
 
-    def record_emcall_degraded(self, primitive: str, attempts: int) -> None:
-        """Retries exhausted; the caller received a DegradedResult."""
-        del attempts
+    def record_emcall_degraded(self, primitive: str, attempts: int,
+                               enclave_id: int | None = None) -> None:
+        """Retries exhausted; the caller received a DegradedResult.
+
+        A degraded return means the EMS was unreachable for the whole
+        retry budget — black-box-worthy weather, so the ring is frozen
+        alongside the counters.
+        """
         self._degraded.labels(primitive).inc()
+        self.flightrec.record("degraded", self.tracer.clock,
+                              primitive=primitive, attempts=attempts,
+                              enclave_id=enclave_id)
+        self.flightrec.trip("emcall-degraded",
+                            {"primitive": primitive, "attempts": attempts})
+
+    def record_demand_fault(self, enclave_id: int | None) -> None:
+        """An in-enclave page fault was routed to the EMS as EALLOC."""
+        self.attribution.record_demand_fault(enclave_id)
+
+    def trip_flightrec(self, reason: str, **detail: Any) -> dict[str, Any]:
+        """Freeze the flight-recorder ring (EMCallTimeout, invariants)."""
+        return self.flightrec.trip(reason, detail or None)
 
     # -- enclave memory pool -----------------------------------------------------------
 
@@ -364,17 +456,23 @@ class Observability:
         self._pool_free.set(free)
         self._pool_used.set(used)
 
-    def record_pool_take(self, pages: int, free: int, used: int) -> None:
+    def record_pool_take(self, pages: int, free: int, used: int,
+                         owner: Any = None) -> None:
         """Frames left the pool for an enclave."""
-        del pages
         self._pool_free.set(free)
         self._pool_used.set(used)
+        self.attribution.record_pool_take(pages, owner)
 
-    def record_pool_return(self, pages: int, free: int, used: int) -> None:
+    def record_pool_return(self, pages: int, free: int, used: int,
+                           owner: Any = None) -> None:
         """Frames came back (EFREE / EDESTROY), zeroed."""
-        del pages
         self._pool_free.set(free)
         self._pool_used.set(used)
+        self.attribution.record_pool_return(pages, owner)
+
+    def record_os_alloc(self, requestor: str, pages: int) -> None:
+        """The CS OS handed out frames (bulk pool refills included)."""
+        self.attribution.record_os_alloc(requestor, pages)
 
     # -- swapping ------------------------------------------------------------------------
 
@@ -382,6 +480,7 @@ class Observability:
         """One EWB round surrendered ``surrendered`` pool pages."""
         del requested
         self._swap_pages.observe(surrendered)
+        self.attribution.record_swap(surrendered)
 
     # -- TLB / PTW ------------------------------------------------------------------------
 

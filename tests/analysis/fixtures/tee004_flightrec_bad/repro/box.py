@@ -1,0 +1,10 @@
+def crash_dump(flightrec, sealing_key):
+    flightrec.record_event("trip", key=sealing_key)
+
+
+def stash(recorder, session_key):
+    recorder.record_event("note", session_key)
+
+
+def note(flightrec, signing_key):
+    flightrec.push(signing_key)

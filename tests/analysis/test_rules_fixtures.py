@@ -161,6 +161,26 @@ def test_tee004_interproc_good_sanitized_twin_is_silent(lint_fixture):
     assert result.findings == []
 
 
+# -- TEE004 flight-recorder sinks --------------------------------------------
+
+def test_tee004_flightrec_bad_fires_on_black_box_sinks(lint_fixture):
+    # The flight-recorder ring lands verbatim in crash-dump artifacts,
+    # so record_event() and anything called on a flightrec receiver are
+    # observable sinks for key material.
+    result = lint_fixture("tee004_flightrec_bad", "TEE004")
+    assert keys(result) == {
+        "flow:crash_dump->flight recorder event",
+        "flow:stash->flight recorder event",
+        "flow:note->flight recorder (push)",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+
+
+def test_tee004_flightrec_good_digested_twin_is_silent(lint_fixture):
+    result = lint_fixture("tee004_flightrec_good", "TEE004")
+    assert result.findings == []
+
+
 # -- TEE006 lifecycle typestate ----------------------------------------------
 
 def test_tee006_bad_fires_on_every_protocol_violation(lint_fixture):

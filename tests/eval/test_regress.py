@@ -1,0 +1,104 @@
+"""The statistical perf-regression gate behind ``bench --check``."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.eval import regress
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One calibration seed keeps the module-scoped build fast."""
+    return regress.build_report(
+        calibration_seeds=regress.CALIBRATION_SEEDS[:1])
+
+
+# -- building ---------------------------------------------------------------
+
+def test_report_covers_every_scenario_with_full_stats(report):
+    assert report["schema"] == regress.SCHEMA
+    assert set(report["scenarios"]) == set(regress.SCENARIOS)
+    for scenario in report["scenarios"].values():
+        assert scenario["tolerance"] >= regress.TOLERANCE_FLOOR
+        assert scenario["operations"]
+        for stats in scenario["operations"].values():
+            assert set(stats) == {"count", *regress.STAT_KEYS}
+            assert stats["count"] > 0
+            assert stats["p50"] <= stats["p95"] <= stats["p99"]
+
+
+def test_scenarios_are_seed_deterministic():
+    a = regress.run_scenario("lifecycle", regress.DEFAULT_SEED)
+    b = regress.run_scenario("lifecycle", regress.DEFAULT_SEED)
+    assert a == b
+
+
+def test_calibration_seeds_actually_move_the_latencies():
+    base = regress.run_scenario("alloc_scalar", regress.DEFAULT_SEED)
+    cal = regress.run_scenario("alloc_scalar", regress.CALIBRATION_SEEDS[0])
+    assert base != cal  # jitter differs, so the band is non-trivial
+
+
+# -- checking ---------------------------------------------------------------
+
+def test_fresh_artifact_passes_its_own_check(report):
+    ok, messages = regress.check_report(report)
+    assert ok
+    assert any("passed" in m for m in messages)
+
+
+def test_uniform_slowdown_beyond_the_band_fails(report):
+    ok, messages = regress.check_report(report, inflate=1.5)
+    assert not ok
+    assert any("regressed" in m for m in messages)
+
+
+def test_uniform_speedup_is_noted_but_passes(report):
+    ok, messages = regress.check_report(report, inflate=0.5)
+    assert ok
+    assert any("improved" in m for m in messages)
+
+
+def test_count_drift_is_a_structural_failure(report):
+    tampered = copy.deepcopy(report)
+    scenario = tampered["scenarios"]["lifecycle"]
+    operation = next(iter(scenario["operations"]))
+    scenario["operations"][operation]["count"] += 1
+    ok, messages = regress.check_report(tampered)
+    assert not ok
+    assert any("workload changed" in m for m in messages)
+
+
+def test_schema_mismatch_refuses_to_compare():
+    ok, messages = regress.check_report({"schema": "hypertee.regress/0"})
+    assert not ok
+    assert "regenerate" in messages[0]
+
+
+def test_unknown_scenario_in_artifact_fails(report):
+    tampered = copy.deepcopy(report)
+    tampered["scenarios"]["phantom"] = {"operations": {}, "tolerance": 0.1}
+    ok, messages = regress.check_report(tampered)
+    assert not ok
+    assert any("unknown scenario" in m for m in messages)
+
+
+# -- the committed artifact -------------------------------------------------
+
+def test_committed_artifact_matches_a_rebuild(tmp_path):
+    committed = regress.load_report(regress.DEFAULT_REPORT)
+    rebuilt = regress.build_report()
+    out = tmp_path / "fresh.json"
+    regress.write_report(rebuilt, str(out))
+    assert json.loads(out.read_text()) == committed
+
+
+def test_render_report_shows_one_block_per_scenario(report):
+    text = regress.render_report(report)
+    for name in regress.SCENARIOS:
+        assert name in text
+    assert "band" in text

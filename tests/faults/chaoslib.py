@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import contextlib
 import os
 
 from repro.core.api import HyperTEE
@@ -130,6 +131,27 @@ def run_batched_lifecycle(tee: HyperTEE, enclaves: int = 4,
     for enclave in handles:
         enclave.destroy()
     return readbacks
+
+
+@contextlib.contextmanager
+def flight_guard(tee: HyperTEE, label: str = "chaos"):
+    """Trip the flight recorder's black box if the guarded block dies.
+
+    Wrap a chaos workload (and its invariant checks) in this: on any
+    exception the last N structured events — fault fires, retries,
+    rejects, timeouts — are frozen into a dump, written to
+    ``$REPRO_FLIGHTREC_DIR`` when set (the chaos CI job uploads that
+    directory as an artifact on failure), and the exception re-raised.
+    """
+    try:
+        yield tee
+    except BaseException as exc:
+        obs = getattr(tee.system, "obs", None)
+        if obs is not None and obs.enabled:
+            obs.trip_flightrec(f"{label}-failure",
+                               error=type(exc).__name__,
+                               detail=str(exc)[:500])
+        raise
 
 
 def check_invariants(system: HyperTEESystem) -> None:

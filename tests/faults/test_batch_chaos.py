@@ -29,6 +29,7 @@ from tests.faults.chaoslib import (
     chaos_seed_count,
     chaos_tee,
     check_invariants,
+    flight_guard,
     run_batched_lifecycle,
     transport_chaos_plan,
 )
@@ -63,9 +64,11 @@ def _fault_free_reference(**kwargs):
 def test_batched_lifecycle_survives_transport_chaos(seed: int):
     """Envelope drop/corrupt/duplicate at 10%/5%/5%, batched end to end."""
     tee = chaos_tee(transport_chaos_plan(seed))
-    readbacks = run_batched_lifecycle(tee, enclaves=4)
-    assert readbacks == [f"batch-secret-of-{i}".encode() for i in range(4)]
-    check_invariants(tee.system)
+    with flight_guard(tee, label="batch-transport-chaos"):
+        readbacks = run_batched_lifecycle(tee, enclaves=4)
+        assert readbacks == [f"batch-secret-of-{i}".encode()
+                             for i in range(4)]
+        check_invariants(tee.system)
     injector = tee.system.faults
     assert injector.stats.total_fired > 0
     # The lifecycle really rode the fast path.

@@ -26,6 +26,7 @@ from tests.faults.chaoslib import (
     chaos_seed_count,
     chaos_tee,
     check_invariants,
+    flight_guard,
     kitchen_sink_plan,
     run_lifecycle,
     transport_chaos_plan,
@@ -54,11 +55,13 @@ def test_transport_chaos_full_lifecycle(seed: int):
     wall-clock is the backstop).
     """
     tee = chaos_tee(transport_chaos_plan(seed))
-    readbacks = run_lifecycle(tee, enclaves=8)
-    # Binding: every enclave read back its own secret through degraded
-    # transport — a cross-delivered response would corrupt at least one.
-    assert readbacks == [f"secret-of-{i}".encode() for i in range(8)]
-    check_invariants(tee.system)
+    with flight_guard(tee, label="transport-chaos"):
+        readbacks = run_lifecycle(tee, enclaves=8)
+        # Binding: every enclave read back its own secret through
+        # degraded transport — a cross-delivered response would corrupt
+        # at least one.
+        assert readbacks == [f"secret-of-{i}".encode() for i in range(8)]
+        check_invariants(tee.system)
     injector = tee.system.faults
     assert injector.stats.total_fired > 0, \
         "a 10% plan that never fired is not a chaos run"
@@ -101,9 +104,10 @@ def test_chaos_measurements_match_fault_free_reference(seed: int):
 def test_kitchen_sink_chaos_terminates(seed: int):
     """All eleven fault points at once; the platform still completes."""
     tee = chaos_tee(kitchen_sink_plan(seed))
-    readbacks = run_lifecycle(tee, enclaves=4)
-    assert readbacks == [f"secret-of-{i}".encode() for i in range(4)]
-    check_invariants(tee.system)
+    with flight_guard(tee, label="kitchen-sink"):
+        readbacks = run_lifecycle(tee, enclaves=4)
+        assert readbacks == [f"secret-of-{i}".encode() for i in range(4)]
+        check_invariants(tee.system)
     stats = tee.system.mailbox.stats
     # Late answers to cancelled requests must be discarded, not mixed
     # into later invocations' slots.

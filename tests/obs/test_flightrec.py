@@ -1,0 +1,157 @@
+"""The flight recorder: ring semantics, trips, and the crash black box."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.api import HyperTEE
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.cs.emcall import RetryPolicy
+from repro.errors import EMCallTimeout
+from repro.faults import FaultPlan, FaultRule
+from repro.obs.flightrec import (
+    DUMP_DIR_ENV,
+    MAX_TRIP_FILES,
+    SCHEMA,
+    FlightRecorder,
+)
+
+
+# -- ring semantics ----------------------------------------------------------
+
+def test_ring_keeps_the_newest_events_and_counts_drops():
+    recorder = FlightRecorder(capacity=4)
+    for i in range(10):
+        recorder.record("tick", clock=i, index=i)
+    assert len(recorder) == 4
+    assert recorder.recorded_total == 10
+    assert recorder.dropped == 6
+    dump = recorder.snapshot()
+    assert [e["index"] for e in dump["events"]] == [6, 7, 8, 9]
+    # Sequence numbers are global, not ring-relative.
+    assert [e["seq"] for e in dump["events"]] == [7, 8, 9, 10]
+
+
+def test_snapshot_is_a_versioned_self_contained_document():
+    recorder = FlightRecorder()
+    recorder.record("fault", clock=5, point="mailbox.request.drop")
+    dump = recorder.snapshot(reason="unit", detail={"k": "v"})
+    assert dump["schema"] == SCHEMA
+    assert dump["reason"] == "unit"
+    assert dump["detail"] == {"k": "v"}
+    assert dump["events"][0]["kind"] == "fault"
+    json.dumps(dump)  # fully serializable as-is
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+
+
+# -- trips -------------------------------------------------------------------
+
+def test_trip_freezes_a_dump_and_counts(monkeypatch):
+    monkeypatch.delenv(DUMP_DIR_ENV, raising=False)
+    recorder = FlightRecorder()
+    recorder.record("retry", clock=1, attempt=1)
+    dump = recorder.trip("emcall-timeout", {"primitive": "EALLOC"})
+    assert recorder.trips == 1
+    assert recorder.last_dump is dump
+    assert dump["reason"] == "emcall-timeout"
+    assert dump["detail"]["primitive"] == "EALLOC"
+    assert recorder.dump_paths == []  # no dir set, no file
+
+
+def test_trip_writes_a_parseable_file_when_the_env_dir_is_set(
+        tmp_path, monkeypatch):
+    monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path / "dumps"))
+    recorder = FlightRecorder()
+    recorder.record("fault", clock=3, point="fabric.latency")
+    recorder.trip("Chaos Invariant: pool!")
+    (path,) = recorder.dump_paths
+    with open(path, encoding="utf-8") as fh:
+        dump = json.load(fh)
+    assert dump["schema"] == SCHEMA
+    assert dump["events"][0]["point"] == "fabric.latency"
+    # Reason slugs keep filenames shell-safe.
+    assert "flightrec-001-chaos-invariant-pool.json" in path
+
+
+def test_trip_files_are_capped(tmp_path, monkeypatch):
+    monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path))
+    recorder = FlightRecorder()
+    for i in range(MAX_TRIP_FILES + 5):
+        recorder.trip(f"trip-{i}")
+    assert recorder.trips == MAX_TRIP_FILES + 5
+    assert len(recorder.dump_paths) == MAX_TRIP_FILES
+
+
+def test_unwritable_dump_dir_never_raises(tmp_path, monkeypatch):
+    target = tmp_path / "blocked"
+    target.write_text("a file, not a directory")
+    monkeypatch.setenv(DUMP_DIR_ENV, str(target))
+    recorder = FlightRecorder()
+    dump = recorder.trip("still-works")
+    assert recorder.last_dump is dump
+    assert recorder.dump_paths == []
+
+
+def test_explicit_write_for_the_cli(tmp_path):
+    recorder = FlightRecorder()
+    recorder.record("invocation", clock=9, primitive="EALLOC")
+    out = tmp_path / "box.json"
+    recorder.write(str(out))
+    dump = json.loads(out.read_text())
+    assert dump["reason"] == "manual-dump"
+    assert dump["events"][0]["primitive"] == "EALLOC"
+
+
+# -- the crash black box, end to end -----------------------------------------
+
+def _doomed_tee() -> HyperTEE:
+    """A platform whose transport always drops: every invoke times out."""
+    tee = HyperTEE(SystemConfig(seed=13))
+    tee.system.enable_observability()
+    tee.system.enable_fault_injection(FaultPlan(seed=13, rules=(
+        FaultRule("mailbox.request.drop", probability=1.0),)))
+    tee.system.emcall.retry_policy = RetryPolicy(max_attempts=2)
+    return tee
+
+
+def test_emcall_timeout_trips_a_parseable_black_box(tmp_path, monkeypatch):
+    monkeypatch.setenv(DUMP_DIR_ENV, str(tmp_path))
+    tee = _doomed_tee()
+    with pytest.raises(EMCallTimeout):
+        tee.launch_enclave(b"doomed " * 8,
+                           EnclaveConfig(name="doomed", heap_pages_max=8))
+    recorder = tee.system.obs.flightrec
+    assert recorder.trips == 1
+    dump = recorder.last_dump
+    assert dump["reason"] == "emcall-timeout"
+    assert dump["detail"]["primitive"] == "ECREATE"
+    assert dump["detail"]["attempts"] == 2
+    # The weather that killed the run is in the ring: the injected
+    # faults and the expired deadlines.
+    kinds = {e["kind"] for e in dump["events"]}
+    assert "fault" in kinds and "timeout" in kinds
+    # And the same document landed on disk for the CI artifact upload.
+    (path,) = recorder.dump_paths
+    assert json.loads(open(path, encoding="utf-8").read()) == dump
+
+
+def test_flight_guard_trips_on_invariant_violations(monkeypatch):
+    monkeypatch.delenv(DUMP_DIR_ENV, raising=False)
+    from tests.faults.chaoslib import flight_guard
+
+    tee = HyperTEE(SystemConfig(seed=13))
+    tee.system.enable_observability()
+    with pytest.raises(AssertionError):
+        with flight_guard(tee, label="unit"):
+            assert False, "synthetic invariant violation"
+    recorder = tee.system.obs.flightrec
+    assert recorder.trips == 1
+    assert recorder.last_dump["reason"] == "unit-failure"
+    assert recorder.last_dump["detail"]["error"] == "AssertionError"

@@ -19,7 +19,7 @@ from repro.common.types import Permission, Primitive
 from repro.core.api import HyperTEE
 from repro.core.config import SystemConfig
 from repro.core.enclave import EnclaveConfig
-from repro.eval.regenerate import fig8a
+from repro.eval.regenerate import fig8a, table4_rows
 from repro.obs.cli import run_instrumented_scenario
 
 
@@ -136,3 +136,73 @@ def test_fig8a_bench_unaffected_by_an_instrumented_run():
     before = fig8a()
     run_instrumented_scenario(seed=99)
     assert fig8a() == before
+
+
+def _batched_workload(tee: HyperTEE) -> dict:
+    """The batched fast path; returns everything attacker-visible."""
+    enclave = tee.launch_enclave_batched(b"ni batched " * 24,
+                                         EnclaveConfig(name="nib",
+                                                       heap_pages_max=64),
+                                         batch_size=8)
+    with enclave.running():
+        for _ in range(2):
+            vaddrs = enclave.ealloc_many([1] * 8)
+            enclave.write(vaddrs[0], b"batched secret")
+            data = enclave.read(vaddrs[0], 14)
+            enclave.efree_many(vaddrs)
+        quote = enclave.attest(report_data=b"nib")
+    enclave.destroy()
+    return {
+        "cycles": tee.primitive_cycles,
+        "data": data,
+        "measurement": quote.enclave.measurement,
+        "signature": quote.enclave.signature,
+        "summary": tee.system.stats_summary(),
+    }
+
+
+def test_batched_path_identical_with_slo_and_flightrec_live():
+    """PR-6 layers (SLO, attribution, flight recorder) on the fast path.
+
+    The batched workload drives every new probe — per-element SLO
+    amortization, batch envelopes, mailbox-wait residency, per-enclave
+    attribution — and the modelled results must still be bit-identical
+    to an uninstrumented system.
+    """
+    plain = HyperTEE(SystemConfig(seed=4242))
+    traced = HyperTEE(SystemConfig(seed=4242))
+    traced.system.enable_observability()
+
+    a = _batched_workload(plain)
+    b = _batched_workload(traced)
+    assert a == b
+    # The new layers really were live, not just attached.
+    obs = traced.system.obs
+    assert "emcall.batch" in obs.slo.operations()
+    assert len(obs.flightrec) > 0
+    assert any(row["enclave"].startswith("e")
+               for row in obs.attribution.table())
+
+
+def test_table4_rows_unaffected_by_an_instrumented_run():
+    """The Table IV cost model is analytic; a fully instrumented run
+    (SLO engine, attribution, flight recorder all recording) must not
+    shift a single formula input."""
+    before = table4_rows()
+    tee = run_instrumented_scenario(seed=7)
+    assert len(tee.system.obs.flightrec) > 0  # the recorder was live
+    assert table4_rows() == before
+
+
+def test_flightrec_and_slo_are_idle_until_probed():
+    """Enabled-but-idle: attaching observability records nothing until
+    the workload actually runs, and an untouched system's registry holds
+    zero SLO samples, zero flight events, zero attribution rows."""
+    tee = HyperTEE(SystemConfig(seed=5))
+    tee.system.enable_observability()
+    obs = tee.system.obs
+    assert len(obs.flightrec) == 0
+    assert obs.flightrec.trips == 0
+    assert obs.slo.operations() == []
+    assert obs.slo.report() == []
+    assert obs.attribution.table() == []
