@@ -7,7 +7,10 @@ security-mechanism toggles the evaluation sweeps:
 * ``crypto`` — "engine" / "software" (Table IV);
 * ``memory_encryption`` / ``integrity`` — the *M_encrypt* scenario knob
   (Fig. 8b, Fig. 9);
-* ``bitmap_checking`` — the *Bitmap* scenario knob (Fig. 10).
+* ``bitmap_checking`` — the *Bitmap* scenario knob (Fig. 10);
+* ``engine`` — "reference" (the scalar interpreter, default) or "fast"
+  (the numpy-backed kernel of :mod:`repro.core.fastkernel`; bit-for-bit
+  identical behaviour, differentially pinned).
 
 Functional protections stay on regardless of the timing knobs unless a
 knob is explicitly about functionality (``bitmap_checking`` off removes
@@ -38,6 +41,7 @@ class SystemConfig:
     bitmap_checking: bool = True
     pool_initial_pages: int = POOL_INITIAL_PAGES
     seed: int = 0x1EE7
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
         if self.cs_memory_mb < 4 or self.ems_memory_mb < 1:
@@ -50,3 +54,6 @@ class SystemConfig:
                 f"expected one of {sorted(EMS_CONFIGS)}")
         if self.crypto not in ("engine", "software"):
             raise ConfigurationError("crypto must be 'engine' or 'software'")
+        if self.engine not in ("reference", "fast"):
+            raise ConfigurationError(
+                "engine must be 'reference' or 'fast'")

@@ -1,0 +1,292 @@
+"""FastEMCall: the vectorized clean-weather invocation engine.
+
+The reference :class:`~repro.cs.emcall.EMCall` models every invocation
+as real transport: build a request packet, push it through the mailbox
+deque inside an envelope, pump the EMS (fetch + shuffle + dispatch),
+post the response into the response map, then poll it back out. In
+clear weather all of that machinery has exactly one observable outcome
+— the dispatched response, a fixed set of counter increments, and the
+clean-path cycle formula — so :class:`FastEMCall` short-circuits it:
+the request goes straight to :meth:`EMSRuntime.dispatch` (or
+``dispatch_batch``), and the transport layer's stats, probe calls, RNG
+draws, and cycle charges are replayed from the precompiled
+:class:`~repro.eval.costtable.CostTable` in the exact order the
+reference produces them. No envelope, deque, poll-dict, or response-map
+allocation happens per event.
+
+The short-circuit is taken only when nothing can perturb the clean
+path; otherwise (any fault injector attached, an injected EMS
+pause/stall in flight, or a foreign request already queued) the call
+delegates to the reference implementation — which keeps the entire
+retry/backoff/deadline state machine, and therefore the whole chaos
+suite, byte-identical on both engines. Observability probes are fed in
+reference order when attached, so SLO digests, attribution, and the
+flight recorder agree bit-for-bit (pinned by the differential matrix).
+
+What is *not* replayed, deliberately: the mailbox's private
+duplicate-suppression window (``_seen_ids``) and outstanding-slot set.
+Both are consulted only on the fault paths (duplicate delivery, poll of
+a foreign id, stale responses), which the eligibility guard excludes —
+and request ids are never reused, so a later fault-mode run cannot
+observe the difference either.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.common.packets import BatchRequest, PrimitiveRequest
+from repro.common.rng import DeterministicRng
+from repro.common.types import PRIMITIVE_PRIVILEGE, Primitive
+from repro.cs.cpu import CSCore
+from repro.cs.emcall import (
+    _UNBATCHABLE,
+    BatchInvokeResult,
+    DegradedResult,
+    EMCall,
+    InvokeResult,
+)
+from repro.errors import EMCallError, PrivilegeViolation
+from repro.eval.costtable import CostTable, compile_cost_table
+from repro.hw.mailbox import Mailbox
+
+
+class FastEMCall(EMCall):
+    """The M-mode gate with the clean path compiled down to dispatch."""
+
+    def __init__(self, mailbox, rng: DeterministicRng, cores) -> None:
+        super().__init__(mailbox, rng, cores)
+        #: The EMS runtime the short-circuit dispatches into; attached by
+        #: the system after secure boot (the pump stays attached too, for
+        #: the delegated slow paths).
+        self._runtime = None
+        self._table: CostTable = compile_cost_table()
+
+    def attach_runtime(self, runtime) -> None:
+        """Wire the EMS runtime for direct dispatch (after secure boot)."""
+        self._runtime = runtime
+
+    # -- eligibility ------------------------------------------------------------
+
+    def _fast_eligible(self) -> bool:
+        """Can this invocation skip the transport state machine?
+
+        Clear weather only: no fault injector anywhere on the path, no
+        deferred EMS state (stalled responses, pause rounds), and no
+        foreign request already queued in the mailbox (a pump on the
+        reference path would drain it; the short-circuit must not leave
+        it stranded or serve it out of order).
+        """
+        runtime = self._runtime
+        return (runtime is not None
+                and self.faults is None
+                and runtime.faults is None
+                and self.mailbox.faults is None
+                and not runtime._stalled
+                and runtime._pause_rounds == 0
+                and not self.mailbox._requests)
+
+    # -- the scalar short-circuit -----------------------------------------------
+
+    def invoke(self, primitive: Primitive, args: dict[str, Any], *,
+               core: CSCore) -> InvokeResult | DegradedResult:
+        """Scalar invocation with table-driven cycle charging.
+
+        Falls back to the reference gate whenever the cost tables cannot
+        express the run exactly (fault injector wired, etc.).
+        """
+        if not self._fast_eligible():
+            return super().invoke(primitive, args, core=core)
+        required = PRIMITIVE_PRIVILEGE[primitive]
+        if core.privilege is not required:
+            raise PrivilegeViolation(
+                f"{primitive.value} requires {required.name}, "
+                f"core {core.core_id} is at {core.privilege.name}")
+
+        # Counter consumption mirrors the reference exactly: one
+        # idempotency key, then one request id, per clean invocation.
+        idempotency_key = f"c{core.core_id}-k{next(self._idempotency_ids)}"
+        request = PrimitiveRequest(
+            request_id=next(self._request_ids),
+            primitive=primitive,
+            enclave_id=core.current_enclave_id,   # hardware-stamped identity
+            privilege=core.privilege,
+            args=dict(args),
+            idempotency_key=idempotency_key,
+        )
+
+        runtime = self._runtime
+        obs = self.obs
+        mailbox_stats = self.mailbox.stats
+        mailbox_stats.requests_sent += 1
+        mailbox_stats.irqs_raised += 1
+        if obs is not None:
+            # Reference probe order: push, fetch, pump — the queue holds
+            # exactly this one request on the eligible path.
+            obs.record_mailbox_push(1)
+            obs.record_mailbox_fetch(1, 0)
+            obs.record_ems_pump(1)
+
+        # Straight into the runtime: sanity checks, idempotency cache,
+        # handler execution, RuntimeStats, and the fabric probe all run
+        # identically to a pumped dispatch.
+        response = runtime.dispatch(request)
+        if obs is not None:
+            obs.record_mailbox_response()
+        runtime.stats.per_core_cycles[runtime._next_core] += \
+            response.service_cycles
+        if obs is not None:
+            obs.record_ems_dispatch(
+                request_id=request.request_id,
+                primitive=primitive.value,
+                status=response.status.value,
+                service_cycles=response.service_cycles,
+                core_index=runtime._next_core,
+                enclave_id=request.enclave_id)
+        runtime._next_core = (runtime._next_core + 1) % runtime.num_cores
+        mailbox_stats.poll_attempts += 1
+        mailbox_stats.responses_delivered += 1
+
+        self._apply_cs_actions(core, response)
+
+        jitter = self._rng.randint(0, self._table.jitter_max,
+                                   stream="emcall-jitter")
+        cs_cycles = self._table.scalar_cs_cycles(response.service_cycles,
+                                                 jitter)
+        if obs is not None:
+            obs.record_invocation(
+                primitive=primitive.value, status=response.status.value,
+                request_id=request.request_id, cs_cycles=cs_cycles,
+                dispatch_cycles=int(self._table.dispatch_for_n[1]),
+                transfer_cycles=Mailbox.TRANSFER_CYCLES,
+                service_cycles=response.service_cycles,
+                jitter_cycles=jitter, polls=1,
+                enclave_id=request.enclave_id, core_id=core.core_id,
+                attempts=1)
+        return InvokeResult(response=response, cs_cycles=cs_cycles,
+                            attempts=1)
+
+    # -- the batched short-circuit ------------------------------------------------
+
+    def invoke_batch(self, calls: list[tuple[Primitive, dict[str, Any]]], *,
+                     core: CSCore) -> BatchInvokeResult | DegradedResult:
+        """Batched invocation with vectorized per-element cycle charging.
+
+        Validates exactly like the reference gate (same exception types
+        and messages), then computes the envelope's cycle charges as
+        array operations over the compiled cost tables; ineligible runs
+        delegate to the reference implementation wholesale.
+        """
+        if not self._fast_eligible():
+            return super().invoke_batch(calls, core=core)
+        if not calls:
+            raise EMCallError("invoke_batch needs at least one call")
+        table = self._table
+        n = len(calls)
+        if n >= len(table.dispatch_for_n):
+            raise EMCallError(
+                f"batch of {n} exceeds EMCALL_BATCH_MAX="
+                f"{len(table.dispatch_for_n) - 1}")
+        for primitive, _ in calls:
+            if primitive in _UNBATCHABLE:
+                raise EMCallError(
+                    f"{primitive.value} switches the core context and "
+                    "cannot be batched")
+            required = PRIMITIVE_PRIVILEGE[primitive]
+            if core.privilege is not required:
+                raise PrivilegeViolation(
+                    f"{primitive.value} requires {required.name}, "
+                    f"core {core.core_id} is at {core.privilege.name}")
+
+        # Same counter order as the reference: all element keys, then all
+        # element request ids, then the batch id.
+        keys = [f"c{core.core_id}-k{next(self._idempotency_ids)}"
+                for _ in calls]
+        elements = tuple(
+            PrimitiveRequest(
+                request_id=next(self._request_ids),
+                primitive=calls[i][0],
+                enclave_id=core.current_enclave_id,  # hardware-stamped
+                privilege=core.privilege,
+                args=dict(calls[i][1]),
+                idempotency_key=keys[i])
+            for i in range(n))
+        batch = BatchRequest(batch_id=next(self._request_ids),
+                             requests=elements)
+
+        runtime = self._runtime
+        obs = self.obs
+        mailbox_stats = self.mailbox.stats
+        mailbox_stats.requests_sent += 1
+        mailbox_stats.batches_sent += 1
+        mailbox_stats.batched_requests += n
+        mailbox_stats.irqs_raised += 1
+        if obs is not None:
+            obs.record_mailbox_push(1)
+            obs.record_mailbox_fetch(1, 0)
+            obs.record_ems_pump(1)
+
+        batch_response = runtime.dispatch_batch(batch)
+        if obs is not None:
+            obs.record_mailbox_response()
+        runtime.stats.batches_served += 1
+        runtime.stats.batched_elements += n
+        responses = batch_response.responses
+
+        if obs is None and n > 1:
+            # Array-batched per-core cycle charges: the round-robin walk
+            # collapses to one bincount-style scatter-add.
+            service = np.fromiter(
+                (r.service_cycles for r in responses),
+                dtype=np.int64, count=n)
+            start = runtime._next_core
+            num_cores = runtime.num_cores
+            per_core = runtime.stats.per_core_cycles
+            if num_cores == 1:
+                per_core[0] += int(service.sum())
+            else:
+                shares = np.zeros(num_cores, dtype=np.int64)
+                np.add.at(shares, (start + np.arange(n)) % num_cores,
+                          service)
+                for index in range(num_cores):
+                    per_core[index] += int(shares[index])
+            runtime._next_core = (start + n) % num_cores
+        else:
+            for element, sub in zip(elements, responses):
+                runtime.stats.per_core_cycles[runtime._next_core] += \
+                    sub.service_cycles
+                if obs is not None:
+                    obs.record_ems_dispatch(
+                        request_id=element.request_id,
+                        primitive=element.primitive.value,
+                        status=sub.status.value,
+                        service_cycles=sub.service_cycles,
+                        core_index=runtime._next_core,
+                        enclave_id=element.enclave_id)
+                runtime._next_core = \
+                    (runtime._next_core + 1) % runtime.num_cores
+        mailbox_stats.poll_attempts += 1
+        mailbox_stats.responses_delivered += 1
+
+        self._apply_batch_cs_actions(core, responses)
+
+        jitter = self._rng.randint(0, table.jitter_max,
+                                   stream="emcall-jitter")
+        service_cycles = batch_response.service_cycles
+        cs_cycles = table.batch_cs_cycles(n, service_cycles, jitter)
+        if obs is not None:
+            obs.record_batch_invocation(
+                primitives=[p.value for p, _ in calls],
+                statuses=[r.status.value for r in responses],
+                cs_cycles=cs_cycles,
+                dispatch_cycles=int(table.dispatch_for_n[n]),
+                transfer_cycles=int(table.transfer_for_n[n]),
+                service_cycles=[r.service_cycles for r in responses],
+                request_ids=[r.request_id for r in responses],
+                jitter_cycles=jitter, polls=1,
+                enclave_id=core.current_enclave_id, core_id=core.core_id,
+                attempts=1)
+        return BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
+                                 attempts=1)

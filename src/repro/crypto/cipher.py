@@ -54,6 +54,15 @@ class KeystreamCipher:
         offset = start - first_block * self.BLOCK
         return bytes(out[offset:offset + length])
 
+    def keystream(self, start: int, length: int) -> bytes:
+        """The keystream window for absolute positions [start, start+length).
+
+        Public so the fast kernel's slot caches can memoize per-page
+        streams while staying bit-identical to the reference: there is
+        exactly one keystream implementation, and this is it.
+        """
+        return self._keystream(start, length)
+
     def encrypt(self, plaintext: bytes, tweak: int = 0) -> bytes:
         """Encrypt ``plaintext`` located at absolute position ``tweak``.
 

@@ -1,0 +1,149 @@
+"""Compiled cost tables: calibration constants as numpy arrays.
+
+The reference interpreter recomputes every cycle charge from scalar
+Python arithmetic over :mod:`repro.eval.calibration` constants. The fast
+kernel instead *compiles* those constants once into flat arrays indexed
+by primitive ordinal and batch size, so a whole batch's cycle math is a
+handful of array lookups and one vectorized multiply-truncate.
+
+Every number here is **imported** from ``eval/calibration.py`` (or from
+the core-config tables) — nothing is re-declared, so teelint's TEE003
+cost-literal rule holds by construction and the compilation round-trip
+is property-tested against the calibration module
+(tests/core/test_fastkernel_properties.py).
+
+Exactness notes (the differential matrix depends on these):
+
+* ``cycles_for_instructions`` is ``int(instr / sustained_ipc)`` — float64
+  division truncated toward zero. numpy float64 division followed by
+  ``.astype(np.int64)`` truncates identically for the non-negative
+  instruction counts the model produces.
+* ``int(service * ems_to_cs)`` likewise truncates toward zero; the
+  table's helpers reproduce it with the same float64 arithmetic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import numpy as np
+
+from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+from repro.common.types import Primitive
+from repro.eval.calibration import (
+    EALLOC_BASE_INSTR,
+    EALLOC_PER_PAGE_INSTR,
+    EMCALL_BATCH_MAX,
+    EMCALL_BATCH_PER_REQ_CYCLES,
+    EMCALL_DISPATCH_CYCLES,
+    EMCALL_POLL_JITTER_CYCLES,
+    MAILBOX_BATCH_PER_REQ_CYCLES,
+    MAILBOX_TRANSFER_CYCLES,
+    PRIMITIVE_BASE_INSTR,
+)
+
+#: Stable primitive ordering: enum declaration order.
+PRIMITIVE_INDEX: dict[Primitive, int] = {
+    p: i for i, p in enumerate(Primitive)
+}
+
+#: Per-page instruction entries keyed like ``PRIMITIVE_BASE_INSTR``.
+_PER_PAGE_KEYS = {
+    Primitive.EADD: "EADD_PER_PAGE",
+    Primitive.EFREE: "EFREE_PER_PAGE",
+    Primitive.EWB: "EWB_PER_PAGE",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTable:
+    """Calibration constants flattened into index-addressed arrays."""
+
+    #: Base instruction count per primitive ordinal.
+    base_instr: np.ndarray
+    #: Marginal instructions per page, per primitive ordinal (0 for
+    #: primitives without a per-page term).
+    per_page_instr: np.ndarray
+    #: ``dispatch_for_n[n]``: EMCall gate cycles for an n-element batch
+    #: (n=1 is the scalar dispatch cost).
+    dispatch_for_n: np.ndarray
+    #: ``transfer_for_n[n]``: one mailbox leg for an n-element batch.
+    transfer_for_n: np.ndarray
+    #: CS-clock cycles per EMS-clock cycle.
+    ems_to_cs: float
+    #: Upper bound of the poll-jitter draw (inclusive).
+    jitter_max: int
+
+    def instructions(self, primitive: Primitive, pages: int = 0) -> int:
+        """Scalar instruction count: base + pages * per_page."""
+        index = PRIMITIVE_INDEX[primitive]
+        return int(self.base_instr[index]
+                   + pages * self.per_page_instr[index])
+
+    def instructions_vec(self, primitive_indices: np.ndarray,
+                         pages: np.ndarray) -> np.ndarray:
+        """Vectorized instruction counts for a batch of requests."""
+        return (self.base_instr[primitive_indices]
+                + pages * self.per_page_instr[primitive_indices])
+
+    def service_cycles_vec(self, instructions: np.ndarray,
+                           sustained_ipc: float) -> np.ndarray:
+        """Vectorized ``CoreConfig.cycles_for_instructions`` (exact)."""
+        return (instructions / sustained_ipc).astype(np.int64)
+
+    def scalar_cs_cycles(self, service_cycles: int, jitter: int,
+                         extra: int = 0) -> int:
+        """The scalar invoke formula over precompiled terms."""
+        return int(self.dispatch_for_n[1] + 2 * self.transfer_for_n[1]
+                   + int(service_cycles * self.ems_to_cs)
+                   + jitter + extra)
+
+    def batch_cs_cycles(self, n: int, total_service_cycles: int,
+                        jitter: int, extra: int = 0) -> int:
+        """The batch invoke formula over precompiled per-size terms."""
+        return int(self.dispatch_for_n[n] + 2 * self.transfer_for_n[n]
+                   + int(total_service_cycles * self.ems_to_cs)
+                   + jitter + extra)
+
+    def per_request_shares(self, total_cycles: int, n: int) -> np.ndarray:
+        """Amortized per-element shares that sum exactly to the total.
+
+        The array form of ``BatchInvokeResult.per_request_cycles``:
+        ``divmod`` spreading with the remainder on the first elements.
+        """
+        share, remainder = divmod(total_cycles, n)
+        out = np.full(n, share, dtype=np.int64)
+        out[:remainder] += 1
+        return out
+
+
+@functools.lru_cache(maxsize=1)
+def compile_cost_table() -> CostTable:
+    """Compile the calibration module into a :class:`CostTable` (cached)."""
+    count = len(PRIMITIVE_INDEX)
+    base = np.zeros(count, dtype=np.int64)
+    per_page = np.zeros(count, dtype=np.int64)
+    for primitive, index in PRIMITIVE_INDEX.items():
+        if primitive is Primitive.EALLOC:
+            base[index] = EALLOC_BASE_INSTR
+            per_page[index] = EALLOC_PER_PAGE_INSTR
+            continue
+        base[index] = PRIMITIVE_BASE_INSTR.get(primitive.value, 0)
+        per_page_key = _PER_PAGE_KEYS.get(primitive)
+        if per_page_key is not None:
+            per_page[index] = PRIMITIVE_BASE_INSTR[per_page_key]
+
+    sizes = np.arange(EMCALL_BATCH_MAX + 1, dtype=np.int64)
+    margin = np.maximum(sizes - 1, 0)
+    dispatch = EMCALL_DISPATCH_CYCLES + margin * EMCALL_BATCH_PER_REQ_CYCLES
+    transfer = MAILBOX_TRANSFER_CYCLES + margin * MAILBOX_BATCH_PER_REQ_CYCLES
+
+    return CostTable(
+        base_instr=base,
+        per_page_instr=per_page,
+        dispatch_for_n=dispatch,
+        transfer_for_n=transfer,
+        ems_to_cs=CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ,
+        jitter_max=EMCALL_POLL_JITTER_CYCLES,
+    )

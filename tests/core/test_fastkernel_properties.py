@@ -1,0 +1,321 @@
+"""Property layer for the fast kernel (hypothesis).
+
+Three families, matching the three things the fast kernel precomputes:
+
+* **cost-table compilation round-trip** — every entry of the compiled
+  :class:`~repro.eval.costtable.CostTable` equals the scalar arithmetic
+  the reference interpreter performs over ``eval/calibration.py``
+  constants, for arbitrary pages/batch-size/service inputs (including
+  the float64 truncation corners the exactness notes call out);
+* **cycle-charge conservation** — the vectorized per-core scatter
+  (`np.add.at` over round-robin core indices) charges exactly what the
+  reference's scalar loop charges, core by core, for any batch; and the
+  total charge is invariant under any permutation of the events;
+* **slot/pool invariants** — the memory pool never double-grants a
+  frame, only ever takes back frames it granted, and reuses frames in
+  stable FIFO order; the frame-slot caches return bit-identical bytes
+  to the reference crypto for arbitrary keys/contents, keep a stable
+  slot per frame, and survive the zero/data content alternation their
+  two ways exist for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import CACHE_LINE_SIZE, MAC_BITS, PAGE_SIZE
+from repro.common.rng import DeterministicRng
+from repro.common.types import Primitive
+from repro.core.fastkernel import FrameSlotCache, xor_page
+from repro.crypto.cipher import KeystreamCipher
+from repro.crypto.hashes import truncated_mac
+from repro.eval import calibration
+from repro.eval.costtable import PRIMITIVE_INDEX, compile_cost_table
+from repro.hw.core import EMS_CONFIGS
+from repro.hw.memory import PhysicalMemory
+
+# -- cost-table compilation round-trip -----------------------------------------
+
+
+def _reference_instructions(primitive: Primitive, pages: int) -> int:
+    """The scalar arithmetic the EMS handlers perform, re-derived."""
+    if primitive is Primitive.EALLOC:
+        return (calibration.EALLOC_BASE_INSTR
+                + pages * calibration.EALLOC_PER_PAGE_INSTR)
+    base = calibration.PRIMITIVE_BASE_INSTR.get(primitive.value, 0)
+    per_page_key = {Primitive.EADD: "EADD_PER_PAGE",
+                    Primitive.EFREE: "EFREE_PER_PAGE",
+                    Primitive.EWB: "EWB_PER_PAGE"}.get(primitive)
+    if per_page_key is not None:
+        base += pages * calibration.PRIMITIVE_BASE_INSTR[per_page_key]
+    return base
+
+
+@given(primitive=st.sampled_from(list(Primitive)),
+       pages=st.integers(min_value=0, max_value=4096))
+def test_costtable_instructions_roundtrip(primitive, pages):
+    table = compile_cost_table()
+    assert table.instructions(primitive, pages) == \
+        _reference_instructions(primitive, pages)
+
+
+@given(choices=st.lists(
+    st.tuples(st.sampled_from(list(Primitive)),
+              st.integers(min_value=0, max_value=512)),
+    min_size=1, max_size=32))
+def test_costtable_vectorized_matches_scalar(choices):
+    table = compile_cost_table()
+    indices = np.array([PRIMITIVE_INDEX[p] for p, _ in choices],
+                       dtype=np.int64)
+    pages = np.array([n for _, n in choices], dtype=np.int64)
+    vec = table.instructions_vec(indices, pages)
+    assert vec.tolist() == [table.instructions(p, n) for p, n in choices]
+
+
+@given(instructions=st.lists(st.integers(min_value=0, max_value=10_000_000),
+                             min_size=1, max_size=64),
+       core=st.sampled_from(sorted(EMS_CONFIGS)))
+def test_costtable_service_cycles_exact(instructions, core):
+    """numpy divide-truncate == int(instr / ipc), element for element."""
+    table = compile_cost_table()
+    config = EMS_CONFIGS[core]
+    vec = table.service_cycles_vec(np.array(instructions, dtype=np.int64),
+                                  config.sustained_ipc)
+    assert vec.tolist() == [config.cycles_for_instructions(i)
+                            for i in instructions]
+
+
+@given(n=st.integers(min_value=1, max_value=calibration.EMCALL_BATCH_MAX),
+       service=st.integers(min_value=0, max_value=1 << 40),
+       jitter=st.integers(min_value=0,
+                          max_value=calibration.EMCALL_POLL_JITTER_CYCLES),
+       extra=st.integers(min_value=0, max_value=100_000))
+def test_costtable_cs_cycle_formulas(n, service, jitter, extra):
+    """Dispatch/transfer tables reproduce the EMCall gate's arithmetic."""
+    from repro.common.constants import CS_CORE_FREQ_HZ, EMS_CORE_FREQ_HZ
+
+    table = compile_cost_table()
+    dispatch = (calibration.EMCALL_DISPATCH_CYCLES
+                + (n - 1) * calibration.EMCALL_BATCH_PER_REQ_CYCLES)
+    transfer = (calibration.MAILBOX_TRANSFER_CYCLES
+                + (n - 1) * calibration.MAILBOX_BATCH_PER_REQ_CYCLES)
+    ratio = CS_CORE_FREQ_HZ / EMS_CORE_FREQ_HZ
+    expected = dispatch + 2 * transfer + int(service * ratio) + jitter + extra
+    assert table.batch_cs_cycles(n, service, jitter, extra) == expected
+    if n == 1:
+        assert table.scalar_cs_cycles(service, jitter, extra) == expected
+
+
+@given(total=st.integers(min_value=0, max_value=1 << 40),
+       n=st.integers(min_value=1, max_value=calibration.EMCALL_BATCH_MAX))
+def test_costtable_shares_conserve_total(total, n):
+    shares = compile_cost_table().per_request_shares(total, n)
+    assert int(shares.sum()) == total
+    share, remainder = divmod(total, n)
+    assert shares.tolist() == [share + 1] * remainder + \
+        [share] * (n - remainder)
+
+
+# -- cycle-charge conservation -------------------------------------------------
+
+
+@given(service=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                        min_size=1, max_size=64),
+       num_cores=st.integers(min_value=1, max_value=8),
+       start=st.integers(min_value=0, max_value=7))
+def test_percore_scatter_matches_scalar_loop(service, num_cores, start):
+    """The numpy round-robin scatter == the reference per-event loop."""
+    start %= num_cores
+    scalar = [0] * num_cores
+    core = start
+    for cycles in service:
+        scalar[core] += cycles
+        core = (core + 1) % num_cores
+
+    array = np.array(service, dtype=np.int64)
+    shares = np.zeros(num_cores, dtype=np.int64)
+    np.add.at(shares, (start + np.arange(len(service))) % num_cores, array)
+    assert shares.tolist() == scalar
+    assert core == (start + len(service)) % num_cores
+
+
+@given(service=st.lists(st.integers(min_value=0, max_value=1 << 30),
+                        min_size=1, max_size=64),
+       seed=st.integers(min_value=0, max_value=1 << 16))
+def test_total_charge_invariant_under_permutation(service, seed):
+    """Batched totals don't depend on event order (sum conservation)."""
+    import random
+
+    permuted = service[:]
+    random.Random(seed).shuffle(permuted)
+    assert int(np.array(permuted, dtype=np.int64).sum()) == sum(service)
+
+
+# -- slot/pool invariants ------------------------------------------------------
+
+
+class _SequentialOS:
+    """Minimal FrameSource: hands out fresh ascending frame numbers."""
+
+    def __init__(self):
+        self.next_frame = 0
+
+    def alloc_frames(self, count, requestor=""):
+        frames = list(range(self.next_frame, self.next_frame + count))
+        self.next_frame += count
+        return frames
+
+    def free_frames(self, frames, requestor=""):
+        pass
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(),
+                              st.integers(min_value=1, max_value=8)),
+                    min_size=1, max_size=60),
+       seed=st.integers(min_value=0, max_value=1 << 16))
+def test_pool_grant_invariants(ops, seed):
+    """No double-grant; freed subset of allocated; FIFO reuse order."""
+    from repro.ems.memory_pool import EnclaveMemoryPool
+
+    memory = PhysicalMemory(4 * 1024 * 1024)
+    pool = EnclaveMemoryPool(_SequentialOS(), memory,
+                             DeterministicRng(seed), initial_pages=64)
+    outstanding: set[int] = set()
+    returned_order: list[int] = []
+    for is_take, pages in ops:
+        if is_take:
+            if pool.free_count < pages:
+                continue
+            frames = pool.take(pages)
+            assert len(frames) == pages
+            assert not outstanding & set(frames), "double-granted frame"
+            # Stable FIFO reuse: among the frames we returned, recycling
+            # happens in return order (fresh/initial frames may
+            # interleave — they entered the queue at other times — but
+            # never reorder the returned ones relative to each other).
+            recycled = [f for f in frames if f in set(returned_order)]
+            assert recycled == returned_order[:len(recycled)], \
+                "recycled frames out of FIFO order"
+            del returned_order[:len(recycled)]
+            outstanding |= set(frames)
+        elif outstanding:
+            give = sorted(outstanding)[:pages]
+            assert set(give) <= outstanding, "freed frame never granted"
+            pool.give_back(give)
+            outstanding -= set(give)
+            returned_order.extend(give)
+    assert pool.used_count == len(outstanding)
+
+
+@given(key=st.binary(min_size=32, max_size=32),
+       frame=st.integers(min_value=0, max_value=15))
+def test_slot_stream_matches_reference(key, frame):
+    """A slot-served stream is the reference keystream, bit for bit."""
+    cache = FrameSlotCache(16)
+    cipher = KeystreamCipher(key)
+    stream = cache.page_stream(frame, cipher)
+    assert stream == cipher.keystream(frame * PAGE_SIZE, PAGE_SIZE)
+    # Stable slot: the same (frame, key) serves the identical object,
+    # counted as a hit, never a refill.
+    fills = cache.stream_fills
+    assert cache.page_stream(frame, cipher) is stream
+    assert cache.stream_fills == fills
+
+
+@given(key=st.binary(min_size=32, max_size=32),
+       raw_seed=st.binary(min_size=1, max_size=64),
+       other_seed=st.binary(min_size=1, max_size=64))
+@settings(max_examples=25, deadline=None)
+def test_slot_macs_match_reference_and_survive_alternation(
+        key, raw_seed, other_seed):
+    raw = (raw_seed * (PAGE_SIZE // len(raw_seed) + 1))[:PAGE_SIZE]
+    other = (other_seed * (PAGE_SIZE // len(other_seed) + 1))[:PAGE_SIZE]
+    cache = FrameSlotCache(4)
+    expected = [truncated_mac(key, raw[off:off + CACHE_LINE_SIZE], MAC_BITS)
+                for off in range(0, PAGE_SIZE, CACHE_LINE_SIZE)]
+    assert cache.page_macs(2, key, raw) == expected
+    # The two ways absorb the zero/data alternation without refills.
+    cache.page_macs(2, key, other)
+    fills = cache.mac_fills
+    for _ in range(4):
+        cache.page_macs(2, key, raw)
+        cache.page_macs(2, key, other)
+    assert cache.mac_fills == fills
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(
+    st.tuples(
+        st.sampled_from(("write", "drop")),
+        st.integers(min_value=0, max_value=4 * PAGE_SIZE - 1),  # paddr
+        st.sampled_from((1, 8, CACHE_LINE_SIZE, 256, PAGE_SIZE,
+                         PAGE_SIZE + CACHE_LINE_SIZE, 2 * PAGE_SIZE)),
+        st.sampled_from((0, 1, 2, 9)),  # keyid: host, programmed x2, unknown
+        st.integers(min_value=0, max_value=255)),  # fill byte (0 = zero page)
+    min_size=1, max_size=24))
+def test_fast_engine_matches_reference_on_arbitrary_spans(ops):
+    """Full datapath differential: any span, any keyid, any content.
+
+    Exercises every fall-through seam in the fast engine — sub-page
+    reads on cold slots, multi-page spans, host passthrough, unknown
+    KeyIDs (throwaway ciphers), MAC drop on aligned and unaligned
+    blocks — against a reference engine fed the identical op stream.
+    The raw DRAM bytes, the decrypted plaintext, every integrity
+    verdict, and the final MAC tables must all agree.
+    """
+    from repro.core.fastkernel.slots import FastMemoryEncryptionEngine
+    from repro.errors import IntegrityViolation
+    from repro.hw.encryption_engine import MemoryEncryptionEngine
+
+    size = 4 * PAGE_SIZE
+    engines = {"reference": MemoryEncryptionEngine(),
+               "fast": FastMemoryEncryptionEngine(num_frames=4)}
+    backing = {name: bytearray(size) for name in engines}
+    readers = {name: (lambda store: lambda addr, n:
+                      bytes(store[addr:addr + n]))(store)
+               for name, store in backing.items()}
+    for keyid in (1, 2):
+        for engine in engines.values():
+            engine.program_key(keyid, bytes([keyid]) * 32, from_ems=True)
+
+    def _verdict(engine, name, paddr, length, keyid):
+        try:
+            engine.verify_macs(paddr, length, keyid, readers[name])
+        except IntegrityViolation as exc:
+            return str(exc)
+        return None
+
+    for kind, paddr, length, keyid, fill in ops:
+        length = min(length, size - paddr)
+        if kind == "drop":
+            for engine in engines.values():
+                engine.drop_block_macs(paddr, length)
+            continue
+        plain = bytes([fill]) * length
+        raws = {}
+        for name, engine in engines.items():
+            raw = engine.encrypt_access(paddr, plain, keyid)
+            assert engine.decrypt_access(paddr, raw, keyid) == plain
+            backing[name][paddr:paddr + length] = raw
+            engine.record_macs(paddr, length, keyid, readers[name])
+            raws[name] = raw
+        assert raws["fast"] == raws["reference"]
+        verdicts = [_verdict(engine, name, paddr, length, keyid)
+                    for name, engine in engines.items()]
+        assert verdicts[0] == verdicts[1]
+    assert bytes(backing["fast"]) == bytes(backing["reference"])
+    assert engines["fast"]._macs == engines["reference"]._macs
+
+
+@given(data=st.binary(min_size=1, max_size=2 * PAGE_SIZE))
+def test_xor_matches_scalar(data):
+    from repro.core.fastkernel.slots import _xor
+
+    stream = bytes((i * 37 + 11) & 0xFF for i in range(len(data)))
+    expected = bytes(a ^ b for a, b in zip(data, stream))
+    assert _xor(data, stream) == expected
+    if len(data) == PAGE_SIZE:
+        assert xor_page(data, stream) == expected

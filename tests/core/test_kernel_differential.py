@@ -1,0 +1,207 @@
+"""Differential matrix: the fast kernel is bit-identical to the reference.
+
+``engine="fast"`` (repro.core.fastkernel) is *pinned* to the reference
+interpreter, not merely close to it: for every (platform seed, workload
+seed) cell in the grid, a randomized mixed workload must produce the
+same whole-memory SHA-256, the same measurements and attestation
+signatures, the same sealed bytes, the same live per-primitive cycle
+rows (the Table-IV-style surface), the same pool/EMS/mailbox counters,
+and the same federated metrics snapshot — with observability off *and*
+on (the probes must also be non-interfering on the fast path).
+
+A small grid runs in tier 1; the full grid is marked ``slow`` and runs
+in the CI kernel job. Error paths (privilege, batch-size, unbatchable)
+are differential too: same exception type, same message.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+from repro.common.types import Permission, Primitive
+from repro.core.api import APIError, HyperTEE
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.errors import EMCallError
+
+#: The platform-seed x workload-seed grid. Tier 1 runs the first cell
+#: per axis; the slow sweep runs the cross product.
+PLATFORM_SEEDS = (5, 0x1EE7)
+WORKLOAD_SEEDS = (11, 23, 47)
+
+
+def _memory_digest(system) -> str:
+    memory = system.memory
+    digest = hashlib.sha256()
+    step = 1 << 20
+    for offset in range(0, memory.size_bytes, step):
+        digest.update(memory.read_raw(
+            offset, min(step, memory.size_bytes - offset)))
+    return digest.hexdigest()
+
+
+def _run_workload(engine: str, seed: int, workload_seed: int,
+                  observability: bool) -> dict:
+    """One randomized mixed workload; returns every pinned surface."""
+    tee = HyperTEE(SystemConfig(seed=seed, engine=engine))
+    if observability:
+        tee.system.enable_observability()
+    rnd = random.Random(workload_seed)
+    enclave = tee.launch_enclave(
+        b"kernel differential enclave " * 24,
+        EnclaveConfig(name="kdiff", heap_pages_max=2048))
+    regions: list[tuple[int, int]] = []
+    with enclave.running():
+        for _ in range(25):
+            if regions and rnd.random() < 0.4:
+                vaddr, _pages = regions.pop(rnd.randrange(len(regions)))
+                enclave.efree(vaddr)
+            else:
+                pages = rnd.randint(1, 6)
+                vaddr = enclave.ealloc(pages)
+                enclave.write(vaddr, rnd.randbytes(rnd.randint(1, 4096)))
+                regions.append((vaddr, pages))
+        vaddrs = enclave.ealloc_many([2] * 8)
+        enclave.write(vaddrs[0], b"batched payload")
+        readback = enclave.read(vaddrs[0], 15)
+        enclave.efree_many(vaddrs)
+        quote = enclave.attest(report_data=b"kernel differential")
+        sealed = enclave.seal(b"kernel differential secret")
+        unsealed = enclave.unseal(sealed)
+        region = enclave.create_shared_region(2, Permission.RW)
+        share_va = enclave.attach(region)
+        enclave.write(share_va, b"shared bytes")
+        enclave.detach(region)
+        enclave.destroy_region(region)
+    tee.invoke_os(Primitive.EWB, {"pages": 2})
+    enclave.destroy()
+    out = {
+        "memory": _memory_digest(tee.system),
+        "measurement": enclave.measurement,
+        "quote": quote,
+        "sealed": sealed,
+        "unsealed": unsealed,
+        "readback": readback,
+        "primitive_cycles": tee.primitive_cycles,
+        "stats": tee.system.stats_summary(),
+    }
+    if observability:
+        # The live per-primitive cycle surface (Table-IV-style rows) and
+        # the full federated registry, both engine-tagged by nothing:
+        # they must be indistinguishable.
+        out["latency_rows"] = tee.system.obs.primitive_latency_table()
+        out["slo"] = tee.system.obs.slo.report()
+    return out
+
+
+def _assert_identical(reference: dict, fast: dict) -> None:
+    for key in reference:
+        assert fast[key] == reference[key], f"fast kernel diverged on {key}"
+
+
+@pytest.mark.parametrize("workload_seed", WORKLOAD_SEEDS[:2])
+def test_fast_equals_reference_tier1(workload_seed):
+    reference = _run_workload("reference", PLATFORM_SEEDS[0], workload_seed,
+                              observability=False)
+    fast = _run_workload("fast", PLATFORM_SEEDS[0], workload_seed,
+                         observability=False)
+    _assert_identical(reference, fast)
+
+
+def test_fast_equals_reference_with_observability():
+    reference = _run_workload("reference", PLATFORM_SEEDS[0],
+                              WORKLOAD_SEEDS[0], observability=True)
+    fast = _run_workload("fast", PLATFORM_SEEDS[0], WORKLOAD_SEEDS[0],
+                         observability=True)
+    _assert_identical(reference, fast)
+
+
+def test_fast_observability_noninterference():
+    """Probes on the fast path change nothing the model can see."""
+    bare = _run_workload("fast", PLATFORM_SEEDS[0], WORKLOAD_SEEDS[1],
+                         observability=False)
+    observed = _run_workload("fast", PLATFORM_SEEDS[0], WORKLOAD_SEEDS[1],
+                             observability=True)
+    for key in ("memory", "measurement", "quote", "sealed",
+                "primitive_cycles"):
+        assert observed[key] == bare[key]
+
+
+def test_fast_run_is_self_deterministic():
+    """Control: the fast engine agrees with itself (guards the matrix)."""
+    first = _run_workload("fast", PLATFORM_SEEDS[0], WORKLOAD_SEEDS[0],
+                          observability=False)
+    second = _run_workload("fast", PLATFORM_SEEDS[0], WORKLOAD_SEEDS[0],
+                           observability=False)
+    assert first == second
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", PLATFORM_SEEDS)
+@pytest.mark.parametrize("workload_seed", WORKLOAD_SEEDS)
+@pytest.mark.parametrize("observability", (False, True))
+def test_fast_equals_reference_full_grid(seed, workload_seed, observability):
+    reference = _run_workload("reference", seed, workload_seed, observability)
+    fast = _run_workload("fast", seed, workload_seed, observability)
+    _assert_identical(reference, fast)
+
+
+# -- error-path parity ---------------------------------------------------------
+
+
+def _pair(**config):
+    return (HyperTEE(SystemConfig(engine="reference", **config)),
+            HyperTEE(SystemConfig(engine="fast", **config)))
+
+
+def _error_of(exc_type, fn):
+    with pytest.raises(exc_type) as excinfo:
+        fn()
+    return str(excinfo.value)
+
+
+def test_privilege_error_parity():
+    reference, fast = _pair(seed=7)
+    errors = [
+        _error_of(EMCallError,
+                  lambda tee=tee: tee.invoke_user(Primitive.ECREATE, {}))
+        for tee in (reference, fast)
+    ]
+    assert errors[0] == errors[1]
+
+
+def test_batch_size_error_parity():
+    from repro.eval.calibration import EMCALL_BATCH_MAX
+
+    reference, fast = _pair(seed=7)
+    calls = [(Primitive.EALLOC, {"pages": 1})] * (EMCALL_BATCH_MAX + 1)
+    errors = [
+        _error_of(EMCallError, lambda tee=tee: tee.invoke_os_batch(calls))
+        for tee in (reference, fast)
+    ]
+    assert errors[0] == errors[1]
+
+
+def test_unbatchable_error_parity():
+    reference, fast = _pair(seed=7)
+    calls = [(Primitive.EENTER, {"enclave_id": 1})]
+    errors = [
+        _error_of(EMCallError, lambda tee=tee: tee.invoke_os_batch(calls))
+        for tee in (reference, fast)
+    ]
+    assert errors[0] == errors[1]
+
+
+def test_failed_primitive_parity():
+    """A failing EMCall (bad handle) degrades identically on both engines."""
+    reference, fast = _pair(seed=7)
+    errors = [
+        _error_of(APIError,
+                  lambda tee=tee: tee.invoke_os(Primitive.EDESTROY,
+                                                {"enclave_id": 999}))
+        for tee in (reference, fast)
+    ]
+    assert errors[0] == errors[1]

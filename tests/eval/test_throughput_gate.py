@@ -1,0 +1,158 @@
+"""The fast-kernel throughput gate behind ``bench --check`` (BENCH_pr7).
+
+One real reference/fast measurement pair runs per module (the fixture);
+every checker-logic test replays those canned results through a
+monkeypatched ``run_scenario``, so the gate's three layers — exact
+deterministic pins, the geomean floor, the calibrated speedup band —
+are each exercised without re-paying wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+import copy
+import pathlib
+
+import pytest
+
+from repro.eval import throughput
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """(real per-engine results, single-scenario artifact built from them)."""
+    scenario = throughput.SCENARIOS_BY_NAME["alloc_batch"]
+    results = {engine: throughput.run_scenario(scenario, engine)
+               for engine in throughput.ENGINES}
+    mp = pytest.MonkeyPatch()
+    mp.setattr(throughput, "SCENARIOS", (scenario,))
+    mp.setattr(throughput, "run_scenario",
+               lambda sc, engine, seed=throughput.DEFAULT_SEED:
+               dict(results[engine]))
+    try:
+        report = throughput.build_report(calibration_repeats=1)
+    finally:
+        mp.undo()
+    return results, report
+
+
+@pytest.fixture
+def replay(monkeypatch, baseline):
+    """Artifact plus a checker that re-measures from the canned results."""
+    results, report = baseline
+    monkeypatch.setattr(throughput, "run_scenario",
+                        lambda sc, engine, seed=throughput.DEFAULT_SEED:
+                        dict(results[engine]))
+    return copy.deepcopy(report)
+
+
+# -- building ---------------------------------------------------------------
+
+def test_report_shape_and_determinism_guard(baseline):
+    results, report = baseline
+    assert report["schema"] == throughput.SCHEMA
+    scenario = report["scenarios"]["alloc_batch"]
+    # Noise-free replay calibration collapses the band to its floor.
+    assert scenario["tolerance"] == throughput.TOLERANCE_FLOOR
+    assert scenario["requests"] == results["reference"]["requests"]
+    assert scenario["state_digest"] == results["fast"]["state_digest"]
+    assert scenario["measured"]["cache"]["stream_hits"] > 0
+
+
+def test_engine_divergence_refuses_to_build(monkeypatch, baseline):
+    results, _report = baseline
+
+    def diverging(scenario, engine, seed=throughput.DEFAULT_SEED):
+        result = dict(results[engine])
+        if engine == "fast":
+            result["requests"] += 1
+        return result
+
+    monkeypatch.setattr(
+        throughput, "SCENARIOS",
+        (throughput.SCENARIOS_BY_NAME["alloc_batch"],))
+    monkeypatch.setattr(throughput, "run_scenario", diverging)
+    with pytest.raises(RuntimeError, match="engine divergence"):
+        throughput.build_report(calibration_repeats=0)
+
+
+# -- checking ---------------------------------------------------------------
+
+def test_fresh_artifact_passes_its_own_check(replay):
+    ok, messages = throughput.check_report(replay)
+    assert ok
+    assert any("passed" in m for m in messages)
+    assert any("geomean" in m for m in messages)
+
+
+def test_speedup_decay_beyond_the_band_fails(replay):
+    ok, messages = throughput.check_report(replay, scale_fast=0.01)
+    assert not ok
+    assert any("regressed" in m for m in messages)
+    assert any("no longer earns its keep" in m for m in messages)
+
+
+def test_speedup_improvement_is_noted_but_passes(replay):
+    ok, messages = throughput.check_report(replay, scale_fast=2.0)
+    assert ok
+    assert any("re-baselining" in m for m in messages)
+
+
+def test_deterministic_drift_is_a_structural_failure(replay):
+    replay["scenarios"]["alloc_batch"]["state_digest"] = "0" * 64
+    ok, messages = throughput.check_report(replay)
+    assert not ok
+    assert any("re-baseline deliberately" in m for m in messages)
+
+
+def test_request_count_drift_is_a_structural_failure(replay):
+    replay["scenarios"]["alloc_batch"]["requests"] += 1
+    ok, messages = throughput.check_report(replay)
+    assert not ok
+    assert any("modelled behaviour changed" in m for m in messages)
+
+
+def test_unknown_scenario_in_artifact_fails(replay):
+    replay["scenarios"]["renamed"] = replay["scenarios"].pop("alloc_batch")
+    ok, messages = throughput.check_report(replay)
+    assert not ok
+    assert any("unknown scenario" in m for m in messages)
+
+
+def test_schema_mismatch_refuses_to_compare():
+    ok, messages = throughput.check_report({"schema": "hypertee.throughput/0"})
+    assert not ok
+    assert "regenerate" in messages[0]
+
+
+# -- rendering and serialization ---------------------------------------------
+
+def test_render_and_write_roundtrip(replay, tmp_path):
+    table = throughput.render_report(replay)
+    assert "alloc_batch" in table
+    assert "geomean" in table
+    path = tmp_path / "tput.json"
+    throughput.write_report(replay, str(path))
+    assert throughput.load_report(str(path)) == replay
+    assert path.read_text().endswith("\n")
+
+
+# -- the committed artifact --------------------------------------------------
+
+def test_committed_artifact_is_well_formed():
+    report = throughput.load_report(str(REPO_ROOT / throughput.DEFAULT_REPORT))
+    assert report["schema"] == throughput.SCHEMA
+    assert set(report["scenarios"]) == set(throughput.SCENARIOS_BY_NAME)
+    assert report["geomean_speedup"] >= report["gate_geomean_speedup"]
+    for scenario in report["scenarios"].values():
+        assert scenario["tolerance"] >= throughput.TOLERANCE_FLOOR
+        assert len(scenario["state_digest"]) == 64
+        assert scenario["measured"]["speedup"] > 1.0
+
+
+@pytest.mark.slow
+def test_committed_artifact_passes_a_real_check():
+    report = throughput.load_report(str(REPO_ROOT / throughput.DEFAULT_REPORT))
+    ok, messages = throughput.check_report(report)
+    assert ok, messages

@@ -1,0 +1,17 @@
+"""Engine parametrization for the chaos suite.
+
+Every chaos scenario runs on both execution engines: fault handling is
+exactly the territory where the fast kernel delegates back to the
+reference interpreter (``FastEMCall`` refuses batching when an injector
+is wired), so the fast cells exercise that complete-delegation seam plus
+the fast encryption engine, which *does* stay active under chaos.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(params=("reference", "fast"))
+def engine(request) -> str:
+    return request.param
