@@ -42,6 +42,7 @@ class SystemConfig:
     pool_initial_pages: int = POOL_INITIAL_PAGES
     seed: int = 0x1EE7
     engine: str = "reference"
+    ems_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.cs_memory_mb < 4 or self.ems_memory_mb < 1:
@@ -57,3 +58,6 @@ class SystemConfig:
         if self.engine not in ("reference", "fast"):
             raise ConfigurationError(
                 "engine must be 'reference' or 'fast'")
+        if self.ems_shards < 1:
+            raise ConfigurationError(
+                f"ems_shards must be >= 1, got {self.ems_shards}")

@@ -157,6 +157,14 @@ class HyperTEESystem:
         self.interrupt_monitor = InterruptAnomalyDetector(self.enclaves)
         self.emcall.attach_interrupt_observer(self.interrupt_monitor.observe)
 
+        # -- multi-EMS scale-out (docs/scale_out.md) ---------------------------
+        #: The shard fleet coordinator; None on a single-EMS system. With
+        #: ems_shards == 1 nothing below runs, so construction (and every
+        #: RNG draw in it) is bit-identical to the pre-shard platform.
+        self.shard_pool = None
+        if cfg.ems_shards > 1:
+            self._build_shards(cfg)
+
         # -- observability (out-of-band; see docs/observability.md) -----------
         from repro.obs.probes import Observability
 
@@ -164,6 +172,75 @@ class HyperTEESystem:
         #: Fault injector; None until enable_fault_injection() is called.
         self.faults = None
         self._register_stats_sources()
+
+    def _build_shards(self, cfg: SystemConfig) -> None:
+        """Grow the booted single-EMS platform into a shard fleet.
+
+        Shard 0 *is* the legacy EMS — the components built above are
+        wrapped, not rebuilt, so their boot-time state matches a
+        single-EMS system exactly. Each additional shard gets its own
+        mailbox on the fabric and its own management-software state
+        (pool, ownership, lifecycle, page/swap/shm, attestation,
+        runtime), while platform hardware — memory, the encryption
+        engine, the key manager, the bitmap, the CS OS — stays shared.
+        The CS-side gate becomes a :class:`ShardedEMCall` routing on
+        enclave IDs.
+        """
+        from repro.cs.emcall import ShardedEMCall
+        from repro.ems.shardpool import EMSShard, ShardPool
+
+        shards = [EMSShard(
+            0, mailbox=self.mailbox, pool=self.pool,
+            ownership=self.ownership, enclaves=self.enclaves,
+            pages=self.pages, swap=self.swap, shm=self.shm,
+            attestation=self.attestation, runtime=self.ems)]
+        gates = [self.emcall]
+
+        for index in range(1, cfg.ems_shards):
+            mailbox = Mailbox()
+            self.ihub.register_shard_mailbox(mailbox)
+            pool = EnclaveMemoryPool(
+                self.os, self.memory, self.rng, bitmap=self.bitmap,
+                initial_pages=cfg.pool_initial_pages)
+            ownership = PageOwnershipTable()
+            enclaves = EnclaveManager(
+                self.memory, pool, ownership, self.bitmap,
+                self.keys, self.crypto, self.rng)
+            pages = PageManager(enclaves)
+            swap = SwapManager(pool, self.keys, self.crypto, self.rng)
+            shm = SharedMemoryManager(enclaves, self.keys, self.ihub,
+                                      iommu=self.iommu)
+            attestation = AttestationService(enclaves, self.keys,
+                                             self.crypto)
+            attestation.set_platform_measurement(
+                self.boot_report.platform_measurement)
+            runtime = EMSRuntime(
+                mailbox, ems_config(cfg.ems_core),
+                enclaves, pages, swap, shm, attestation, self.rng,
+                num_cores=cfg.ems_cores, fabric_probe=self.ihub.probe)
+            shards.append(EMSShard(
+                index, mailbox=mailbox, pool=pool, ownership=ownership,
+                enclaves=enclaves, pages=pages, swap=swap, shm=shm,
+                attestation=attestation, runtime=runtime))
+
+            if cfg.engine == "fast":
+                from repro.core.fastkernel import FastEMCall
+
+                gate = FastEMCall(mailbox, self.rng, self.cores)
+                gate.attach_runtime(runtime)
+            else:
+                gate = EMCall(mailbox, self.rng, self.cores)
+            gate.attach_interrupt_observer(self.interrupt_monitor.observe)
+            gates.append(gate)
+
+        self.shard_pool = ShardPool(shards, self.sealing)
+        # Every gate's retry pump goes through its shard's wrapper so
+        # shard outages (ems.shard.fail) land on the right runtime.
+        for gate, shard in zip(gates, shards):
+            gate.attach_ems(shard.pump)
+        self.emcall = ShardedEMCall(gates, self.cores)
+        self.emcall.attach_shard_router(self.shard_pool.place_ecreate,
+                                        self.shard_pool.resolve)
 
     def _register_stats_sources(self) -> None:
         """Federate the per-subsystem ``*Stats`` into the registry.
@@ -196,6 +273,11 @@ class HyperTEESystem:
             lambda: stats_asdict(self.faults.stats if self.faults is not None
                                  else FaultStats()))
 
+        if self.shard_pool is not None:
+            # Only multi-EMS systems grow the summary schema; the default
+            # key set stays pinned (tests/core/test_stats.py).
+            reg.register_source("shards", self.shard_pool.stats_summary)
+
     def enable_observability(self) -> "HyperTEESystem":
         """Attach the probe points and turn on tracing.
 
@@ -215,6 +297,13 @@ class HyperTEESystem:
         for core in self.cores:
             core.tlb.obs = self.obs
             core.ptw.obs = self.obs
+        if self.shard_pool is not None:
+            self.shard_pool.obs = self.obs
+            for shard in self.shard_pool.shards[1:]:
+                shard.mailbox.obs = self.obs
+                shard.runtime.obs = self.obs
+                shard.pool.obs = self.obs
+                shard.swap.obs = self.obs
         return self
 
     def enable_fault_injection(self, plan) -> "HyperTEESystem":
@@ -236,6 +325,10 @@ class HyperTEESystem:
         self.ihub.attach_faults(self.faults)
         self.ems.faults = self.faults
         self.emcall.faults = self.faults
+        if self.shard_pool is not None:
+            self.shard_pool.faults = self.faults
+            for shard in self.shard_pool.shards[1:]:
+                shard.runtime.faults = self.faults
         return self
 
     # -- conveniences ----------------------------------------------------------------------
@@ -243,6 +336,17 @@ class HyperTEESystem:
     @property
     def primary_core(self) -> CSCore:
         return self.cores[0]
+
+    @property
+    def ems_runtimes(self) -> list[EMSRuntime]:
+        """Every EMS runtime on the platform (one per shard)."""
+        if self.shard_pool is None:
+            return [self.ems]
+        return [shard.runtime for shard in self.shard_pool.shards]
+
+    def ems_requests_served(self) -> int:
+        """Fleet-wide served-request count (shard-aware ``stats.served``)."""
+        return sum(runtime.stats.served for runtime in self.ems_runtimes)
 
     def stats_summary(self) -> dict[str, dict]:
         """Aggregate counters from every subsystem, for diagnostics.

@@ -76,6 +76,7 @@ from repro.eval.calibration import (
     MAILBOX_BATCH_PER_REQ_CYCLES,
 )
 from repro.hw.mailbox import Mailbox
+from repro.hw.routing import reassemble, split_by_shard
 
 #: Primitives that switch the core's execution context (and with it the
 #: privilege register). Mid-batch context switches would make the
@@ -83,6 +84,12 @@ from repro.hw.mailbox import Mailbox
 #: EMCall stamped at submission, so these stay scalar-only.
 _UNBATCHABLE = frozenset({Primitive.EENTER, Primitive.ERESUME,
                           Primitive.EEXIT})
+
+#: OS-privilege lifecycle primitives that name their target enclave in
+#: the argument dict; everything else acts on the core's hardware-stamped
+#: identity (or, for EWB, on no enclave at all).
+_OS_TARGETED = frozenset({Primitive.EADD, Primitive.EMEAS, Primitive.EENTER,
+                          Primitive.ERESUME, Primitive.EDESTROY})
 
 #: Nearly every primitive mutates EMS state in a way a blind re-send
 #: could double-apply (ECREATE/EADD most visibly — a re-added page would
@@ -683,3 +690,210 @@ class EMCall:
         if self.obs is not None:
             self.obs.record_demand_fault(core.current_enclave_id)
         return self.invoke(Primitive.EALLOC, {"fault_vaddr": vaddr}, core=core)
+
+
+class ShardedEMCall:
+    """The M-mode gate of a multi-EMS SoC: one sub-gate per shard.
+
+    Routing is deterministic and happens *before* transport: the gate
+    resolves the target enclave to its owning shard (pure hash plus the
+    transfer overrides, injected by the system as callbacks so the CS
+    layer never touches EMS state) and delegates to that shard's
+    ordinary :class:`EMCall` (or :class:`FastEMCall`), which owns that
+    shard's mailbox. Validation — privilege, batchability, batch size —
+    mirrors the single-gate checks byte-for-byte and runs before any
+    routing side effect, so rejected calls mint no IDs on any shard.
+
+    ECREATE is the special case: the new enclave has no ID yet, so the
+    gate asks the shard pool's placement callback for one. The pool
+    mints a platform-global ID whose hash home is the serving shard and
+    the gate stamps it into the request (``preassigned_id``), keeping
+    later routing a pure function of the ID. EWB targets no enclave and
+    round-robins across shards so every pool sheds frames under memory
+    pressure.
+
+    Batch envelopes may span shards: the gate splits the batch into
+    per-shard sub-envelopes (first-appearance order, submission order
+    within each) and reassembles per-element responses in the original
+    request order. Cycle accounting sums the sub-envelope transactions
+    — the modelled cost of genuinely crossing several mailboxes.
+    """
+
+    def __init__(self, gates: list[EMCall], cores: list[CSCore]) -> None:
+        if not gates:
+            raise EMCallError("a sharded gate needs at least one sub-gate")
+        self._gates = list(gates)
+        self._cores = cores
+        #: Placement/resolution callbacks (injected by the system from
+        #: the shard pool — the CS layer holds opaque callables only).
+        self._place: Callable[[], tuple[int, int]] | None = None
+        self._resolve: Callable[[int], int] | None = None
+        self._ewb_next = 0
+
+    def attach_shard_router(self, place: Callable[[], tuple[int, int]],
+                            resolve: Callable[[int], int]) -> None:
+        """Wire the shard pool's placement and resolution callbacks."""
+        self._place = place
+        self._resolve = resolve
+
+    # -- fan-out attributes (the system and tests address one gate) ------------
+
+    @property
+    def gates(self) -> tuple["EMCall", ...]:
+        """The per-shard sub-gates, shard order (read-only view)."""
+        return tuple(self._gates)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._gates[0].retry_policy
+
+    @retry_policy.setter
+    def retry_policy(self, policy: RetryPolicy) -> None:
+        for gate in self._gates:
+            gate.retry_policy = policy
+
+    @property
+    def obs(self):
+        return self._gates[0].obs
+
+    @obs.setter
+    def obs(self, obs) -> None:
+        for gate in self._gates:
+            gate.obs = obs
+
+    @property
+    def faults(self):
+        return self._gates[0].faults
+
+    @faults.setter
+    def faults(self, injector) -> None:
+        for gate in self._gates:
+            gate.faults = injector
+
+    @property
+    def bitmap_flush_count(self) -> int:
+        return sum(gate.bitmap_flush_count for gate in self._gates)
+
+    @property
+    def mailbox(self) -> Mailbox:
+        """Shard 0's mailbox (the primary port on the fabric)."""
+        return self._gates[0].mailbox
+
+    # -- routing ----------------------------------------------------------------
+
+    def _route(self, primitive: Primitive, args: dict[str, Any],
+               core: CSCore) -> int:
+        """The shard index serving this (already validated) call."""
+        if primitive is Primitive.EWB:
+            shard = self._ewb_next
+            self._ewb_next = (self._ewb_next + 1) % len(self._gates)
+            return shard
+        if primitive in _OS_TARGETED:
+            target = args.get("enclave_id")
+        else:
+            target = core.current_enclave_id
+        if not isinstance(target, int):
+            # Malformed or absent target: shard 0's runtime issues the
+            # same sanity reject a single EMS would.
+            return 0
+        return self._resolve(target)
+
+    def _check_privilege(self, primitive: Primitive, core: CSCore) -> None:
+        required = PRIMITIVE_PRIVILEGE[primitive]
+        if core.privilege is not required:
+            raise PrivilegeViolation(
+                f"{primitive.value} requires {required.name}, "
+                f"core {core.core_id} is at {core.privilege.name}")
+
+    # -- the invocation path ------------------------------------------------------
+
+    def invoke(self, primitive: Primitive, args: dict[str, Any], *,
+               core: CSCore) -> InvokeResult | DegradedResult:
+        """Route one primitive to its owning shard's gate."""
+        self._check_privilege(primitive, core)
+        if primitive is Primitive.ECREATE and self._place is not None:
+            enclave_id, shard = self._place()
+            args = dict(args)
+            args["preassigned_id"] = enclave_id
+            return self._gates[shard].invoke(primitive, args, core=core)
+        shard = self._route(primitive, args, core)
+        return self._gates[shard].invoke(primitive, args, core=core)
+
+    def invoke_batch(self, calls: list[tuple[Primitive, dict[str, Any]]], *,
+                     core: CSCore) -> BatchInvokeResult | DegradedResult:
+        """Split a batch across the owning shards; reassemble in order."""
+        if not calls:
+            raise EMCallError("invoke_batch needs at least one call")
+        if len(calls) > EMCALL_BATCH_MAX:
+            raise EMCallError(
+                f"batch of {len(calls)} exceeds EMCALL_BATCH_MAX="
+                f"{EMCALL_BATCH_MAX}")
+        for primitive, _ in calls:
+            if primitive in _UNBATCHABLE:
+                raise EMCallError(
+                    f"{primitive.value} switches the core context and "
+                    "cannot be batched")
+            self._check_privilege(primitive, core)
+
+        routed: list[tuple[Primitive, dict[str, Any]]] = []
+        shards: list[int] = []
+        for primitive, args in calls:
+            if primitive is Primitive.ECREATE and self._place is not None:
+                enclave_id, shard = self._place()
+                args = dict(args)
+                args["preassigned_id"] = enclave_id
+            else:
+                shard = self._route(primitive, args, core)
+            routed.append((primitive, args))
+            shards.append(shard)
+
+        total_cycles = 0
+        max_attempts = 0
+        parts: list[tuple[list[int], tuple[PrimitiveResponse, ...]]] = []
+        for shard, indices in split_by_shard(shards):
+            sub_calls = [routed[i] for i in indices]
+            sub = self._gates[shard].invoke_batch(sub_calls, core=core)
+            if sub.degraded:
+                # Propagate the outage with the cross-shard context and
+                # every cycle this transaction burned anywhere.
+                return DegradedResult(
+                    primitive=sub.primitive,
+                    attempts=max(max_attempts, sub.attempts),
+                    cs_cycles=total_cycles + sub.cs_cycles,
+                    reason=f"shard {shard}: {sub.reason}",
+                    request_ids=sub.request_ids)
+            total_cycles += sub.cs_cycles
+            max_attempts = max(max_attempts, sub.attempts)
+            parts.append((indices, sub.responses))
+
+        responses = tuple(reassemble(len(calls), parts))
+        return BatchInvokeResult(responses=responses, cs_cycles=total_cycles,
+                                 attempts=max_attempts)
+
+    # -- CS-side effects / exception routing --------------------------------------
+
+    def flush_tlbs_for_bitmap_change(self, frames: list[int]) -> None:
+        """Selective TLB shootdown (core-local state; any gate serves)."""
+        self._gates[0].flush_tlbs_for_bitmap_change(frames)
+
+    def _gate_for_core(self, core: CSCore) -> EMCall:
+        """The gate owning the enclave the core is currently inside."""
+        enclave_id = core.current_enclave_id
+        if isinstance(enclave_id, int):
+            return self._gates[self._resolve(enclave_id)]
+        return self._gates[0]
+
+    def handle_interrupt(self, core: CSCore, cause: str,
+                         cycle: int = 0) -> str:
+        """Route an interrupt through the owning shard's gate."""
+        return self._gate_for_core(core).handle_interrupt(core, cause, cycle)
+
+    def attach_interrupt_observer(self, observer) -> None:
+        """Hook the anomaly detector into every shard's gate."""
+        for gate in self._gates:
+            gate.attach_interrupt_observer(observer)
+
+    def handle_enclave_page_fault(self, core: CSCore,
+                                  vaddr: int) -> InvokeResult:
+        """Route an in-enclave demand fault to the owning shard."""
+        return self._gate_for_core(core).handle_enclave_page_fault(core, vaddr)

@@ -154,9 +154,31 @@ class EnclaveManager:
 
     # -- primitives -----------------------------------------------------------------------
 
-    def ecreate(self, config: EnclaveConfig) -> HandlerOutput:
-        """Create an enclave: identity, key, dedicated table, static pages."""
-        enclave_id = next(self._ids)
+    def ecreate(self, config: EnclaveConfig,
+                preassigned_id: int | None = None) -> HandlerOutput:
+        """Create an enclave: identity, key, dedicated table, static pages.
+
+        ``preassigned_id`` is used by the multi-EMS shard pool: the
+        routing layer mints platform-global IDs so that the ID's home
+        shard (``hw.routing.shard_for``) is the shard serving the
+        ECREATE. Single-EMS systems never pass it and keep the local
+        monotone counter.
+        """
+        if preassigned_id is not None:
+            if not isinstance(preassigned_id, int) or preassigned_id < 1:
+                raise SanityCheckError(
+                    f"invalid preassigned enclave id {preassigned_id!r}")
+            if preassigned_id in self.enclaves:
+                raise SanityCheckError(
+                    f"preassigned enclave id {preassigned_id} already exists")
+            enclave_id = preassigned_id
+        else:
+            enclave_id = next(self._ids)
+            # Skip over IDs a shard-pool placement already minted on
+            # this shard (never taken on a pure single-EMS system, so
+            # the legacy draw sequence is untouched there).
+            while enclave_id in self.enclaves:
+                enclave_id = next(self._ids)
         seed = measure(config.name.encode(),
                        enclave_id.to_bytes(8, "little"),
                        self._rng.randbytes(16, stream="enclave-seed"))

@@ -203,6 +203,32 @@ class EnclaveMemoryPool:
             self._memory.zero_frame(frame)
         self._os.release_frames(frames)
 
+    def disown_used(self, pages: int) -> None:
+        """Stop accounting ``pages`` in-use frames (cross-shard transfer).
+
+        The frames themselves move with the enclave to the destination
+        shard's pool (:meth:`adopt_used` there); this side only sheds
+        the used/capacity accounting. Free frames are untouched, so
+        fleet-wide ``used + free == capacity`` is conserved.
+        """
+        if pages < 0 or pages > self._used:
+            raise ValueError(
+                f"cannot disown {pages} used pages (used {self._used})")
+        self._used -= pages
+        self._capacity -= pages
+
+    def adopt_used(self, pages: int) -> None:
+        """Start accounting ``pages`` in-use frames (cross-shard transfer).
+
+        Inverse of :meth:`disown_used`, called on the destination pool:
+        the frames arrive already bitmap-marked, zero-free, and owned by
+        the migrating enclave, so they enter as used capacity directly.
+        """
+        if pages < 0:
+            raise ValueError(f"cannot adopt {pages} pages")
+        self._used += pages
+        self._capacity += pages
+
     def surrender_random(self, count: int) -> list[int]:
         """Remove random *unused* frames for EWB swap-out (Section IV-A).
 

@@ -160,6 +160,17 @@ class EMSRuntime:
 
     # -- the pump ----------------------------------------------------------------------
 
+    def pause(self, rounds: int) -> None:
+        """Freeze the runtime for ``rounds`` pump rounds.
+
+        The shard pool uses this to model a failed shard
+        (``ems.shard.fail``): the shard's core stops draining its
+        mailbox while its siblings keep serving, and the CS gate's
+        retry/deadline machinery rides out the outage.
+        """
+        if rounds > 0:
+            self._pause_rounds += rounds
+
     def pump(self) -> int:
         """Drain pending requests; returns the number served.
 
@@ -399,7 +410,10 @@ class EMSRuntime:
         config = request.args.get("config")
         if not isinstance(config, EnclaveConfig):
             raise SanityCheckError("ECREATE requires an EnclaveConfig")
-        return self.enclaves.ecreate(config)
+        preassigned = request.args.get("preassigned_id")
+        if preassigned is not None and not isinstance(preassigned, int):
+            raise SanityCheckError("preassigned_id must be an int")
+        return self.enclaves.ecreate(config, preassigned_id=preassigned)
 
     def _h_eadd(self, request: PrimitiveRequest) -> HandlerOutput:
         content = self._required(request, "content", bytes)

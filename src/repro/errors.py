@@ -147,6 +147,16 @@ class ActiveConnectionsRemain(SharedMemoryError):
     """A region cannot be destroyed while attachments are active (§V-C)."""
 
 
+class ShardError(EMSError):
+    """A multi-EMS shard-pool operation is invalid (bad shard index,
+    enclave not resident on the addressed shard, transfer misuse)."""
+
+
+class TransferInterrupted(ShardError):
+    """A cross-shard ownership transfer aborted between prepare and
+    commit; no state moved, and the transfer may be retried."""
+
+
 # --------------------------------------------------------------------------
 # Fault injection (the chaos harness itself, not the modelled hardware)
 # --------------------------------------------------------------------------

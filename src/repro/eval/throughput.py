@@ -171,16 +171,16 @@ def run_scenario(scenario: Scenario, engine: str,
     with enclave.running():
         for _ in range(scenario.warm):
             scenario.body(enclave, data)
-        served_before = tee.system.ems.stats.served
+        served_before = tee.system.ems_requests_served()
         # Wall-clock is the measured quantity here, not modelled state:
         # the simulation's outcome is identical with or without timing.
         start = time.perf_counter()  # teelint: disable=TEE002 -- host-side benchmark timing, outside the modelled system
         for _ in range(scenario.timed):
             scenario.body(enclave, data)
         elapsed = time.perf_counter() - start  # teelint: disable=TEE002 -- host-side benchmark timing, outside the modelled system
-    served = tee.system.ems.stats.served - served_before
+    served = tee.system.ems_requests_served() - served_before
     result = {
-        "requests": tee.system.ems.stats.served,
+        "requests": tee.system.ems_requests_served(),
         "primitive_cycles": tee.primitive_cycles,
         "state_digest": memory_digest(tee.system),
         "rps": served / elapsed,

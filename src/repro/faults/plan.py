@@ -45,6 +45,14 @@ FAULT_POINTS: dict[str, str] = {
         "is posted late (deferred pump rounds)",
     "ems.core.pause":
         "the EMS core stops pumping for `magnitude` pump rounds",
+    # -- EMS shard pool (ems/shardpool.py) ---------------------------------
+    "ems.shard.fail":
+        "one EMS shard stops pumping for `magnitude` pump rounds while "
+        "its siblings keep serving (a shard outage)",
+    "ems.transfer.interrupt":
+        "a cross-shard ownership transfer aborts between prepare and "
+        "commit; no state moves and the transfer may be retried "
+        "(magnitude unused)",
     # -- fabric / iHub transfer path (hw/fabric.py) ------------------------
     "fabric.latency":
         "one mailbox transfer leg takes `magnitude` extra CS cycles",

@@ -102,17 +102,35 @@ class IHub:
         self.probe = FabricProbe()
         #: Fault injector for the transfer path (None = clear weather).
         self.faults = None
+        #: Additional per-shard mailboxes on the fabric (multi-EMS
+        #: scale-out); the primary ``self.mailbox`` is shard 0's.
+        self.shard_mailboxes: list[Mailbox] = []
+
+    def register_shard_mailbox(self, mailbox: Mailbox) -> None:
+        """Put an extra EMS shard's mailbox on the fabric.
+
+        The shard's mailbox is subject to the same transport weather as
+        the primary one: if a fault injector is already attached it is
+        inherited immediately, otherwise :meth:`attach_faults` will wire
+        it later.
+        """
+        self.shard_mailboxes.append(mailbox)
+        if self.faults is not None:
+            mailbox.faults = self.faults
 
     def attach_faults(self, injector) -> None:
         """Wire a fault injector into the transfer path.
 
         The iHub owns the CS<->EMS link, so it is the attachment point
-        for transport weather: the mailbox inherits the same injector
-        for its queue-level faults, and ``fabric.latency`` spikes land
-        on the mailbox's transfer legs.
+        for transport weather: every mailbox on the fabric (the primary
+        one and any shard mailboxes) inherits the same injector for its
+        queue-level faults, and ``fabric.latency`` spikes land on the
+        mailbox's transfer legs.
         """
         self.faults = injector
         self.mailbox.faults = injector
+        for mailbox in self.shard_mailboxes:
+            mailbox.faults = injector
 
     # -- memory access checks ------------------------------------------------------
 

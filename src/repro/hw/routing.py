@@ -1,0 +1,97 @@
+"""Enclave-ID shard routing for the multi-EMS fabric (scale-out layer).
+
+With more than one EMS shard on the fabric, the iHub must steer every
+EMCall to the mailbox of the shard that owns the target enclave. The
+steering function lives here, in hardware, because both sides consult
+it — the CS-side gate (:class:`repro.cs.emcall.ShardedEMCall`) to pick a
+mailbox, and the EMS-side shard pool (:mod:`repro.ems.shardpool`) to
+place new enclaves — and the hw layer is the only one both may import
+(teelint TEE001 forbids any cs<->ems edge).
+
+The function is Lamping & Veach's *jump consistent hash*: a pure,
+stateless map ``(enclave_id, num_shards) -> shard`` that is
+
+* **total** — defined for every 64-bit enclave ID and shard count >= 1;
+* **stable** — no table, no state: the same inputs always give the same
+  shard, so routing hardware on every initiator agrees by construction;
+* **balanced** — IDs spread uniformly across shards (within the usual
+  hash bound);
+* **monotone** — growing the fleet from N to N+1 shards moves only the
+  keys that land on the new shard (~1/(N+1) of them); nothing shuffles
+  *between* existing shards. That is the minimal-movement property the
+  rebalancing tests pin.
+
+Transferred enclaves are the one exception to pure-function routing: a
+cross-shard ownership transfer (see :mod:`repro.ems.shardpool`) installs
+an override entry consulted before the hash. The hash stays the
+tie-breaker for every ID that was never migrated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: The 64-bit LCG multiplier of the jump-consistent-hash reference
+#: implementation (Lamping & Veach, 2014).
+_JUMP_LCG_MULTIPLIER = 2862933555777941757
+_MASK_64 = (1 << 64) - 1
+
+
+def shard_for(enclave_id: int, num_shards: int) -> int:
+    """The home shard of ``enclave_id`` in a fleet of ``num_shards``.
+
+    Pure and stateless; see the module docstring for the guarantees.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    key = enclave_id & _MASK_64
+    b, j = -1, 0
+    while j < num_shards:
+        b = j
+        key = (key * _JUMP_LCG_MULTIPLIER + 1) & _MASK_64
+        j = int((b + 1) * ((1 << 31) / ((key >> 33) + 1)))
+    return b
+
+
+def split_by_shard(shards: Sequence[int]) -> list[tuple[int, list[int]]]:
+    """Group batch element indices by their routed shard.
+
+    ``shards[i]`` is the shard element ``i`` routes to. Returns
+    ``(shard, indices)`` groups in order of first appearance, each
+    ``indices`` list ascending — the envelope-splitting order the
+    sharded gate uses, chosen so that :func:`reassemble` restores
+    request order exactly.
+    """
+    groups: dict[int, list[int]] = {}
+    order: list[int] = []
+    for index, shard in enumerate(shards):
+        if shard not in groups:
+            groups[shard] = []
+            order.append(shard)
+        groups[shard].append(index)
+    return [(shard, groups[shard]) for shard in order]
+
+
+def reassemble(total: int, parts: Iterable[tuple[list[int], Sequence]]) -> list:
+    """Merge per-shard response lists back into request order.
+
+    ``parts`` pairs each group's original element indices with the
+    responses that came back for them (same length, same order). The
+    result has one entry per original request position; a missing or
+    doubly-covered position is a structural failure (a lost sub-batch
+    must never silently become a hole in the caller's response list).
+    """
+    out: list = [None] * total
+    filled = 0
+    for indices, responses in parts:
+        if len(indices) != len(responses):
+            raise ValueError(
+                f"sub-batch shape mismatch: {len(indices)} requests vs "
+                f"{len(responses)} responses")
+        for index, response in zip(indices, responses):
+            out[index] = response
+        filled += len(indices)
+    if filled != total:
+        raise ValueError(
+            f"sub-batches cover {filled} of {total} request positions")
+    return out

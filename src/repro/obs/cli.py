@@ -16,6 +16,8 @@ Subcommands::
     python -m repro bench --regress-out BENCH_pr6.json  # latency baseline
     python -m repro bench --throughput-out BENCH_pr7.json  # engine speedup
     python -m repro bench --check     # gate BENCH_pr6.json + BENCH_pr7.json
+    python -m repro serve --shards 4        # seeded load drive + SLO report
+    python -m repro serve --chaos queuefull # starvation self-check (exits 1)
     python -m repro lint                    # teelint architectural checks
     python -m repro lint --format=github    # CI annotation output
 
@@ -262,6 +264,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.eval.serve import ServeConfig, render_report, run_serve
+
+    try:
+        cfg = ServeConfig(shards=args.shards, workers=args.workers,
+                          ops=args.ops, seed=args.seed, engine=args.engine,
+                          transfer_every=args.transfer_every,
+                          chaos=args.chaos)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_serve(cfg)
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                _json.dump(report, handle, indent=1, default=str)
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+    if args.json:
+        print(_json.dumps(report, indent=1, default=str))
+    else:
+        print(render_report(report))
+        if args.out:
+            print(f"\nwrote {args.out}")
+    if report["starvation"]["starved"] and args.fail_on_starvation:
+        print("error: serve run starved (degraded with zero completed "
+              "ops)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run
 
@@ -273,7 +311,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 #: name for ``regen`` — keep it in lockstep with :func:`build_parser`
 #: (pinned by the CLI smoke test).
 COMMANDS = ("regen", "metrics", "trace", "slo", "flightrec", "bench",
-            "lint")
+            "serve", "lint")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -363,6 +401,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help=argparse.SUPPRESS)  # test hook: fake decay
     bench.add_argument("--seed", type=int, default=0xBE4C)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="seeded multi-enclave load drive across EMS shards "
+                      "with an SLO + per-shard attribution report")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="EMS shards backing the platform (default 4)")
+    serve.add_argument("--workers", type=int, default=3,
+                       help="concurrent worker HostApps (default 3)")
+    serve.add_argument("--ops", type=int, default=400,
+                       help="total serve steps (default 400)")
+    serve.add_argument("--seed", type=int, default=0x5E12)
+    serve.add_argument("--engine", choices=("reference", "fast"),
+                       default="reference",
+                       help="execution engine for the platform")
+    serve.add_argument("--transfer-every", type=int, default=3,
+                       help="migrate every Nth enclave generation between "
+                            "shards (default 3)")
+    serve.add_argument("--chaos", choices=("none", "queuefull"),
+                       default="none",
+                       help="adversarial weather: queuefull pins the "
+                            "request queue full for the whole run")
+    serve.add_argument("--json", action="store_true",
+                       help="print the machine-readable report document")
+    serve.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the report JSON to PATH")
+    serve.add_argument("--no-fail-on-starvation", dest="fail_on_starvation",
+                       action="store_false",
+                       help="exit 0 even when the run starved")
+    serve.set_defaults(func=_cmd_serve)
 
     from repro.analysis.cli import configure_parser as configure_lint
 

@@ -175,6 +175,19 @@ class Observability:
         self._degraded = reg.counter(
             "hypertee_emcall_degraded_total",
             "Invocations that returned a DegradedResult", ("primitive",))
+        self._shard_requests = reg.counter(
+            "hypertee_shard_requests_total",
+            "Requests served per EMS shard", ("shard",))
+        self._shard_service_cycles = reg.counter(
+            "hypertee_shard_service_cycles_total",
+            "EMS service cycles burned per shard", ("shard",))
+        self._shard_transfers = reg.counter(
+            "hypertee_shard_transfers_total",
+            "Cross-shard enclave ownership transfers",
+            ("src", "dst"))
+        self._shard_transfer_pages = reg.histogram(
+            "hypertee_shard_transfer_pages",
+            "Frames moved per cross-shard ownership transfer")
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -353,6 +366,21 @@ class Observability:
     def record_ems_pump(self, batch_size: int) -> None:
         """One pump round drained ``batch_size`` requests."""
         self._pump_batch.observe(batch_size)
+
+    # -- EMS shard pool ---------------------------------------------------------------
+
+    def record_shard_pump(self, shard: int, served: int,
+                          service_cycles: int) -> None:
+        """One shard's pump round served ``served`` requests."""
+        self._shard_requests.labels(str(shard)).inc(served)
+        self._shard_service_cycles.labels(str(shard)).inc(service_cycles)
+
+    def record_shard_transfer(self, src: int, dst: int, pages: int) -> None:
+        """A cross-shard ownership transfer committed."""
+        self._shard_transfers.labels(str(src), str(dst)).inc()
+        self._shard_transfer_pages.observe(pages)
+        self.flightrec.record("shard_transfer", self.tracer.clock,
+                              src=src, dst=dst, pages=pages)
 
     # -- mailbox ---------------------------------------------------------------------
 

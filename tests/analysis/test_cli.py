@@ -21,7 +21,8 @@ def test_commands_constant_matches_the_parser():
     sub = next(a for a in parser._actions
                if hasattr(a, "choices") and a.choices)
     assert tuple(sub.choices) == COMMANDS == \
-        ("regen", "metrics", "trace", "slo", "flightrec", "bench", "lint")
+        ("regen", "metrics", "trace", "slo", "flightrec", "bench", "serve",
+         "lint")
 
 
 def test_help_lists_every_subcommand_with_help_text(capsys):

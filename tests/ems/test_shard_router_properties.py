@@ -1,0 +1,96 @@
+"""Property tests for the enclave-ID router (:mod:`repro.hw.routing`).
+
+The router is the one piece of sharding logic every EMCall crosses, so
+it gets the hypothesis treatment: totality, stability, purity, balance,
+and — the property that makes jump consistent hashing worth its name —
+minimal movement when the fleet grows. The batch envelope helpers are
+pinned as an exact split/reassemble inverse pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.routing import reassemble, shard_for, split_by_shard
+
+ids = st.integers(min_value=0, max_value=2**64 - 1)
+fleet_sizes = st.integers(min_value=1, max_value=64)
+
+
+@given(enclave_id=ids, num_shards=fleet_sizes)
+def test_total_and_in_range(enclave_id: int, num_shards: int):
+    """Every ID maps to exactly one shard inside the fleet."""
+    shard = shard_for(enclave_id, num_shards)
+    assert 0 <= shard < num_shards
+
+
+@given(enclave_id=ids, num_shards=fleet_sizes)
+def test_stable_and_pure(enclave_id: int, num_shards: int):
+    """Same inputs, same answer — no hidden state, ever."""
+    assert shard_for(enclave_id, num_shards) == \
+        shard_for(enclave_id, num_shards)
+
+
+@given(enclave_id=ids, num_shards=st.integers(min_value=1, max_value=63))
+def test_minimal_movement_on_growth(enclave_id: int, num_shards: int):
+    """Growing the fleet moves an ID only onto the new shard, if at all.
+
+    This is the jump-consistent-hash monotonicity contract: when shard
+    N joins, an enclave either stays where it was or moves to shard N —
+    never between two old shards (which would stampede transfers).
+    """
+    before = shard_for(enclave_id, num_shards)
+    after = shard_for(enclave_id, num_shards + 1)
+    assert after in (before, num_shards)
+
+
+@given(num_shards=st.integers(min_value=2, max_value=8))
+@settings(max_examples=20)
+def test_balanced(num_shards: int):
+    """Sequentially-minted IDs spread across every shard, roughly evenly.
+
+    Sequential IDs are exactly what the pool mints, so this is balance
+    on the real key distribution, not an idealized one.
+    """
+    population = 512
+    counts = [0] * num_shards
+    for enclave_id in range(1, population + 1):
+        counts[shard_for(enclave_id, num_shards)] += 1
+    expected = population / num_shards
+    for shard, count in enumerate(counts):
+        assert 0.5 * expected <= count <= 1.5 * expected, \
+            f"shard {shard} holds {count} of {population} IDs " \
+            f"(expected ~{expected:.0f})"
+
+
+def test_rejects_empty_fleet():
+    """Zero shards is a config error, not an undefined mapping."""
+    with pytest.raises(ValueError):
+        shard_for(1, 0)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=7), max_size=40))
+def test_split_reassemble_is_identity(shards: list[int]):
+    """Splitting an envelope by shard and merging restores request order."""
+    groups = split_by_shard(shards)
+    # Each element index appears in exactly one group.
+    flattened = sorted(i for _, indices in groups for i in indices)
+    assert flattened == list(range(len(shards)))
+    # Groups appear in first-appearance order and are homogeneous.
+    for shard, indices in groups:
+        assert all(shards[i] == shard for i in indices)
+
+    parts = [(indices, [f"resp-{i}" for i in indices])
+             for _, indices in groups]
+    merged = reassemble(len(shards), parts)
+    assert merged == [f"resp-{i}" for i in range(len(shards))]
+
+
+def test_reassemble_rejects_shape_mismatch():
+    """A lost or duplicated sub-response is a structural failure."""
+    with pytest.raises(ValueError):
+        reassemble(3, [([0, 1], ["a", "b"])])  # element 2 missing
+    with pytest.raises(ValueError):
+        reassemble(2, [([0], ["a", "extra"]), ([1], ["b"])])

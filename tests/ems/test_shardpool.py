@@ -1,0 +1,232 @@
+"""Unit tests for the EMS shard pool: placement, transfer, rejection.
+
+The conformance suite pins what the fleet looks like from outside; this
+file pins the pool's own mechanics — ID placement lands enclaves on
+their hash home, the sealed prepare/commit transfer moves exactly the
+enclave's frames (measurement preserved, attestation re-issuable), and
+every illegal transfer is refused with zero mutation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import HyperTEE
+from repro.core.config import SystemConfig
+from repro.core.enclave import EnclaveConfig
+from repro.errors import EnclaveStateError, ShardError, TransferInterrupted
+from repro.ems.ownership import Owner
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.hw.routing import shard_for
+
+
+def _fleet(shards: int = 4, seed: int = 0x5D01, **config) -> HyperTEE:
+    return HyperTEE(SystemConfig(seed=seed, ems_shards=shards, **config))
+
+
+def _launch(tee: HyperTEE, tag: str = "pool"):
+    return tee.launch_enclave(f"shardpool-{tag}".encode() * 20,
+                              EnclaveConfig(name=tag, heap_pages_max=16))
+
+
+def _fleet_frame_usage(pool) -> int:
+    return sum(shard.pool.used_count for shard in pool.shards)
+
+
+def test_placement_lands_on_hash_home():
+    """Minted IDs need no override: home shard == serving shard."""
+    tee = _fleet()
+    pool = tee.system.shard_pool
+    for i in range(6):
+        enclave = _launch(tee, tag=f"place{i}")
+        home = shard_for(enclave.enclave_id, pool.num_shards)
+        assert pool.resolve(enclave.enclave_id) == home
+        assert enclave.enclave_id in \
+            pool.shards[home].enclaves.enclaves
+    assert pool._overrides == {}
+
+
+def test_transfer_moves_state_and_preserves_identity():
+    """The whole transfer contract on the happy path."""
+    tee = _fleet()
+    pool = tee.system.shard_pool
+    enclave = _launch(tee)
+    src_index = pool.resolve(enclave.enclave_id)
+    dst_index = (src_index + 1) % pool.num_shards
+    src, dst = pool.shards[src_index], pool.shards[dst_index]
+    owner = Owner.enclave(enclave.enclave_id)
+    frames_before = set(src.ownership.frames_owned_by(owner))
+    usage_before = _fleet_frame_usage(pool)
+    src_used, dst_used = src.pool.used_count, dst.pool.used_count
+
+    receipt = pool.transfer_enclave(enclave.enclave_id, dst_index)
+
+    assert receipt["src"] == src_index and receipt["dst"] == dst_index
+    assert receipt["pages"] > 0
+    # Residence and routing moved together.
+    assert enclave.enclave_id not in src.enclaves.enclaves
+    assert enclave.enclave_id in dst.enclaves.enclaves
+    assert pool.resolve(enclave.enclave_id) == dst_index
+    # The enclave's frames changed tables, not contents: same frame set,
+    # now owned on the destination, fleet usage conserved.
+    assert set(dst.ownership.frames_owned_by(owner)) == frames_before
+    assert src.ownership.frames_owned_by(owner) == []
+    assert _fleet_frame_usage(pool) == usage_before
+    assert src.pool.used_count == src_used - receipt["pages"]
+    assert dst.pool.used_count == dst_used + receipt["pages"]
+    assert pool.transfers_committed == 1
+
+    # Identity survived: the measurement is untouched and a fresh quote
+    # issued by the destination shard verifies at the CA.
+    ca = tee.system.certificate_authority()
+    with enclave.running():
+        vaddr = enclave.ealloc(1)
+        enclave.write(vaddr, b"post-transfer")
+        assert enclave.read(vaddr, 13) == b"post-transfer"
+        quote = enclave.attest(report_data=b"after-move")
+    assert ca.verify_quote(
+        quote, expected_enclave_measurement=enclave.measurement)
+    enclave.destroy()
+
+
+def test_transfer_back_home_drops_override():
+    """A round trip ends with pure-hash routing again."""
+    tee = _fleet()
+    pool = tee.system.shard_pool
+    enclave = _launch(tee)
+    home = pool.resolve(enclave.enclave_id)
+    away = (home + 1) % pool.num_shards
+    pool.transfer_enclave(enclave.enclave_id, away)
+    assert pool._overrides == {enclave.enclave_id: away}
+    pool.transfer_enclave(enclave.enclave_id, home)
+    assert pool._overrides == {}
+    assert pool.resolve(enclave.enclave_id) == home
+
+
+def test_transfer_rejections():
+    """Every illegal transfer is a typed refusal."""
+    tee = _fleet()
+    pool = tee.system.shard_pool
+    enclave = _launch(tee)
+    here = pool.resolve(enclave.enclave_id)
+    there = (here + 1) % pool.num_shards
+
+    with pytest.raises(ShardError, match="out of range"):
+        pool.transfer_enclave(enclave.enclave_id, pool.num_shards)
+    with pytest.raises(ShardError, match="already resident"):
+        pool.transfer_enclave(enclave.enclave_id, here)
+    with pytest.raises(ShardError, match="not resident"):
+        pool.transfer_enclave(424242, shard_for(424242, pool.num_shards)
+                              ^ 1)  # any shard that is not 424242's home
+
+    enclave.enter()
+    with pytest.raises(EnclaveStateError, match="running"):
+        pool.transfer_enclave(enclave.enclave_id, there)
+    enclave.exit()
+
+    from repro.common.types import Permission
+    enclave.resume()
+    region = enclave.create_shared_region(1, Permission.RW)
+    enclave.attach(region)
+    enclave.exit()
+    # Suspended but still attached: regions are shard-local state.
+    with pytest.raises(ShardError, match="shared-memory"):
+        pool.transfer_enclave(enclave.enclave_id, there)
+    enclave.resume()
+    enclave.detach(region)
+    enclave.destroy_region(region)
+    enclave.exit()
+
+    enclave.destroy()
+    with pytest.raises(EnclaveStateError, match="destroyed"):
+        pool.transfer_enclave(enclave.enclave_id, there)
+
+
+def test_unmeasured_enclave_cannot_transfer():
+    """No measurement, no manifest: the seal has nothing to bind to."""
+    from repro.common.types import Primitive
+
+    tee = _fleet()
+    pool = tee.system.shard_pool
+    created = tee.invoke_os(Primitive.ECREATE,
+                            {"config": EnclaveConfig(name="bare")})
+    enclave_id = created.result("enclave_id")
+    here = pool.resolve(enclave_id)
+    with pytest.raises(EnclaveStateError, match="measured"):
+        pool.transfer_enclave(enclave_id, (here + 1) % pool.num_shards)
+
+
+def test_interrupted_transfer_mutates_nothing_and_retries():
+    """``ems.transfer.interrupt``: abort between prepare and commit."""
+    tee = _fleet()
+    tee.system.enable_fault_injection(FaultPlan.build(
+        [FaultRule(point="ems.transfer.interrupt", probability=1.0,
+                   count=1)],
+        seed=0xAB))
+    pool = tee.system.shard_pool
+    enclave = _launch(tee)
+    src_index = pool.resolve(enclave.enclave_id)
+    dst_index = (src_index + 1) % pool.num_shards
+    src = pool.shards[src_index]
+    owner = Owner.enclave(enclave.enclave_id)
+    frames_before = set(src.ownership.frames_owned_by(owner))
+    usage_before = [shard.pool.used_count for shard in pool.shards]
+
+    with pytest.raises(TransferInterrupted):
+        pool.transfer_enclave(enclave.enclave_id, dst_index)
+
+    # Zero mutation: residence, routing, frames, and pool accounting are
+    # exactly the pre-attempt state.
+    assert enclave.enclave_id in src.enclaves.enclaves
+    assert pool.resolve(enclave.enclave_id) == src_index
+    assert set(src.ownership.frames_owned_by(owner)) == frames_before
+    assert [s.pool.used_count for s in pool.shards] == usage_before
+    assert pool.transfers_interrupted == 1
+    assert pool.transfers_committed == 0
+
+    # The rule's count is exhausted: the retry commits cleanly (and the
+    # enclave is applied exactly once — its frame set is unchanged).
+    pool.transfer_enclave(enclave.enclave_id, dst_index)
+    dst = pool.shards[dst_index]
+    assert set(dst.ownership.frames_owned_by(owner)) == frames_before
+    assert pool.transfers_committed == 1
+
+
+def test_stale_route_is_rejected_not_served():
+    """The old shard refuses a moved enclave's requests outright."""
+    from repro.common.types import Primitive
+
+    tee = _fleet()
+    pool = tee.system.shard_pool
+    enclave = _launch(tee)
+    src_index = pool.resolve(enclave.enclave_id)
+    dst_index = (src_index + 1) % pool.num_shards
+    pool.transfer_enclave(enclave.enclave_id, dst_index)
+
+    # Bypass the router: push EENTER at the *source* gate directly, the
+    # way a stale initiator would. The source shard no longer holds the
+    # control block, so this must be a refusal, never a context switch.
+    stale = tee.system.emcall.gates[src_index].invoke(
+        Primitive.EENTER, {"enclave_id": enclave.enclave_id},
+        core=tee.system.primary_core)
+    assert not stale.ok
+    assert tee.system.primary_core.current_enclave_id is None
+
+    # The routed path still works.
+    with enclave.running():
+        assert enclave.ealloc(1) > 0
+    enclave.destroy()
+
+
+def test_shard_stats_summary_schema():
+    """The registered stats source carries the fleet rollup."""
+    tee = _fleet(shards=2)
+    enclave = _launch(tee)
+    summary = tee.system.stats_summary()["shards"]
+    assert summary["num_shards"] == 2
+    assert len(summary["per_shard"]) == 2
+    row = summary["per_shard"][tee.system.shard_pool.resolve(
+        enclave.enclave_id)]
+    assert row["enclaves"] == 1
+    assert row["served"] > 0
+    assert row["pool_used"] + row["pool_free"] == row["pool_capacity"]

@@ -155,19 +155,38 @@ def flight_guard(tee: HyperTEE, label: str = "chaos"):
 
 
 def check_invariants(system: HyperTEESystem) -> None:
-    """Pool / bitmap / ownership invariants that no fault may break."""
+    """Pool / bitmap / ownership invariants that no fault may break.
+
+    On a sharded platform every shard's pool/ownership/manager triple is
+    checked independently, plus the fleet-level invariant that no
+    enclave ID is resident on two shards at once.
+    """
     from repro.common.types import EnclaveState
     from repro.ems.ownership import Owner
 
-    pool = system.pool
-    assert pool.used_count + pool.free_count == pool.capacity, \
-        "pool frame conservation violated"
-    assert pool.used_count >= 0 and pool.free_count >= 0
+    if system.shard_pool is None:
+        cells = [(system.pool, system.ownership, system.enclaves)]
+    else:
+        cells = [(s.pool, s.ownership, s.enclaves)
+                 for s in system.shard_pool.shards]
+        seen: dict[int, int] = {}
+        for shard in system.shard_pool.shards:
+            for enclave_id in shard.enclaves.enclaves:
+                assert enclave_id not in seen, (
+                    f"enclave {enclave_id} resident on shards "
+                    f"{seen[enclave_id]} and {shard.index}")
+                seen[enclave_id] = shard.index
 
-    live_ids = {i for i, c in system.enclaves.enclaves.items()
-                if c.state is not EnclaveState.DESTROYED}
-    for enclave_id in live_ids:
-        for frame in system.ownership.frames_owned_by(
-                Owner.enclave(enclave_id)):
-            assert system.bitmap.is_enclave(frame), \
-                f"enclave {enclave_id} owns frame {frame} outside the bitmap"
+    for pool, ownership, enclaves in cells:
+        assert pool.used_count + pool.free_count == pool.capacity, \
+            "pool frame conservation violated"
+        assert pool.used_count >= 0 and pool.free_count >= 0
+
+        live_ids = {i for i, c in enclaves.enclaves.items()
+                    if c.state is not EnclaveState.DESTROYED}
+        for enclave_id in live_ids:
+            for frame in ownership.frames_owned_by(
+                    Owner.enclave(enclave_id)):
+                assert system.bitmap.is_enclave(frame), (
+                    f"enclave {enclave_id} owns frame {frame} "
+                    "outside the bitmap")
