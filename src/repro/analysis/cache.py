@@ -95,11 +95,22 @@ class LintCache:
 
     def result_key(self, files: list[SourceFile],
                    rules: list[Rule]) -> str:
-        """One key per (file contents, rule behaviours) combination."""
+        """One key per (file contents, rule behaviours) combination.
+
+        Rules that read inputs *outside* the scanned sources (TEE012's
+        chaos-test corpus) expose ``corpus_signature(files)``; its
+        digest joins the key so editing that corpus invalidates the
+        cached result exactly like editing a source file.
+        """
         manifest = "\n".join(sorted(
             f"{f.relpath}:{content_hash(f.text)}" for f in files))
+        extra = ";".join(sorted(
+            f"{rule.id}={hook(files)}" for rule in rules
+            if (hook := getattr(rule, "corpus_signature", None))
+            is not None))
         raw = (f"schema={CACHE_SCHEMA_VERSION}\n"
-               f"rules={rules_signature(rules)}\n{manifest}")
+               f"rules={rules_signature(rules)}\n"
+               f"corpus={extra}\n{manifest}")
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
     def load_result(self, key: str) -> dict | None:

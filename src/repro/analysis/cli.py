@@ -24,7 +24,12 @@ from pathlib import Path
 from repro.analysis.baseline import BASELINE_FILENAME, Baseline
 from repro.analysis.cache import CACHE_DIRNAME, LintCache
 from repro.analysis.engine import run_lint
-from repro.analysis.render import render_github, render_human, render_json
+from repro.analysis.render import (
+    render_github,
+    render_human,
+    render_json,
+    render_sarif,
+)
 
 
 def default_scan_path() -> Path:
@@ -79,8 +84,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "paths", nargs="*", metavar="PATH",
         help="files/directories to scan (default: the repro package)")
     parser.add_argument(
-        "--format", choices=("human", "json", "github"), default="human",
-        help="report format (github = Actions annotations)")
+        "--format", choices=("human", "json", "github", "sarif"),
+        default="human",
+        help="report format (github = Actions annotations, sarif = "
+             "code-scanning upload)")
     parser.add_argument(
         "--rules", default="", metavar="IDS",
         help="comma-separated rule ids to run (default: all)")
@@ -103,6 +110,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="additionally write the JSON findings artifact here "
              "(composes with --write-baseline)")
     parser.add_argument(
+        "--sarif-out", default=None, metavar="PATH",
+        help="additionally write the SARIF 2.1.0 artifact here (for "
+             "GitHub code scanning; composes with any --format)")
+    parser.add_argument(
         "--changed", action="store_true",
         help="report only findings in git-modified files and their "
              "reverse dependencies")
@@ -117,15 +128,41 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="print a machine-parseable timing line after the report")
 
 
-def _write_json_out(path: str, result) -> int:
+def sarif_base_path(paths: list[Path]) -> str:
+    """Repo-relative URI prefix for the SARIF artifact.
+
+    Finding paths are scan-root-relative (``repro/...``); code scanning
+    resolves URIs against the repo root (``src/repro/...``). When every
+    scan path shares one parent directory below the cwd, that parent is
+    the prefix; otherwise paths are emitted as-is.
+    """
     try:
-        Path(path).write_text(render_json(result) + "\n",
-                              encoding="utf-8")
+        parents = {(p if p.is_dir() else p.parent).resolve().parent
+                   for p in paths}
+    except OSError:
+        return ""
+    if len(parents) != 1:
+        return ""
+    parent = parents.pop()
+    try:
+        rel = parent.relative_to(Path.cwd())
+    except ValueError:
+        return ""
+    return "" if rel == Path(".") else rel.as_posix()
+
+
+def _write_artifact(path: str, text: str) -> int:
+    try:
+        Path(path).write_text(text + "\n", encoding="utf-8")
     except OSError as exc:
         print(f"error: cannot write {path}: {exc.strerror}",
               file=sys.stderr)
         return 2
     return 0
+
+
+def _write_json_out(path: str, result) -> int:
+    return _write_artifact(path, render_json(result))
 
 
 def run(args: argparse.Namespace) -> int:
@@ -187,15 +224,28 @@ def run(args: argparse.Namespace) -> int:
             status = _write_json_out(args.json_out, result)
             if status:
                 return status
+        if args.sarif_out:
+            status = _write_artifact(args.sarif_out, render_sarif(
+                result, base_path=sarif_base_path(paths)))
+            if status:
+                return status
         if args.stats:
             print(result.stats_line())
         return 0
 
+    base = sarif_base_path(paths)
     renderer = {"human": render_human, "json": render_json,
-                "github": render_github}[args.format]
+                "github": render_github,
+                "sarif": lambda r: render_sarif(r, base_path=base)
+                }[args.format]
     print(renderer(result))
     if args.json_out:
         status = _write_json_out(args.json_out, result)
+        if status:
+            return status
+    if args.sarif_out:
+        status = _write_artifact(args.sarif_out, render_sarif(
+            result, base_path=base))
         if status:
             return status
     if args.stats:

@@ -1,4 +1,5 @@
-"""Finding renderers: human report, JSON artifact, GitHub annotations."""
+"""Finding renderers: human report, JSON/SARIF artifacts, GitHub
+annotations."""
 
 from __future__ import annotations
 
@@ -101,3 +102,78 @@ def render_github(result: LintResult) -> str:
         f"{counts['warning']} warning(s) across "
         f"{result.modules_scanned} modules")
     return "\n".join(lines)
+
+
+#: SARIF 2.1.0 — the format GitHub code scanning ingests.
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+_SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                Severity.INFO: "note"}
+
+
+def _sarif_result(finding: Finding, rule_index: dict[str, int],
+                  base_path: str) -> dict:
+    message = finding.message
+    if finding.fix_hint:
+        message = f"{message} — fix: {finding.fix_hint}"
+    uri = (f"{base_path}/{finding.path}" if base_path
+           else finding.path)
+    return {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": _SARIF_LEVEL[finding.severity],
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {
+                    "startLine": max(1, finding.line),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        # The same line-independent identity the baseline uses, so
+        # code scanning tracks a finding across unrelated edits.
+        "partialFingerprints": {
+            "teelintFingerprint/v1": finding.fingerprint,
+        },
+    }
+
+
+def render_sarif(result: LintResult, *, base_path: str = "") -> str:
+    """SARIF 2.1.0 for GitHub code scanning.
+
+    Live findings only — baselined/suppressed findings are accepted
+    exceptions and stay out of the security tab. ``base_path`` prefixes
+    every artifact URI (finding paths are scan-root-relative, e.g.
+    ``repro/...``; code scanning wants repo-root-relative ``src/...``).
+    """
+    from repro.analysis.rules import rule_catalogue
+
+    catalogue = rule_catalogue()
+    used = sorted({f.rule for f in result.findings})
+    rule_index = {rule_id: i for i, rule_id in enumerate(used)}
+    rules = [{
+        "id": rule_id,
+        "shortDescription": {
+            "text": catalogue.get(rule_id, "parse failure"),
+        },
+    } for rule_id in used]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "teelint",
+                    "rules": rules,
+                },
+            },
+            "results": [_sarif_result(f, rule_index,
+                                      base_path.rstrip("/"))
+                        for f in result.findings],
+        }],
+    }
+    return json.dumps(payload, indent=2)

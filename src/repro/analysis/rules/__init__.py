@@ -67,10 +67,14 @@ def all_rules(only: tuple[str, ...] = ()) -> list[Rule]:
         cycles,
         determinism,
         exceptions,
+        faultcoverage,
+        kerneldeterminism,
         lifecycle,
         registry,
         secretflow,
+        shardisolation,
         timing,
+        transfer,
     )
     unknown = set(only) - set(_REGISTRY)
     if unknown:

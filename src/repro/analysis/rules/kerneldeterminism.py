@@ -1,0 +1,416 @@
+"""TEE011 — fast-kernel determinism: charged cycles stay integer.
+
+The fast engine (``repro.core.fastkernel``) is pinned bit-for-bit to
+the reference interpreter by the differential matrix; that pin only
+holds because every quantity that feeds charged cycles is exact
+integer arithmetic. A single float sneaking into a cycle column —
+``np.zeros(n)`` without a dtype, a ``/`` where ``//`` was meant, an
+accumulation of a float delta — makes results depend on summation
+order and platform rounding, and the differential starts flaking
+instead of failing.
+
+Scoped to modules whose dotted name mentions ``fastkernel`` or
+``costtable``, this rule runs a small dtype inference (INT / FLOAT /
+UNKNOWN, branch joins degrade to UNKNOWN — never a false positive)
+and reports:
+
+* a FLOAT value assigned to a cost-named variable (``*_cycles``,
+  ``*_instr*``; the TEE003 vocabulary);
+* a FLOAT (or ``/=``) accumulation into a cost-named variable;
+* a cost-named function returning FLOAT;
+* ``np.add.at`` scattering a FLOAT source into an integer target
+  (silent truncation on the charging path);
+* order-nondeterministic numpy reductions (``einsum``/``dot``/
+  ``mean``/``std``/…) anywhere in scope — pairwise/blocked summation
+  makes their result depend on operand order and SIMD width.
+
+``int(...)`` / ``.astype(np.int64)`` / explicit integer dtypes are the
+sanctioned spellings and type as INT.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import register
+from repro.analysis.rules.cycles import is_cost_name
+
+#: Module-name components that put a file on the charging path.
+SCOPE_TOKENS = ("fastkernel", "costtable")
+
+#: Reductions whose float result depends on evaluation order.
+BANNED_REDUCTIONS = frozenset({
+    "einsum", "dot", "vdot", "matmul", "tensordot", "inner", "outer",
+    "mean", "average", "median", "std", "var", "nansum", "nanmean",
+    "nanstd", "nanvar",
+})
+
+#: Abstract dtypes. UNKNOWN is the top: no claims, no findings.
+INT = "int"
+FLOAT = "float"
+UNKNOWN = "unknown"
+
+_INT_DTYPES = frozenset({
+    "int", "int_", "intp", "int8", "int16", "int32", "int64",
+    "uint8", "uint16", "uint32", "uint64", "longlong", "bool_",
+})
+_FLOAT_DTYPES = frozenset({
+    "float", "float_", "float16", "float32", "float64", "double",
+    "single", "half", "longdouble",
+})
+
+#: numpy constructors whose dtype defaults to float64.
+_FLOAT_DEFAULT_CTORS = frozenset({"zeros", "ones", "empty"})
+
+#: elementwise combiners: result dtype joins the argument dtypes.
+_COMBINERS = frozenset({"maximum", "minimum", "abs", "floor_divide",
+                        "mod", "clip"})
+
+FIX_HINT = ("keep the charging path integer: dtype=np.int64, // and "
+            "divmod instead of /, int(...)/.astype(np.int64) at the "
+            "boundary; the differential matrix pins bit-for-bit")
+
+
+def _classify_dtype(node: ast.expr | None) -> str:
+    """The abstract dtype named by a ``dtype=`` argument."""
+    name = None
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    if name in _INT_DTYPES:
+        return INT
+    if name in _FLOAT_DTYPES:
+        return FLOAT
+    return UNKNOWN
+
+
+def _combine(a: str, b: str) -> str:
+    if FLOAT in (a, b):
+        return FLOAT
+    if a == b == INT:
+        return INT
+    return UNKNOWN
+
+
+@dataclasses.dataclass
+class _Env:
+    """Variable name -> abstract dtype at one program point."""
+
+    dtypes: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    def copy(self) -> "_Env":
+        return _Env(dict(self.dtypes))
+
+    def join(self, other: "_Env") -> None:
+        for name in set(self.dtypes) | set(other.dtypes):
+            mine = self.dtypes.get(name, UNKNOWN)
+            theirs = other.dtypes.get(name, UNKNOWN)
+            self.dtypes[name] = mine if mine == theirs else UNKNOWN
+
+
+@register
+class KernelDeterminismRule:
+    """Float arithmetic or order-dependent reductions on cycle paths."""
+
+    id = "TEE011"
+    title = "kernel determinism: integer cycles, order-stable reductions"
+    version = 1
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Infer dtypes through every function in scoped modules."""
+        for module in project:
+            parts = module.name.split(".")
+            if not any(token in parts for token in SCOPE_TOKENS):
+                continue
+            for node in ast.walk(module.tree):
+                if isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    yield from self._check_function(module, node)
+
+    def _check_function(self, module: SourceModule,
+                        func: ast.FunctionDef) -> Iterator[Finding]:
+        env = _Env()
+        findings: list[Finding] = []
+        self._interpret(module, func, func.body, env, findings)
+        yield from findings
+
+    # -- the interpreter -----------------------------------------------------
+
+    def _interpret(self, module: SourceModule, func: ast.FunctionDef,
+                   body: list[ast.stmt], env: _Env,
+                   findings: list[Finding]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                self._scan_expressions(module, func, [stmt.test], env,
+                                       findings)
+                then_env = env.copy()
+                else_env = env.copy()
+                self._interpret(module, func, stmt.body, then_env,
+                                findings)
+                self._interpret(module, func, stmt.orelse, else_env,
+                                findings)
+                then_env.join(else_env)
+                env.dtypes = then_env.dtypes
+                continue
+            if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+                loop_env = env.copy()
+                self._interpret(module, func, stmt.body, loop_env,
+                                findings)
+                self._interpret(module, func, stmt.orelse, loop_env,
+                                findings)
+                env.join(loop_env)
+                continue
+            if isinstance(stmt, ast.Try):
+                try_env = env.copy()
+                self._interpret(module, func, stmt.body, try_env,
+                                findings)
+                env.join(try_env)
+                for handler in stmt.handlers:
+                    self._interpret(module, func, handler.body, env,
+                                    findings)
+                self._interpret(module, func, stmt.orelse, env,
+                                findings)
+                self._interpret(module, func, stmt.finalbody, env,
+                                findings)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._interpret(module, func, stmt.body, env, findings)
+                continue
+            self._visit_statement(module, func, stmt, env, findings)
+
+    # -- statements ----------------------------------------------------------
+
+    def _visit_statement(self, module: SourceModule,
+                         func: ast.FunctionDef, stmt: ast.stmt,
+                         env: _Env, findings: list[Finding]) -> None:
+        self._scan_expressions(
+            module, func,
+            [c for c in ast.iter_child_nodes(stmt)
+             if isinstance(c, ast.expr)], env, findings)
+        if isinstance(stmt, ast.Assign):
+            self._assign(module, func, stmt.targets, stmt.value, env,
+                         findings)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(module, func, [stmt.target], stmt.value, env,
+                         findings)
+        elif isinstance(stmt, ast.AugAssign):
+            self._aug_assign(module, func, stmt, env, findings)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            if is_cost_name(func.name) \
+                    and self._infer(stmt.value, env) == FLOAT:
+                findings.append(Finding(
+                    rule=self.id, severity=Severity.ERROR,
+                    path=module.relpath, line=stmt.lineno,
+                    col=stmt.col_offset,
+                    key=f"float-return:{func.name}",
+                    message=(f"{func.name}() returns a float but its "
+                             f"name promises charged cycles; the "
+                             f"caller will accumulate rounding into "
+                             f"the differential"),
+                    fix_hint=FIX_HINT))
+
+    def _assign(self, module: SourceModule, func: ast.FunctionDef,
+                targets: list[ast.expr], value: ast.expr, env: _Env,
+                findings: list[Finding]) -> None:
+        inferred = self._infer(value, env)
+        for target in targets:
+            if isinstance(target, ast.Tuple):
+                # ``a, b = divmod(x, y)``: both halves share the
+                # operand dtype; anything else unpacks to UNKNOWN.
+                parts = self._tuple_dtypes(value, len(target.elts), env)
+                for elt, dtype in zip(target.elts, parts):
+                    self._bind(module, func, elt, dtype, env, findings)
+                continue
+            self._bind(module, func, target, inferred, env, findings)
+
+    def _tuple_dtypes(self, value: ast.expr, n: int,
+                      env: _Env) -> list[str]:
+        if isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Name) \
+                and value.func.id == "divmod" and len(value.args) == 2:
+            dtype = _combine(self._infer(value.args[0], env),
+                             self._infer(value.args[1], env))
+            return [dtype] * n
+        if isinstance(value, ast.Tuple) and len(value.elts) == n:
+            return [self._infer(e, env) for e in value.elts]
+        return [UNKNOWN] * n
+
+    def _bind(self, module: SourceModule, func: ast.FunctionDef,
+              target: ast.expr, dtype: str, env: _Env,
+              findings: list[Finding]) -> None:
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+            env.dtypes[name] = dtype
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name is not None and is_cost_name(name) and dtype == FLOAT:
+            findings.append(Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=target.lineno,
+                col=target.col_offset,
+                key=f"float-cost:{func.name}:{name}",
+                message=(f"{name} in {func.name}() holds charged "
+                         f"cycles but is assigned a float; the "
+                         f"bit-for-bit pin needs exact integers"),
+                fix_hint=FIX_HINT))
+
+    def _aug_assign(self, module: SourceModule, func: ast.FunctionDef,
+                    stmt: ast.AugAssign, env: _Env,
+                    findings: list[Finding]) -> None:
+        name = None
+        if isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+        elif isinstance(stmt.target, ast.Attribute):
+            name = stmt.target.attr
+        if name is None:
+            return
+        divides = isinstance(stmt.op, ast.Div)
+        incoming = self._infer(stmt.value, env)
+        if isinstance(stmt.target, ast.Name):
+            old = env.dtypes.get(name, UNKNOWN)
+            env.dtypes[name] = FLOAT if divides \
+                else _combine(old, incoming)
+        if is_cost_name(name) and (divides or incoming == FLOAT):
+            findings.append(Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=stmt.lineno,
+                col=stmt.col_offset,
+                key=f"float-cost-acc:{func.name}:{name}",
+                message=(f"float accumulation into {name} in "
+                         f"{func.name}(); charged cycles drift with "
+                         f"summation order once they leave the "
+                         f"integers"),
+                fix_hint=FIX_HINT))
+
+    # -- expression scan (reductions, scatters) ------------------------------
+
+    def _scan_expressions(self, module: SourceModule,
+                          func: ast.FunctionDef,
+                          exprs: list[ast.expr], env: _Env,
+                          findings: list[Finding]) -> None:
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)):
+                    continue
+                attr = node.func.attr
+                if attr in BANNED_REDUCTIONS:
+                    findings.append(Finding(
+                        rule=self.id, severity=Severity.ERROR,
+                        path=module.relpath, line=node.lineno,
+                        col=node.col_offset,
+                        key=f"banned-reduction:{func.name}:{attr}",
+                        message=(f".{attr}() in {func.name}() is an "
+                                 f"order-nondeterministic reduction; "
+                                 f"its float result depends on "
+                                 f"operand order and SIMD width"),
+                        fix_hint=FIX_HINT))
+                elif attr == "at" \
+                        and isinstance(node.func.value, ast.Attribute) \
+                        and node.func.value.attr == "add" \
+                        and len(node.args) == 3:
+                    target, _, source = node.args
+                    if self._infer(source, env) == FLOAT \
+                            and self._infer(target, env) == INT:
+                        name = target.id if isinstance(target, ast.Name) \
+                            else "array"
+                        findings.append(Finding(
+                            rule=self.id, severity=Severity.ERROR,
+                            path=module.relpath, line=node.lineno,
+                            col=node.col_offset,
+                            key=f"float-scatter:{func.name}:{name}",
+                            message=(f"np.add.at scatters a float "
+                                     f"source into integer {name} in "
+                                     f"{func.name}(); the truncation "
+                                     f"is silent and order-dependent"),
+                            fix_hint=FIX_HINT))
+
+    # -- dtype inference -----------------------------------------------------
+
+    def _infer(self, expr: ast.expr, env: _Env) -> str:
+        if isinstance(expr, ast.Constant):
+            if isinstance(expr.value, bool):
+                return INT
+            if isinstance(expr.value, int):
+                return INT
+            if isinstance(expr.value, float):
+                return FLOAT
+            return UNKNOWN
+        if isinstance(expr, ast.Name):
+            return env.dtypes.get(expr.id, UNKNOWN)
+        if isinstance(expr, ast.UnaryOp):
+            return self._infer(expr.operand, env)
+        if isinstance(expr, ast.BinOp):
+            if isinstance(expr.op, ast.Div):
+                return FLOAT
+            return _combine(self._infer(expr.left, env),
+                            self._infer(expr.right, env))
+        if isinstance(expr, ast.IfExp):
+            return _combine(self._infer(expr.body, env),
+                            self._infer(expr.orelse, env))
+        if isinstance(expr, ast.Subscript):
+            return self._infer(expr.value, env)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, env)
+        return UNKNOWN
+
+    def _infer_call(self, call: ast.Call, env: _Env) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id == "int" or func.id == "len":
+                return INT
+            if func.id == "float":
+                return FLOAT
+            if func.id == "round" and len(call.args) == 1:
+                return INT
+            if func.id == "abs" and call.args:
+                return self._infer(call.args[0], env)
+            return UNKNOWN
+        if not isinstance(func, ast.Attribute):
+            return UNKNOWN
+        attr = func.attr
+        dtype_kw = next((kw.value for kw in call.keywords
+                         if kw.arg == "dtype"), None)
+        if attr == "astype":
+            node = call.args[0] if call.args else dtype_kw
+            return _classify_dtype(node)
+        if attr in ("sum", "max", "min", "prod", "cumsum"):
+            if dtype_kw is not None:
+                return _classify_dtype(dtype_kw)
+            return self._infer(func.value, env)
+        if attr in _INT_DTYPES:
+            return INT
+        if attr in _FLOAT_DTYPES:
+            return FLOAT
+        if dtype_kw is not None:
+            return _classify_dtype(dtype_kw)
+        if attr in _FLOAT_DEFAULT_CTORS:
+            return FLOAT      # numpy's default dtype is float64
+        if attr == "full" and len(call.args) >= 2:
+            return self._infer(call.args[1], env)
+        if attr == "arange":
+            dtypes = [self._infer(a, env) for a in call.args]
+            out = INT
+            for dtype in dtypes:
+                out = _combine(out, dtype)
+            return out
+        if attr in _COMBINERS:
+            dtypes = [self._infer(a, env) for a in call.args]
+            if not dtypes:
+                return UNKNOWN
+            out = dtypes[0]
+            for dtype in dtypes[1:]:
+                out = _combine(out, dtype)
+            return out
+        return UNKNOWN

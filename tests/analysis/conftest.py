@@ -10,6 +10,10 @@ from repro.analysis import run_lint
 
 FIXTURES = Path(__file__).parent / "fixtures"
 
+#: Fixture trees are lint inputs, not test modules — some (tee012)
+#: contain ``tests/test_*.py`` stubs that pytest must never collect.
+collect_ignore = ["fixtures"]
+
 #: Repository root (tests/analysis/ -> tests/ -> repo).
 REPO_ROOT = Path(__file__).parents[2]
 

@@ -1,0 +1,53 @@
+"""TEE009 fixture: transfer flows that break the prepare/commit protocol."""
+
+MAGIC = b"HTEE-XFER1"
+
+
+def mutate_before_auth(sealing, src, dst, frames, owner, eid):
+    # Frames move before the unsealed manifest binding is checked and
+    # before verify_unowned runs: four findings (auth + verify per op).
+    manifest = MAGIC + eid.to_bytes(8, "little")
+    token = sealing.seal(b"measurement", manifest)
+    src.ownership.release_all(frames, owner)
+    dst.ownership.claim_all(frames, owner)
+    opened = sealing.unseal(b"measurement", token)
+    assert opened == manifest
+    dst.ownership.verify_unowned(frames)
+
+
+def abort_midway(pool, sealing, src, dst, frames, owner, eid):
+    # The interrupt check fires *after* release_all: an abort here
+    # strands the fleet half-transferred.
+    manifest = MAGIC + eid.to_bytes(8, "little")
+    token = sealing.seal(b"measurement", manifest)
+    opened = sealing.unseal(b"measurement", token)
+    if opened != manifest:
+        raise ValueError("binding check failed")
+    dst.ownership.verify_unowned(frames)
+    src.ownership.release_all(frames, owner)
+    if pool.faults is not None:
+        raise RuntimeError("interrupted mid-commit")
+    dst.ownership.claim_all(frames, owner)
+
+
+def prepare_only(sealing, src, dst, frames, owner):
+    # Seals a token but never unseals one: the commit side skipped
+    # authentication entirely (and therefore mutates unauthenticated).
+    token = sealing.seal(b"measurement", MAGIC + b":prep")
+    dst.ownership.verify_unowned(frames)
+    src.ownership.release_all(frames, owner)
+    dst.ownership.claim_all(frames, owner)
+    return token
+
+
+def wrong_magic(sealing, src, dst, frames, owner, eid):
+    # Protocol shape is right but the manifest lacks the HTEE-XFER
+    # magic, so the commit-side binding check cannot authenticate it.
+    manifest = b"EVIL-XFER" + eid.to_bytes(8, "little")
+    token = sealing.seal(b"measurement", manifest)
+    opened = sealing.unseal(b"measurement", token)
+    if opened != manifest:
+        raise ValueError("binding check failed")
+    dst.ownership.verify_unowned(frames)
+    src.ownership.release_all(frames, owner)
+    dst.ownership.claim_all(frames, owner)

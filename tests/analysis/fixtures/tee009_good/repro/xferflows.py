@@ -1,0 +1,33 @@
+"""TEE009 fixture twin: the full prepare/commit protocol, plus
+single-sided bookkeeping that must stay out of scope."""
+
+MAGIC = b"HTEE-XFER1"
+
+
+def transfer(pool, sealing, src, dst, frames, owner, eid, control):
+    manifest = MAGIC + eid.to_bytes(8, "little") \
+        + len(frames).to_bytes(4, "little")
+    token = sealing.seal(b"measurement", manifest)
+    if pool.faults is not None:
+        raise RuntimeError("interrupted before commit; nothing moved")
+    opened = sealing.unseal(b"measurement", token)
+    if opened[:len(MAGIC)] != MAGIC:
+        raise ValueError("binding check failed")
+    dst.ownership.verify_unowned(frames)
+    src.ownership.release_all(frames, owner)
+    dst.ownership.claim_all(frames, owner)
+    src.pool.disown_used(len(frames))
+    dst.pool.adopt_used(len(frames))
+    del src.enclaves.enclaves[eid]
+    dst.enclaves.enclaves[eid] = control
+    return {"moved": len(frames)}
+
+
+def create_claims(dst, frames, owner):
+    # Enclave creation claims frames one-sided: not a transfer flow.
+    dst.ownership.claim_all(frames, owner)
+
+
+def teardown_releases(src, frames, owner):
+    # Teardown releases one-sided: not a transfer flow either.
+    src.ownership.release_all(frames, owner)

@@ -1,0 +1,17 @@
+"""TEE010 fixture: out-of-band access to sibling shards."""
+
+
+class LoadDriver:
+    def __init__(self, pool):
+        self.pool = pool
+        self.home = pool.shard_of(7)
+
+    def peek_mailbox(self):
+        return self.pool.shards[0].mailbox
+
+    def drain_second(self):
+        gate = self.pool.gates[1]
+        return gate.pump()
+
+    def last_shard_backlog(self):
+        return len(self.pool.shards[-1].pages)

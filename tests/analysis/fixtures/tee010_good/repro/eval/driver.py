@@ -1,0 +1,27 @@
+"""TEE010 fixture twin: every sanctioned spelling of fleet access."""
+
+
+class LoadDriver:
+    def __init__(self, gates, pool):
+        gates = list(gates)
+        self.pool = pool
+        self._gates = gates
+        # Designating a primary once, from the constructor argument,
+        # is the documented convention (a role, not a routing decision).
+        self._primary = gates[0]
+
+    def invoke(self, enclave_id, payload):
+        # Routed index: the subscript comes from the router.
+        return self._gates[self.pool.resolve(enclave_id)].invoke(payload)
+
+    def mailbox_of(self, enclave_id):
+        # Router-sanctioned component reach.
+        return self.pool.shard_of(enclave_id).mailbox
+
+    def enable_obs(self, obs):
+        # Slices and iteration are fleet-wide fan-out, not placement.
+        for shard in self.pool.shards[1:]:
+            shard.mailbox.obs = obs
+
+    def fleet_backlog(self):
+        return sum(s.pool.used_count for s in self.pool.shards)

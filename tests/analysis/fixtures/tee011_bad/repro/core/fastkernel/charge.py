@@ -1,0 +1,28 @@
+"""TEE011 fixture: float arithmetic leaking into the charging path."""
+
+import numpy as np
+
+
+def service_cycles(instr, ipc):
+    return instr / ipc
+
+
+def charge_batch(n, deltas):
+    cycles = np.zeros(n)
+    total_cycles = 0
+    for delta in deltas:
+        total_cycles += delta * 0.5
+    return cycles, total_cycles
+
+
+def scatter(idx, service):
+    shares_cycles = np.zeros(8, dtype=np.int64)
+    service = np.asarray(service, dtype=np.float64)
+    np.add.at(shares_cycles, idx, service)
+    return shares_cycles
+
+
+def summarize(samples):
+    avg = samples.mean()
+    spread = samples.std()
+    return avg, spread

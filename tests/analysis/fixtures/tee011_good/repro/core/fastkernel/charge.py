@@ -1,0 +1,32 @@
+"""TEE011 fixture twin: the sanctioned integer spellings."""
+
+import numpy as np
+
+
+def service_cycles(instr, ipc_numer, ipc_denom):
+    return (instr * ipc_denom) // ipc_numer
+
+
+def service_cycles_vec(instructions, sustained_ipc):
+    return (instructions / sustained_ipc).astype(np.int64)
+
+
+def charge_batch(n, deltas):
+    cycles = np.zeros(n, dtype=np.int64)
+    total_cycles = 0
+    for delta in deltas:
+        total_cycles += int(delta)
+    return cycles, total_cycles
+
+
+def scatter(idx, service):
+    shares_cycles = np.zeros(8, dtype=np.int64)
+    np.add.at(shares_cycles, idx, service.astype(np.int64))
+    return shares_cycles
+
+
+def split_shares(total_cycles, n):
+    share, remainder = divmod(total_cycles, n)
+    out = np.full(n, share, dtype=np.int64)
+    out[:remainder] += 1
+    return out

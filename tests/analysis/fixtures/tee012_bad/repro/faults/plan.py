@@ -1,0 +1,7 @@
+"""TEE012 fixture catalogue: one covered point, one untested, one dead."""
+
+FAULT_POINTS = {
+    "net.drop": "drop one mailbox doorbell",
+    "ems.stall": "stall the runtime for one pump round",
+    "disk.ghost": "declared but never wired anywhere",
+}

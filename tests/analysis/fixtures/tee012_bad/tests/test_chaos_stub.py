@@ -1,0 +1,8 @@
+"""Chaos-corpus stub for the TEE012 fixture (never collected by
+pytest: tests/analysis/conftest.py ignores the fixtures tree).
+
+Covers the doorbell-drop point only; the other catalogue entries
+ship untested.
+"""
+
+COVERED = ["net.drop"]

@@ -1,0 +1,14 @@
+"""TEE012 fixture twin consumer: consults every declared point."""
+
+
+class Doorbell:
+    def __init__(self, faults):
+        self.faults = faults
+
+    def send(self, payload):
+        if self.faults is not None and self.faults.fires("net.drop"):
+            return None
+        return payload
+
+    def pump_round(self):
+        return self.faults.magnitude("ems.stall")

@@ -1,0 +1,6 @@
+"""TEE012 fixture twin catalogue: every point fires and is tested."""
+
+FAULT_POINTS = {
+    "net.drop": "drop one mailbox doorbell",
+    "ems.stall": "stall the runtime for one pump round",
+}

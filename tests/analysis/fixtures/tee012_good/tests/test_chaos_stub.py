@@ -1,0 +1,7 @@
+"""Chaos-corpus stub for the TEE012 fixture twin (never collected by
+pytest: tests/analysis/conftest.py ignores the fixtures tree).
+
+References every declared point: net.drop and ems.stall.
+"""
+
+COVERED = ["net.drop", "ems.stall"]

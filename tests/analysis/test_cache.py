@@ -138,6 +138,62 @@ def test_suppressions_and_baseline_are_applied_after_the_cache(
     assert warm.findings == [] and len(warm.baselined) == 1
 
 
+def test_baseline_file_edit_between_runs_is_never_masked_by_the_cache(
+        tree, cache, tmp_path):
+    # The baseline lives *outside* the result key on purpose: editing
+    # teelint.baseline.json between runs must not require a cold run,
+    # and must not replay stale classifications either. The raw
+    # findings replay from the cache; the freshly loaded baseline
+    # reclassifies them on every run.
+    from repro.analysis.baseline import Baseline
+
+    cold = run_lint([tree], only=("TEE003",), cache=cache)
+    assert [f.key for f in cold.findings] == ["literal:STALL_CYCLES=123"]
+
+    baseline_path = tmp_path / "teelint.baseline.json"
+    Baseline.from_findings(cold.findings, reason="accepted for now") \
+        .save(baseline_path)
+    warm = run_lint([tree], only=("TEE003",),
+                    baseline=Baseline.load(baseline_path), cache=cache)
+    assert warm.cache_state == "hit"
+    assert warm.findings == [] and len(warm.baselined) == 1
+
+    # Retire the exception by editing the file: still a cache hit, but
+    # the finding resurfaces live instead of staying buried.
+    baseline_path.write_text('{"findings": []}', encoding="utf-8")
+    rerun = run_lint([tree], only=("TEE003",),
+                     baseline=Baseline.load(baseline_path), cache=cache)
+    assert rerun.cache_state == "hit"
+    assert [f.key for f in rerun.findings] == \
+        ["literal:STALL_CYCLES=123"]
+    assert rerun.baselined == []
+
+
+def test_tee012_chaos_corpus_edit_invalidates_the_result(tmp_path):
+    # The chaos corpus is input the source manifest cannot see; the
+    # rule's corpus_signature hook folds it into the result key so a
+    # warm cache never replays stale coverage verdicts.
+    import shutil
+
+    from .conftest import FIXTURES
+
+    cache = LintCache(tmp_path / CACHE_DIRNAME)
+    root = tmp_path / "tree"
+    shutil.copytree(FIXTURES / "tee012_good", root)
+    cold = run_lint([root / "repro"], only=("TEE012",), cache=cache)
+    warm = run_lint([root / "repro"], only=("TEE012",), cache=cache)
+    assert cold.findings == [] and warm.findings == []
+    assert warm.cache_state == "hit"
+
+    stub = root / "tests" / "test_chaos_stub.py"
+    stub.write_text(stub.read_text(encoding="utf-8")
+                    .replace("ems.stall", "ems.sta11"), encoding="utf-8")
+    rerun = run_lint([root / "repro"], only=("TEE012",), cache=cache)
+    assert rerun.cache_state == "miss"
+    assert [f.key for f in rerun.findings] == \
+        ["untested-point:ems.stall"]
+
+
 def test_content_hash_is_stable_and_sensitive():
     assert content_hash("a") == content_hash("a")
     assert content_hash("a") != content_hash("b")

@@ -107,6 +107,61 @@ def test_json_out_writes_the_artifact(tmp_path, capsys):
     assert json.loads(out.read_text())["ok"] is True
 
 
+def test_sarif_format_emits_valid_runs(capsys):
+    assert main(["lint", BAD, "--no-baseline", "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "teelint"
+    assert all(r["ruleId"] == "TEE001" for r in run["results"])
+    assert all("teelintFingerprint/v1" in r["partialFingerprints"]
+               for r in run["results"])
+
+
+def test_sarif_out_writes_the_artifact_with_repo_relative_uris(
+        tmp_path, capsys, monkeypatch):
+    # Scanned from the repo root, finding paths (repro/...) gain the
+    # shared parent prefix so code scanning resolves them.
+    from .conftest import REPO_ROOT
+    monkeypatch.chdir(REPO_ROOT)
+    out = tmp_path / "teelint.sarif"
+    assert main(["lint", "src/repro/eval", "--no-baseline",
+                 "--rules", "TEE001", "--no-cache",
+                 "--sarif-out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["runs"][0]["results"] == []
+    capsys.readouterr()
+
+    monkeypatch.chdir(FIXTURES / "tee001_bad")
+    assert main(["lint", "repro", "--no-baseline", "--no-cache",
+                 "--sarif-out", str(out)]) == 1
+    payload = json.loads(out.read_text())
+    uris = [r["locations"][0]["physicalLocation"]["artifactLocation"]
+            ["uri"] for r in payload["runs"][0]["results"]]
+    # Scan root == cwd child: no prefix to add.
+    assert uris and all(u.startswith("repro/") for u in uris)
+
+
+def test_sarif_base_path_resolution():
+    from pathlib import Path
+
+    from repro.analysis.cli import sarif_base_path
+    from .conftest import REPO_ROOT
+
+    import os
+    cwd = Path.cwd()
+    try:
+        os.chdir(REPO_ROOT)
+        assert sarif_base_path([Path("src/repro")]) == "src"
+        assert sarif_base_path([Path("src/repro/eval"),
+                                Path("src/repro/cs")]) == "src/repro"
+        # Mixed parents or paths outside the cwd: emit as-is.
+        assert sarif_base_path([Path("src/repro"), Path("tests")]) == ""
+        assert sarif_base_path([Path("/")]) == ""
+    finally:
+        os.chdir(cwd)
+
+
 # -- baseline workflow -------------------------------------------------------
 
 def test_write_baseline_then_rerun_is_clean(tmp_path, capsys):

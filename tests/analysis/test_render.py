@@ -6,7 +6,12 @@ from repro.analysis.baseline import BaselineEntry
 from repro.analysis.cli import default_baseline_path, default_scan_path
 from repro.analysis.engine import LintResult
 from repro.analysis.findings import Finding, Severity
-from repro.analysis.render import render_github, render_human, render_json
+from repro.analysis.render import (
+    render_github,
+    render_human,
+    render_json,
+    render_sarif,
+)
 
 from .conftest import REPO_ROOT
 
@@ -128,3 +133,71 @@ def test_human_summary_mentions_changed_scoping():
     result.scoped_modules = 4
     out = render_human(result)
     assert "scoped to 4 changed/dependent modules" in out
+
+
+# -- SARIF -------------------------------------------------------------------
+
+SARIF_FINDINGS = [
+    Finding(rule="TEE010", severity=Severity.ERROR, path="repro/a.py",
+            line=7, col=4, key="hardcoded-shard:f:shards[0]",
+            message="shards[0] hardcodes a shard index",
+            fix_hint="route through shard_of"),
+    Finding(rule="TEE002", severity=Severity.WARNING, path="repro/b.py",
+            line=0, key="import:random", message="imports random"),
+]
+
+
+def test_sarif_shape_levels_and_fingerprints():
+    import json
+    payload = json.loads(render_sarif(result_with(SARIF_FINDINGS)))
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    assert run["tool"]["driver"]["name"] == "teelint"
+    # Rules array covers exactly the rules used, sorted, and every
+    # result's ruleIndex points back into it.
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == \
+        ["TEE002", "TEE010"]
+    results = run["results"]
+    assert [r["ruleId"] for r in results] == ["TEE010", "TEE002"]
+    for result in results:
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+    assert results[0]["level"] == "error"
+    assert results[1]["level"] == "warning"
+    # Fix hints ride in the message; fingerprints match the baseline's.
+    assert results[0]["message"]["text"].endswith(
+        "— fix: route through shard_of")
+    assert results[0]["partialFingerprints"]["teelintFingerprint/v1"] \
+        == SARIF_FINDINGS[0].fingerprint
+
+
+def test_sarif_base_path_prefixes_uris_and_clamps_lines():
+    import json
+    payload = json.loads(render_sarif(result_with(SARIF_FINDINGS),
+                                      base_path="src/"))
+    locations = [r["locations"][0]["physicalLocation"]
+                 for r in payload["runs"][0]["results"]]
+    assert locations[0]["artifactLocation"]["uri"] == "src/repro/a.py"
+    assert locations[0]["region"] == {"startLine": 7, "startColumn": 5}
+    # Module-level findings (line 0) clamp to 1: SARIF lines are 1-based.
+    assert locations[1]["region"]["startLine"] == 1
+
+
+def test_sarif_excludes_baselined_and_suppressed():
+    import json
+    result = result_with([SARIF_FINDINGS[0]])
+    result.baselined = [SARIF_FINDINGS[1]]
+    payload = json.loads(render_sarif(result))
+    (run,) = payload["runs"]
+    assert [r["ruleId"] for r in run["results"]] == ["TEE010"]
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["TEE010"]
+
+
+def test_sarif_rule_descriptions_come_from_the_catalogue():
+    import json
+    payload = json.loads(render_sarif(result_with([SARIF_FINDINGS[0]])))
+    (rule,) = payload["runs"][0]["tool"]["driver"]["rules"]
+    from repro.analysis.rules import rule_catalogue
+    assert rule["shortDescription"]["text"] == \
+        rule_catalogue()["TEE010"]

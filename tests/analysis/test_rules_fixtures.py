@@ -272,3 +272,146 @@ def test_tee008_real_model_charges_uniformly():
     from .conftest import REPO_ROOT
     result = run_lint([REPO_ROOT / "src" / "repro"], only=("TEE008",))
     assert result.findings == []
+
+
+# -- TEE009 transfer protocol typestate ---------------------------------------
+
+def test_tee009_bad_fires_on_every_protocol_break(lint_fixture):
+    result = lint_fixture("tee009_bad", "TEE009")
+    assert keys(result) == {
+        "mutation-before-auth:mutate_before_auth:release_all()",
+        "mutation-before-verify:mutate_before_auth:release_all()",
+        "mutation-before-auth:mutate_before_auth:claim_all()",
+        "mutation-before-verify:mutate_before_auth:claim_all()",
+        "abort-after-mutation:abort_midway",
+        "unpaired-seal:prepare_only",
+        "mutation-before-auth:prepare_only:release_all()",
+        "mutation-before-auth:prepare_only:claim_all()",
+        "unbound-manifest:wrong_magic",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+    abort = by_key(result)["abort-after-mutation:abort_midway"]
+    # The finding points at the late raise, not the function header.
+    assert "raises after fleet state" in abort.message
+
+
+def test_tee009_good_full_protocol_and_single_sided_are_silent(
+        lint_fixture):
+    # The complete prepare/commit dance is clean, and single-sided
+    # claim/release (creation, teardown) never enters scope.
+    result = lint_fixture("tee009_good", "TEE009")
+    assert result.findings == []
+
+
+def test_tee009_real_shardpool_transfer_is_clean():
+    # ShardPool.transfer_enclave is the protocol's reference
+    # implementation — the rule must agree with it.
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    result = run_lint([REPO_ROOT / "src" / "repro"], only=("TEE009",))
+    assert result.findings == []
+
+
+# -- TEE010 shard isolation ---------------------------------------------------
+
+def test_tee010_bad_fires_on_unrouted_fleet_access(lint_fixture):
+    result = lint_fixture("tee010_bad", "TEE010")
+    # Nothing from repro/ems/shardpool.py: the coordinator is exempt.
+    assert keys(result) == {
+        "cached-shard-ref:__init__:home",
+        "hardcoded-shard:peek_mailbox:shards[0]",
+        "sibling-component:peek_mailbox:mailbox",
+        "hardcoded-shard:drain_second:gates[1]",
+        "hardcoded-shard:last_shard_backlog:shards[-1]",
+        "sibling-component:last_shard_backlog:pages",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+    assert all(f.path == "repro/eval/driver.py" for f in result.findings)
+
+
+def test_tee010_good_routed_access_is_silent(lint_fixture):
+    # Routed subscripts, shard_of().mailbox, slices, iteration, and the
+    # constructor-argument primary designation are all sanctioned.
+    result = lint_fixture("tee010_good", "TEE010")
+    assert result.findings == []
+
+
+def test_tee010_real_emcall_and_serve_route_everything():
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    result = run_lint([REPO_ROOT / "src" / "repro"], only=("TEE010",))
+    assert result.findings == []
+
+
+# -- TEE011 kernel determinism ------------------------------------------------
+
+def test_tee011_bad_fires_on_float_charging_paths(lint_fixture):
+    result = lint_fixture("tee011_bad", "TEE011")
+    assert keys(result) == {
+        "float-return:service_cycles",
+        "float-cost:charge_batch:cycles",
+        "float-cost-acc:charge_batch:total_cycles",
+        "float-scatter:scatter:shares_cycles",
+        "banned-reduction:summarize:mean",
+        "banned-reduction:summarize:std",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+
+
+def test_tee011_good_integer_spellings_are_silent(lint_fixture):
+    # dtype=np.int64, //, divmod, int(...), .astype(np.int64): all the
+    # sanctioned spellings type as INT and stay silent.
+    result = lint_fixture("tee011_good", "TEE011")
+    assert result.findings == []
+
+
+def test_tee011_real_fast_engine_is_integer_exact():
+    # The differential matrix pins the fast engine bit-for-bit; the
+    # rule must agree the shipped kernels qualify.
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    result = run_lint([REPO_ROOT / "src" / "repro"], only=("TEE011",))
+    assert result.findings == []
+
+
+# -- TEE012 fault coverage ----------------------------------------------------
+
+def test_tee012_bad_fires_on_unfired_and_untested_points(lint_fixture):
+    result = lint_fixture("tee012_bad", "TEE012")
+    assert keys(result) == {
+        "unfired-point:disk.ghost",
+        "untested-point:ems.stall",
+        "untested-point:disk.ghost",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+    # Both findings anchor at the catalogue declaration line.
+    assert all(f.path == "repro/faults/plan.py" for f in result.findings)
+
+
+def test_tee012_good_covered_catalogue_is_silent(lint_fixture):
+    result = lint_fixture("tee012_good", "TEE012")
+    assert result.findings == []
+
+
+def test_tee012_missing_corpus_is_a_warning(tmp_path):
+    # A plan with no tests/ ancestor within reach: coverage cannot be
+    # verified, which is a WARNING, never silence.
+    import shutil
+
+    from repro.analysis import run_lint
+    from .conftest import FIXTURES
+    deep = tmp_path / "a" / "b" / "c" / "d"
+    shutil.copytree(FIXTURES / "tee012_good" / "repro", deep / "repro")
+    result = run_lint([deep / "repro"], only=("TEE012",))
+    assert keys(result) == {"no-chaos-corpus"}
+    finding = result.findings[0]
+    assert finding.severity is Severity.WARNING
+
+
+def test_tee012_real_catalogue_is_fully_covered():
+    # Every shipped FAULT_POINTS entry is consulted somewhere in src
+    # and named by at least one chaos test.
+    from repro.analysis import run_lint
+    from .conftest import REPO_ROOT
+    result = run_lint([REPO_ROOT / "src" / "repro"], only=("TEE012",))
+    assert result.findings == []

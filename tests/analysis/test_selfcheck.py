@@ -44,7 +44,7 @@ def test_baseline_has_no_stale_entries(self_result):
 
 def test_every_baseline_entry_is_documented():
     baseline = Baseline.load(BASELINE_PATH)
-    assert len(baseline) > 0  # the two known documented exceptions
+    assert len(baseline) > 0  # the one known documented exception
     for entry in baseline.entries:
         assert len(entry.reason) > 20, \
             f"baseline entry {entry.key} needs a real reason"
@@ -53,13 +53,13 @@ def test_every_baseline_entry_is_documented():
 
 
 def test_known_exceptions_are_baselined_not_fixed(self_result):
-    # The two documented exceptions stay visible as baselined findings;
-    # if one disappears the stale check above will also fire.
+    # The one documented exception stays visible as a baselined
+    # finding; if it disappears the stale check above will also fire.
     keys = {f.key for f in self_result.baselined}
-    assert keys == {"import:random", "dead:PRIMITIVE_CRYPTO_FRACTION"}
+    assert keys == {"import:random"}
 
 
 def test_rule_catalogue_is_complete():
     assert set(rule_catalogue()) == \
-        {"TEE001", "TEE002", "TEE003", "TEE004", "TEE005",
-         "TEE006", "TEE007", "TEE008"}
+        {"TEE001", "TEE002", "TEE003", "TEE004", "TEE005", "TEE006",
+         "TEE007", "TEE008", "TEE009", "TEE010", "TEE011", "TEE012"}
