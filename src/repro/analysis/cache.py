@@ -40,7 +40,8 @@ from repro.analysis.rules import Rule, rules_signature
 CACHE_DIRNAME = ".teelint-cache"
 
 #: Bump to invalidate every cached artifact (schema changes).
-CACHE_SCHEMA_VERSION = 1
+#: v2: findings carry end_line/end_col spans (SARIF regions).
+CACHE_SCHEMA_VERSION = 2
 
 
 def content_hash(text: str) -> str:
@@ -144,7 +145,9 @@ class LintCache:
                 path=entry["path"], line=entry["line"],
                 message=entry["message"], key=entry["key"],
                 fix_hint=entry.get("fix_hint", ""),
-                col=entry.get("col", 0)))
+                col=entry.get("col", 0),
+                end_line=entry.get("end_line", 0),
+                end_col=entry.get("end_col", 0)))
         return out
 
     # -- plumbing ------------------------------------------------------------

@@ -37,6 +37,8 @@ class Finding:
     key: str                  #: stable identity token for fingerprinting
     fix_hint: str = ""        #: how to repair it, in one sentence
     col: int = 0              #: 0-based column of the offending node
+    end_line: int = 0         #: 1-based last line of the node (0: unknown)
+    end_col: int = 0          #: 0-based column *past* the node's end
 
     @property
     def fingerprint(self) -> str:
@@ -57,6 +59,8 @@ class Finding:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
             "message": self.message,
             "key": self.key,
             "fix_hint": self.fix_hint,

@@ -22,6 +22,8 @@ class ImportEdge:
     target: str      #: dotted module the import reaches
     line: int
     col: int
+    end_line: int = 0    #: 1-based last line of the import statement
+    end_col: int = 0     #: 0-based column past the statement's end
 
 
 @dataclasses.dataclass
@@ -174,8 +176,10 @@ class Project:
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.Import):
                     for alias in node.names:
-                        out.append(ImportEdge(alias.name, node.lineno,
-                                              node.col_offset))
+                        out.append(ImportEdge(
+                            alias.name, node.lineno, node.col_offset,
+                            node.end_lineno or 0,
+                            node.end_col_offset or 0))
                 elif isinstance(node, ast.ImportFrom):
                     base = self._resolve_from(module, node)
                     if base is None:
@@ -184,8 +188,10 @@ class Project:
                         candidate = f"{base}.{alias.name}"
                         target = (candidate if candidate in self.by_name
                                   else base)
-                        out.append(ImportEdge(target, node.lineno,
-                                              node.col_offset))
+                        out.append(ImportEdge(
+                            target, node.lineno, node.col_offset,
+                            node.end_lineno or 0,
+                            node.end_col_offset or 0))
             edges[module.name] = out
         self._edges = edges
         return edges

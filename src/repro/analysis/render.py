@@ -120,6 +120,15 @@ def _sarif_result(finding: Finding, rule_index: dict[str, int],
         message = f"{message} — fix: {finding.fix_hint}"
     uri = (f"{base_path}/{finding.path}" if base_path
            else finding.path)
+    region = {
+        "startLine": max(1, finding.line),
+        "startColumn": finding.col + 1,
+    }
+    if finding.end_line >= finding.line > 0:
+        # SARIF columns are 1-based and endColumn is exclusive, which
+        # matches ``ast`` ``end_col_offset`` + 1 exactly.
+        region["endLine"] = finding.end_line
+        region["endColumn"] = finding.end_col + 1
     return {
         "ruleId": finding.rule,
         "ruleIndex": rule_index[finding.rule],
@@ -128,10 +137,7 @@ def _sarif_result(finding: Finding, rule_index: dict[str, int],
         "locations": [{
             "physicalLocation": {
                 "artifactLocation": {"uri": uri},
-                "region": {
-                    "startLine": max(1, finding.line),
-                    "startColumn": finding.col + 1,
-                },
+                "region": region,
             },
         }],
         # The same line-independent identity the baseline uses, so

@@ -25,8 +25,10 @@ from repro.analysis.project import Project, SourceModule
 from repro.analysis.rules import register
 
 #: Subsystems whose modules may import both sides: the composition
-#: root wires cs and ems together by design.
-MEDIATORS = ("core",)
+#: root wires cs and ems together by design, and the runtime sanitizer
+#: layer (teesan) observes both domains from outside either — its
+#: drivers build whole platforms and seed cross-shard violations.
+MEDIATORS = ("core", "sanitize")
 
 #: (importer subsystem, imported subsystem) pairs that are forbidden
 #: as *direct* edges.
@@ -48,6 +50,7 @@ class BoundaryRule:
 
     id = "TEE001"
     title = "decoupling boundary: cs and ems may never import each other"
+    version = 2  # v2: repro.sanitize joined the mediator set
 
     def check(self, project: Project) -> Iterator[Finding]:
         """Report forbidden direct edges, then transitive paths."""
@@ -62,6 +65,7 @@ class BoundaryRule:
                     yield Finding(
                         rule=self.id, severity=Severity.ERROR,
                         path=module.relpath, line=edge.line, col=edge.col,
+                        end_line=edge.end_line, end_col=edge.end_col,
                         key=f"{module.name}->{edge.target}",
                         message=(
                             f"{sub} module imports {tsub} internals "

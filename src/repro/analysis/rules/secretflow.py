@@ -64,7 +64,8 @@ class SecretFlowRule:
     title = "secret flow: key material stays out of observable sinks"
     #: bumped when findings change for identical sources (cache key).
     #: v3: flight-recorder sinks (record_event / flightrec.* receivers).
-    version = 3
+    #: v4: teesan report sinks (report_violation / format_violation).
+    version = 4
 
     def check(self, project: Project) -> Iterator[Finding]:
         """Report every secret-to-sink flow event in the project."""
@@ -89,4 +90,5 @@ class SecretFlowRule:
             rule=self.id, severity=Severity.ERROR,
             path=event.function.module.relpath,
             line=event.node_line, col=event.node_col,
+            end_line=event.node_end_line, end_col=event.node_end_col,
             key=key, message=message, fix_hint=FIX_HINT)

@@ -61,6 +61,13 @@ SOURCE_CALL_PATTERNS = (
     r"^shared_key$",
 )
 
+#: Runtime-sanitizer reporting APIs (repro.sanitize.report/manager):
+#: their output is printed, written to CI artifacts, and carried in
+#: exception messages, so they are observable sinks exactly like logs.
+TEESAN_REPORT_CALLS = frozenset({
+    "report_violation", "format_violation", "format_summary",
+})
+
 #: Logging-flavoured attribute calls treated as sinks.
 LOG_METHODS = frozenset({"debug", "info", "warning", "error", "critical",
                          "exception", "log"})
@@ -90,9 +97,16 @@ def sink_name(node: ast.Call) -> str | None:
             return "print"
         if func.id in PACKET_CONSTRUCTORS:
             return f"packet field ({func.id})"
+        if func.id in TEESAN_REPORT_CALLS:
+            return f"teesan report ({func.id})"
         return None
     if isinstance(func, ast.Attribute):
         attr = func.attr
+        if attr in TEESAN_REPORT_CALLS:
+            # teesan diagnostics are printed, dumped to CI artifacts,
+            # and embedded in exception text: key material must be
+            # redact()ed before it reaches a violation message.
+            return f"teesan report ({attr})"
         if attr == "labels":
             return "metric label"
         if attr == "add_span":
@@ -156,6 +170,8 @@ class FlowEvent:
     node_col: int
     sink: str
     via: str = ""    #: callee short name when the sink is transitive
+    node_end_line: int = 0   #: 1-based last line of the sink expression
+    node_end_col: int = 0    #: 0-based column past the expression's end
 
 
 @dataclasses.dataclass(frozen=True)
@@ -375,7 +391,9 @@ class TaintEngine:
         if SECRET in labels and collect is not None:
             collect[0].append(FlowEvent(
                 function=info, node_line=node.lineno,
-                node_col=node.col_offset, sink=sink, via=via))
+                node_col=node.col_offset, sink=sink, via=via,
+                node_end_line=getattr(node, "end_lineno", 0) or 0,
+                node_end_col=getattr(node, "end_col_offset", 0) or 0))
         for label in labels:
             # Secret-*named* parameters already produce a finding
             # inside this function; exporting them in the summary would

@@ -30,6 +30,23 @@ _MAGIC_SEALED = b"HTSB"
 _MAGIC_QUOTE = b"HTQT"
 _MAGIC_SNAPSHOT = b"HTSN"
 
+#: Runtime sanitizer manager (None = off); module-level because the
+#: codec is a function library, not a component the system constructs.
+_SAN = None
+
+
+def set_sanitizer(san) -> None:
+    """Attach (or with ``None`` detach) the teesan manager."""
+    global _SAN
+    _SAN = san
+
+
+def _scan_encoded(name: str, data: bytes) -> bytes:
+    """Every encoded artifact heads for untrusted storage: scan it."""
+    if _SAN is not None:
+        _SAN.on_codec_encode(name, data)
+    return data
+
 
 class CodecError(HyperTEEError):
     """Malformed wire bytes (wrong magic, truncation, trailing data)."""
@@ -86,8 +103,9 @@ def _unpack_int(field: bytes) -> int:
 
 def encode_sealed_blob(blob: SealedBlob) -> bytes:
     """Serialize a sealed blob for untrusted storage."""
-    return _pack_fields(_MAGIC_SEALED,
-                        [blob.nonce, blob.ciphertext, blob.tag])
+    return _scan_encoded(
+        "sealed_blob",
+        _pack_fields(_MAGIC_SEALED, [blob.nonce, blob.ciphertext, blob.tag]))
 
 
 def decode_sealed_blob(data: bytes) -> SealedBlob:
@@ -113,9 +131,10 @@ def _decode_certificate(data: bytes) -> Certificate:
 
 def encode_quote(quote: AttestationQuote) -> bytes:
     """Serialize an attestation quote for transport."""
-    return _pack_fields(_MAGIC_QUOTE,
-                        [_encode_certificate(quote.platform),
-                         _encode_certificate(quote.enclave)])
+    return _scan_encoded(
+        "quote",
+        _pack_fields(_MAGIC_QUOTE, [_encode_certificate(quote.platform),
+                                    _encode_certificate(quote.enclave)]))
 
 
 def decode_quote(data: bytes) -> AttestationQuote:
@@ -131,12 +150,14 @@ def decode_quote(data: bytes) -> AttestationQuote:
 def encode_snapshot(snapshot: CVMSnapshot) -> bytes:
     """Serialize a CVM snapshot (ciphertext pages) for storage."""
     pages = _pack_fields(b"PAGE", list(snapshot.encrypted_pages))
-    return _pack_fields(_MAGIC_SNAPSHOT,
-                        [_pack_int(snapshot.snapshot_id),
-                         snapshot.name.encode(),
-                         snapshot.measurement,
-                         _pack_int(len(snapshot.encrypted_pages)),
-                         pages])
+    return _scan_encoded(
+        "snapshot",
+        _pack_fields(_MAGIC_SNAPSHOT,
+                     [_pack_int(snapshot.snapshot_id),
+                      snapshot.name.encode(),
+                      snapshot.measurement,
+                      _pack_int(len(snapshot.encrypted_pages)),
+                      pages]))
 
 
 def decode_snapshot(data: bytes) -> CVMSnapshot:

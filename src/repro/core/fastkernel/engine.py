@@ -165,6 +165,9 @@ class FastEMCall(EMCall):
                 jitter_cycles=jitter, polls=1,
                 enclave_id=request.enclave_id, core_id=core.core_id,
                 attempts=1)
+        if self.san is not None:
+            self.san.on_invocation(primitive.value, response.status.value,
+                                   cs_cycles, response.service_cycles)
         return InvokeResult(response=response, cs_cycles=cs_cycles,
                             attempts=1)
 
@@ -288,5 +291,12 @@ class FastEMCall(EMCall):
                 jitter_cycles=jitter, polls=1,
                 enclave_id=core.current_enclave_id, core_id=core.core_id,
                 attempts=1)
-        return BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
-                                 attempts=1)
+        result = BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
+                                   attempts=1)
+        if self.san is not None:
+            for (primitive, _), response, cycles in zip(
+                    calls, responses, result.per_request_cycles()):
+                self.san.on_invocation(primitive.value,
+                                       response.status.value,
+                                       cycles, response.service_cycles)
+        return result

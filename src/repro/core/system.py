@@ -171,6 +171,8 @@ class HyperTEESystem:
         self.obs = Observability()
         #: Fault injector; None until enable_fault_injection() is called.
         self.faults = None
+        #: teesan sanitizer manager; None until enable_sanitizers().
+        self.san = None
         self._register_stats_sources()
 
     def _build_shards(self, cfg: SystemConfig) -> None:
@@ -329,6 +331,53 @@ class HyperTEESystem:
             self.shard_pool.faults = self.faults
             for shard in self.shard_pool.shards[1:]:
                 shard.runtime.faults = self.faults
+        return self
+
+    def enable_sanitizers(
+            self,
+            sanitizers: tuple[str, ...] = ("secret", "own"),
+    ) -> "HyperTEESystem":
+        """Attach the teesan runtime sanitizers (docs/sanitizers.md).
+
+        Off by default and observe-only, exactly like the ``obs`` and
+        ``faults`` hooks: no modelled state, RNG draw, or cycle count
+        changes — a sanitized run is bit-identical to an unsanitized one
+        (tests/sanitize/test_noninterference.py). The manager is wired
+        into every instrumented component, fleet-wide on sharded
+        platforms, and the eFuse roots are registered as taint so every
+        derived key is traceable from boot. Returns self for chaining.
+        """
+        from repro.common import codec
+        from repro.sanitize.manager import SanitizerManager
+
+        san = SanitizerManager(sanitizers, obs=self.obs)
+        self.san = san
+        self.mailbox.san = san
+        self.memory.san = san
+        self.engine.san = san
+        self.keys.san = san
+        self.pool.san = san
+        self.ownership.san = san
+        self.sealing.san = san
+        self.emcall.san = san
+        self.ems.san = san
+        self.crypto.san = san
+        self.obs.flightrec.san = san
+        codec.set_sanitizer(san)
+        if self.shard_pool is not None:
+            self.shard_pool.san = san
+            for shard in self.shard_pool.shards[1:]:
+                shard.mailbox.san = san
+                shard.pool.san = san
+                shard.ownership.san = san
+                shard.runtime.san = san
+        # The manufacturing roots are the taint sources everything else
+        # derives from (EFuse.read stays readable after lock()).
+        san.register_secret(self.efuse.read("EK"), "efuse-EK")
+        san.register_secret(self.efuse.read("SK"), "efuse-SK")
+        # Only sanitized systems grow the summary schema; the default
+        # key set stays pinned (tests/core/test_stats.py).
+        self.obs.metrics.register_source("sanitize", san.stats_snapshot)
         return self
 
     # -- conveniences ----------------------------------------------------------------------

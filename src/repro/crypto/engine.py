@@ -89,10 +89,14 @@ class CryptoEngine:
         self._freq = freq_hz
         #: Out-of-band observability hook (attached by the system).
         self.obs = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     def _probe(self, op: str, nbytes: int, cycles: int) -> None:
         if self.obs is not None:
             self.obs.record_crypto_op(op, nbytes, cycles)
+        if self.san is not None:
+            self.san.on_crypto_op(op, nbytes)
 
     # -- latency helpers -----------------------------------------------------
 

@@ -236,6 +236,8 @@ class EMCall:
         self.obs = None
         #: Fault injector (None = clear weather); see repro.faults.
         self.faults = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
         #: Retry/timeout/degradation knobs; swap for a custom policy.
         self.retry_policy = RetryPolicy()
 
@@ -371,6 +373,9 @@ class EMCall:
                 jitter_cycles=jitter, polls=polls,
                 enclave_id=request.enclave_id, core_id=core.core_id,
                 attempts=attempts)
+        if self.san is not None:
+            self.san.on_invocation(primitive.value, response.status.value,
+                                   cs_cycles, response.service_cycles)
         return InvokeResult(response=response, cs_cycles=cs_cycles,
                             attempts=attempts)
 
@@ -551,8 +556,15 @@ class EMCall:
                 jitter_cycles=jitter, polls=polls,
                 enclave_id=core.current_enclave_id, core_id=core.core_id,
                 attempts=attempts)
-        return BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
-                                 attempts=attempts)
+        result = BatchInvokeResult(responses=responses, cs_cycles=cs_cycles,
+                                   attempts=attempts)
+        if self.san is not None:
+            for (primitive, _), response, cycles in zip(
+                    calls, responses, result.per_request_cycles()):
+                self.san.on_invocation(primitive.value,
+                                       response.status.value,
+                                       cycles, response.service_cycles)
+        return result
 
     def _batch_backoff(self, attempt: int,
                        enclave_id: int | None = None) -> int:
@@ -777,6 +789,15 @@ class ShardedEMCall:
     def faults(self, injector) -> None:
         for gate in self._gates:
             gate.faults = injector
+
+    @property
+    def san(self):
+        return self._primary.san
+
+    @san.setter
+    def san(self, manager) -> None:
+        for gate in self._gates:
+            gate.san = manager
 
     @property
     def bitmap_flush_count(self) -> int:

@@ -36,6 +36,10 @@ class KeyManager:
         #: keyid -> key, for erase-on-release. EMS-private state.
         self._live_keys: dict[int, bytes] = {}
         self._attestation_salt = rng.randbytes(16, stream="ak-salt")
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        #: Every key this manager mints or installs is registered as
+        #: taint at the moment it exists — the SECRET sanitizer's source.
+        self.san = None
 
     # -- KeyID lifecycle --------------------------------------------------------------
 
@@ -49,6 +53,8 @@ class KeyManager:
         keyid = next(self._keyid_counter)
         self._engine.program_key(keyid, key, from_ems=True)
         self._live_keys[keyid] = key
+        if self.san is not None:
+            self.san.register_secret(key, f"memkey-slot{keyid}")
         return keyid
 
     def reprogram_keyid(self, keyid: int, key: bytes) -> None:
@@ -59,6 +65,8 @@ class KeyManager:
         """
         self._engine.program_key(keyid, key, from_ems=True)
         self._live_keys[keyid] = key
+        if self.san is not None:
+            self.san.register_secret(key, f"memkey-slot{keyid}")
 
     def release_keyid(self, keyid: int) -> None:
         """Release a slot, erasing the key with random bytes first."""
@@ -73,17 +81,27 @@ class KeyManager:
 
     # -- derivations -------------------------------------------------------------------
 
+    def _minted(self, value: bytes, label: str) -> bytes:
+        """Register a fresh derivation with the sanitizer, if attached."""
+        if self.san is not None:
+            self.san.register_secret(value, label)
+        return value
+
     def enclave_memory_key(self, measurement_seed: bytes) -> bytes:
         """Per-enclave memory key from SK + measurement seed."""
-        return self._kdf.enclave_memory_key(measurement_seed)
+        return self._minted(self._kdf.enclave_memory_key(measurement_seed),
+                            "enclave-memory-key")
 
     def shared_memory_key(self, sender_enclave_id: int, shm_id: int) -> bytes:
         """Shared-region key from (sender EnclaveID, ShmID)."""
-        return self._kdf.shared_memory_key(sender_enclave_id, shm_id)
+        return self._minted(
+            self._kdf.shared_memory_key(sender_enclave_id, shm_id),
+            f"shared-memory-key-shm{shm_id}")
 
     def attestation_key(self) -> bytes:
         """The current AK (SK + the live salt)."""
-        return self._kdf.attestation_key(self._attestation_salt)
+        return self._minted(self._kdf.attestation_key(self._attestation_salt),
+                            "attestation-key")
 
     def rotate_attestation_key(self) -> None:
         """Draw a fresh salt; prior AK becomes unreproducible."""
@@ -91,12 +109,15 @@ class KeyManager:
 
     def report_key(self, challenger_measurement: bytes) -> bytes:
         """Local-attestation report key bound to the challenger."""
-        return self._kdf.report_key(challenger_measurement)
+        return self._minted(self._kdf.report_key(challenger_measurement),
+                            "report-key")
 
     def sealing_key(self, measurement: bytes) -> bytes:
         """Sealing key bound to (measurement, device SK)."""
-        return self._kdf.sealing_key(measurement)
+        return self._minted(self._kdf.sealing_key(measurement),
+                            "sealing-key")
 
     def platform_signing_key(self) -> bytes:
         """EK-derived key signing platform measurements."""
-        return self._kdf.platform_signing_key()
+        return self._minted(self._kdf.platform_signing_key(),
+                            "platform-signing-key")

@@ -57,6 +57,8 @@ class EnclaveMemoryPool:
         self.stats = PoolStats()
         #: Out-of-band observability hook (attached by the system).
         self.obs = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
         #: Frames whose bitmap bit changed since the last drain; the EMS
         #: runtime folds these into the response's TLB-flush action.
         self._pending_flush: list[int] = []
@@ -136,6 +138,8 @@ class EnclaveMemoryPool:
         if self.obs is not None:
             self.obs.record_pool_take(pages, len(self._free), self._used,
                                       owner=owner)
+        if self.san is not None:
+            self.san.on_pool_take(self._memory, taken, owner)
         return taken
 
     def take_contiguous(self, pages: int, owner=None) -> list[int]:
@@ -158,6 +162,8 @@ class EnclaveMemoryPool:
                 if self.obs is not None:
                     self.obs.record_pool_take(pages, len(self._free),
                                               self._used, owner=owner)
+                if self.san is not None:
+                    self.san.on_pool_take(self._memory, run, owner)
                 return run
             self._refill(max(self._enlarge_pages, pages))
         raise OutOfEnclaveMemory(
@@ -183,6 +189,10 @@ class EnclaveMemoryPool:
         if self.obs is not None:
             self.obs.record_pool_return(len(frames), len(self._free),
                                         self._used, owner=owner)
+        if self.san is not None:
+            # Scanned *after* the zeroing loop: a surviving secret means
+            # the scrub is broken (TEE004's freed-frame channel).
+            self.san.on_pool_return(self._memory, frames, owner)
 
     def take_host_visible(self, pages: int) -> list[int]:
         """Frames for HostApp<->enclave transfer buffers.
@@ -201,6 +211,8 @@ class EnclaveMemoryPool:
         """Zero and return transfer-buffer frames to the OS."""
         for frame in frames:
             self._memory.zero_frame(frame)
+        if self.san is not None:
+            self.san.on_pool_surrender(self._memory, frames)
         self._os.release_frames(frames)
 
     def disown_used(self, pages: int) -> None:
@@ -244,4 +256,8 @@ class EnclaveMemoryPool:
                 self._bitmap.set_enclave(frame, False)
                 self._pending_flush.append(frame)
         self._capacity -= count
+        if self.san is not None:
+            # These frames leave enclave memory for the CS OS: any
+            # surviving key material would hand the swap channel a copy.
+            self.san.on_pool_surrender(self._memory, chosen)
         return chosen

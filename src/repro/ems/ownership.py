@@ -52,6 +52,8 @@ class PageOwnershipTable:
 
     def __init__(self) -> None:
         self._owners: dict[int, Owner] = {}
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     def owner_of(self, frame: int) -> Owner | None:
         """The recorded owner of a frame, or None."""
@@ -64,6 +66,8 @@ class PageOwnershipTable:
             raise OwnershipError(
                 f"frame {frame} owned by {existing}, cannot assign {owner}")
         self._owners[frame] = owner
+        if self.san is not None:
+            self.san.on_claim(self, [frame], owner)
 
     def claim_all(self, frames: list[int], owner: Owner) -> None:
         # Verify-then-commit so a conflict does not leave partial claims.
@@ -75,6 +79,8 @@ class PageOwnershipTable:
                     f"frame {frame} owned by {existing}, cannot assign {owner}")
         for frame in frames:
             self._owners[frame] = owner
+        if self.san is not None:
+            self.san.on_claim(self, list(frames), owner)
 
     def release(self, frame: int, owner: Owner) -> None:
         """Drop ownership; only the recorded owner may release."""
@@ -85,6 +91,8 @@ class PageOwnershipTable:
             raise OwnershipError(
                 f"{owner} tried to release frame {frame} owned by {existing}")
         del self._owners[frame]
+        if self.san is not None:
+            self.san.on_release(self, [frame], owner)
 
     def release_all(self, frames: list[int], owner: Owner) -> None:
         """Release a batch of frames held by ``owner``."""

@@ -132,6 +132,8 @@ class EMSRuntime:
         self.obs = None
         #: Fault injector (None = clear weather); see repro.faults.
         self.faults = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
         #: idempotency_key -> (result dict, original status) replay cache.
         self._idempotency_cache: collections.OrderedDict[
             str, tuple[dict, ResponseStatus]] = collections.OrderedDict()
@@ -218,6 +220,10 @@ class EMSRuntime:
                     service_cycles=response.service_cycles,
                     core_index=self._next_core,
                     enclave_id=request.enclave_id)
+            if self.san is not None:
+                self.san.on_ems_dispatch(request.primitive.value,
+                                         response.status.value,
+                                         response.service_cycles)
             self._next_core = (self._next_core + 1) % self.num_cores
         return len(requests)
 
@@ -246,6 +252,10 @@ class EMSRuntime:
                     service_cycles=sub.service_cycles,
                     core_index=self._next_core,
                     enclave_id=element.enclave_id)
+            if self.san is not None:
+                self.san.on_ems_dispatch(element.primitive.value,
+                                         sub.status.value,
+                                         sub.service_cycles)
             self._next_core = (self._next_core + 1) % self.num_cores
 
     def dispatch_batch(self, batch: BatchRequest) -> BatchResponse:

@@ -24,9 +24,13 @@ class SealingService:
     def __init__(self, keys: KeyManager, rng: DeterministicRng) -> None:
         self._keys = keys
         self._rng = rng
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     def seal(self, measurement: bytes, plaintext: bytes) -> SealedBlob:
         """Encrypt + authenticate data under the sealing key."""
+        if self.san is not None:
+            self.san.on_seal(len(plaintext))
         key = self._keys.sealing_key(measurement)
         nonce = self._rng.randbytes(16, stream="seal-nonce")
         cipher = KeystreamCipher(keyed_mac(key, b"enc" + nonce))
@@ -36,6 +40,8 @@ class SealingService:
 
     def unseal(self, measurement: bytes, blob: SealedBlob) -> bytes:
         """Verify and decrypt; raises SealingError on mismatch."""
+        if self.san is not None:
+            self.san.on_unseal(len(blob.ciphertext))
         key = self._keys.sealing_key(measurement)
         expected = keyed_mac(keyed_mac(key, b"mac" + blob.nonce), blob.ciphertext)
         if not constant_time_equal(expected, blob.tag):

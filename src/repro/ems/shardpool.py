@@ -111,6 +111,8 @@ class ShardPool:
         self.faults = None
         #: Out-of-band observability hook (attached by the system).
         self.obs = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
         self.transfers_committed = 0
         self.transfers_interrupted = 0
 
@@ -212,12 +214,18 @@ class ShardPool:
                     + moved.to_bytes(4, "little")
                     + control.measurement)
         token = self.sealing.seal(control.measurement, manifest)
+        if self.san is not None:
+            self.san.on_transfer_prepare(enclave_id,
+                                         own_frames + table_frames,
+                                         src_index, dst_index)
 
         if self.faults is not None and \
                 self.faults.fires("ems.transfer.interrupt"):
             # Aborted between prepare and commit: the token dies with
             # the attempt and no state has moved on either shard.
             self.transfers_interrupted += 1
+            if self.san is not None:
+                self.san.on_transfer_abort(enclave_id)
             raise TransferInterrupted(
                 f"transfer of enclave {enclave_id} "
                 f"({src_index} -> {dst_index}) interrupted before commit")
@@ -225,12 +233,21 @@ class ShardPool:
         # Commit, destination side: authenticate the manifest, then take
         # ownership all-or-nothing. A stale or forged token fails the
         # unseal; a manifest for the wrong enclave fails the binding.
-        opened = self.sealing.unseal(control.measurement, token)
+        try:
+            opened = self.sealing.unseal(control.measurement, token)
+        except Exception:
+            if self.san is not None:
+                self.san.on_transfer_abort(enclave_id)
+            raise
         if (opened[:len(_MANIFEST_MAGIC)] != _MANIFEST_MAGIC
                 or opened[len(_MANIFEST_MAGIC):len(_MANIFEST_MAGIC) + 8]
                 != enclave_id.to_bytes(8, "little")):
+            if self.san is not None:
+                self.san.on_transfer_abort(enclave_id)
             raise ShardError(
                 f"transfer manifest for enclave {enclave_id} failed binding")
+        if self.san is not None:
+            self.san.on_transfer_manifest_verified(enclave_id)
         dst.ownership.verify_unowned(own_frames)
         dst.ownership.verify_unowned(table_frames)
 
@@ -252,6 +269,8 @@ class ShardPool:
         self.transfers_committed += 1
         if self.obs is not None:
             self.obs.record_shard_transfer(src_index, dst_index, moved)
+        if self.san is not None:
+            self.san.on_transfer_commit(enclave_id, src_index, dst_index)
         return {"enclave_id": enclave_id, "src": src_index,
                 "dst": dst_index, "pages": moved}
 

@@ -71,6 +71,9 @@ class ServeConfig:
     ewb_every: int = 50
     #: Adversarial weather: one of :data:`CHAOS_MODES`.
     chaos: str = "none"
+    #: Runtime sanitizers (teesan) to attach; empty tuple = off, which
+    #: keeps the run bit-identical to the pre-sanitizer driver.
+    sanitize: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -88,6 +91,12 @@ class ServeConfig:
         if self.chaos not in CHAOS_MODES:
             raise ValueError(
                 f"chaos must be one of {CHAOS_MODES}, got {self.chaos!r}")
+        from repro.sanitize.manager import SANITIZERS
+
+        for name in self.sanitize:
+            if name not in SANITIZERS:
+                raise ValueError(
+                    f"sanitize must name only {SANITIZERS}, got {name!r}")
 
 
 class _Worker:
@@ -115,6 +124,8 @@ def _build_platform(cfg: ServeConfig) -> HyperTEE:
                                 ems_shards=cfg.shards,
                                 cs_cores=cfg.workers))
     tee.system.enable_observability()
+    if cfg.sanitize:
+        tee.system.enable_sanitizers(cfg.sanitize)
     if cfg.chaos == "queuefull":
         tee.system.enable_fault_injection(FaultPlan.build(
             [FaultRule(point="mailbox.queue_full", probability=1.0,
@@ -244,7 +255,7 @@ def run_serve(cfg: ServeConfig,
     # Starvation: the run degraded and never completed a single phase —
     # the platform made zero forward progress under backpressure.
     starved = totals["degraded"] > 0 and totals["completed"] == 0
-    return {
+    report: dict[str, Any] = {
         "schema": SCHEMA,
         "config": dataclasses.asdict(cfg),
         "totals": {
@@ -261,6 +272,11 @@ def run_serve(cfg: ServeConfig,
             "completed_ops": totals["completed"],
         },
     }
+    if cfg.sanitize:
+        # Present only on sanitized runs: the default document (and the
+        # report pinned by the determinism tests) is unchanged.
+        report["sanitize"] = tee.system.san.to_dict()
+    return report
 
 
 def render_report(report: dict[str, Any]) -> str:
@@ -311,6 +327,15 @@ def render_report(report: dict[str, Any]) -> str:
         ["enclave", "invocations", "cs cycles", "ems cycles", "retries",
          "faults"],
         attr_rows))
+
+    sanitize = report.get("sanitize")
+    if sanitize is not None:
+        lines.append("")
+        lines.append(
+            f"teesan: sanitizers={','.join(sanitize['sanitizers'])} "
+            f"events={sanitize['stats']['events']} "
+            f"violations={len(sanitize['violations'])} "
+            f"{'CLEAN' if sanitize['ok'] else 'VIOLATIONS'}")
 
     starvation = report["starvation"]
     if starvation["starved"]:

@@ -45,6 +45,8 @@ class MemoryEncryptionEngine:
         self._mac_keys: dict[int, bytes] = {}
         #: line physical address -> (keyid, mac over stored line content)
         self._macs: dict[int, tuple[int, int]] = {}
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     # -- configuration (iHub-gated) ---------------------------------------------
 
@@ -63,6 +65,8 @@ class MemoryEncryptionEngine:
             raise KeySlotExhausted(f"all {self.key_slots} KeyID slots in use")
         self._ciphers[keyid] = KeystreamCipher(key)
         self._mac_keys[keyid] = key
+        if self.san is not None:
+            self.san.on_key_programmed(keyid)
 
     def release_key(self, keyid: int, *, from_ems: bool) -> None:
         """Free a KeyID slot (enclave destroyed or suspended)."""
@@ -70,6 +74,8 @@ class MemoryEncryptionEngine:
             raise IsolationViolation("only EMS may release encryption keys")
         self._ciphers.pop(keyid, None)
         self._mac_keys.pop(keyid, None)
+        if self.san is not None:
+            self.san.on_key_released(keyid)
 
     def slots_in_use(self) -> int:
         """Programmed KeyID slots."""

@@ -115,6 +115,8 @@ class Mailbox:
         self.obs = None
         #: Fault injector (attached via IHub.attach_faults; None = clear).
         self.faults = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     # -- fabric transfer timing (latency spikes inject here) --------------------
 
@@ -168,6 +170,9 @@ class Mailbox:
         if isinstance(request, BatchRequest):
             self.stats.batches_sent += 1
             self.stats.batched_requests += len(request)
+        if self.san is not None:
+            # The packet is on the fabric from here on, delivered or not.
+            self.san.on_wire_packet(request, "request")
         if self.faults is not None and \
                 self.faults.fires("mailbox.request.drop"):
             self.stats.requests_dropped += 1
@@ -268,6 +273,10 @@ class Mailbox:
         is stale — discarded and counted, not an error (the EMS cannot
         know EMCall gave up).
         """
+        if self.san is not None:
+            # Scanned before any delivery outcome: a stale or rejected
+            # response still crossed the fabric with its payload.
+            self.san.on_wire_packet(response, "response")
         if response.request_id in self._cancelled:
             self.stats.stale_responses += 1
             if self.obs is not None:

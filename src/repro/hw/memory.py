@@ -28,6 +28,8 @@ class PhysicalMemory:
         self._frames: dict[int, bytearray] = {}
         #: Optional encryption engine; attached by the SoC at construction.
         self.encryption_engine = None
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     # -- frame helpers ---------------------------------------------------------
 
@@ -66,6 +68,8 @@ class PhysicalMemory:
         and writes raw DRAM contents through these methods.
         """
         self.check_range(paddr, len(data))
+        if self.san is not None:
+            self.san.on_raw_write(self, paddr, data)
         view = memoryview(data)
         while view:
             frame_number, offset = paddr >> PAGE_SHIFT, paddr & (PAGE_SIZE - 1)
@@ -102,6 +106,8 @@ class PhysicalMemory:
         """Zero one frame (EMS zeroes pages before pool return / mapping)."""
         frame = self._frame(frame_number)
         frame[:] = bytes(PAGE_SIZE)
+        if self.san is not None:
+            self.san.on_zero_frame(frame_number)
         if self.encryption_engine is not None:
             self.encryption_engine.drop_block_macs(frame_number << PAGE_SHIFT, PAGE_SIZE)
 

@@ -20,13 +20,17 @@ Subcommands::
     python -m repro serve --chaos queuefull # starvation self-check (exits 1)
     python -m repro lint                    # teelint architectural checks
     python -m repro lint --format=github    # CI annotation output
+    python -m repro sanitize --check        # teesan runtime sanitizers
+    python -m repro sanitize --seed-violation secret  # self-check (exit 1)
 
 ``metrics`` and ``trace`` boot an observability-enabled platform and run
 a quickstart-style enclave scenario that exercises the lifecycle, memory,
 shared-memory, and attestation primitives, then report from the registry
 or the tracer. Open the trace file in Perfetto (https://ui.perfetto.dev).
 ``lint`` runs the :mod:`repro.analysis` rule catalogue (TEE001-TEE008)
-over the package sources.
+over the package sources. ``sanitize`` runs the :mod:`repro.sanitize`
+runtime sanitizers (teesan) over sanitized scenarios — the dynamic twin
+of the static rules.
 """
 
 from __future__ import annotations
@@ -269,11 +273,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.eval.serve import ServeConfig, render_report, run_serve
 
+    from repro.sanitize.manager import parse_sanitizer_list
+
     try:
         cfg = ServeConfig(shards=args.shards, workers=args.workers,
                           ops=args.ops, seed=args.seed, engine=args.engine,
                           transfer_every=args.transfer_every,
-                          chaos=args.chaos)
+                          chaos=args.chaos,
+                          sanitize=parse_sanitizer_list(args.sanitize))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -297,6 +304,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("error: serve run starved (degraded with zero completed "
               "ops)", file=sys.stderr)
         return 1
+    sanitize = report.get("sanitize")
+    if sanitize is not None and not sanitize["ok"]:
+        print(f"error: teesan reported {len(sanitize['violations'])} "
+              "violation(s) during the serve run", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -306,12 +318,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run(args)
 
 
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    from repro.sanitize.cli import run
+
+    return run(args)
+
+
 #: Every subcommand name, in help order. ``main()`` uses this to decide
 #: whether the first token selects a subcommand or is a bare artifact
 #: name for ``regen`` — keep it in lockstep with :func:`build_parser`
 #: (pinned by the CLI smoke test).
 COMMANDS = ("regen", "metrics", "trace", "slo", "flightrec", "bench",
-            "serve", "lint")
+            "serve", "lint", "sanitize")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -422,6 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="none",
                        help="adversarial weather: queuefull pins the "
                             "request queue full for the whole run")
+    serve.add_argument("--sanitize", default="", metavar="LIST",
+                       help="attach teesan runtime sanitizers for the run "
+                            "(comma list from secret,own,det; default off)")
     serve.add_argument("--json", action="store_true",
                        help="print the machine-readable report document")
     serve.add_argument("--out", default=None, metavar="PATH",
@@ -438,6 +459,15 @@ def build_parser() -> argparse.ArgumentParser:
                      "invariants (TEE001-TEE008)")
     configure_lint(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    from repro.sanitize.cli import configure_parser as configure_sanitize
+
+    sanitize = sub.add_parser(
+        "sanitize", help="teesan: runtime sanitizers that dynamically "
+                         "verify the lint invariants (secret shadow "
+                         "memory, ownership races, lockstep divergence)")
+    configure_sanitize(sanitize)
+    sanitize.set_defaults(func=_cmd_sanitize)
 
     return parser
 

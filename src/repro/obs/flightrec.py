@@ -69,6 +69,8 @@ class FlightRecorder:
         self.last_dump: dict[str, Any] | None = None
         #: Paths written for trips (capped at MAX_TRIP_FILES).
         self.dump_paths: list[str] = []
+        #: Runtime sanitizer manager (None = off); see repro.sanitize.
+        self.san = None
 
     def __len__(self) -> int:
         return len(self._events)
@@ -88,6 +90,10 @@ class FlightRecorder:
                                  "kind": kind}
         event.update(fields)
         self._events.append(event)
+        if self.san is not None:
+            # The ring lands verbatim in crash-dump artifacts: nothing
+            # recorded here may contain key material (dynamic TEE004).
+            self.san.on_observable(f"flightrec.{kind}", fields)
 
     # -- dumping -------------------------------------------------------------
 

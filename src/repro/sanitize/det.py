@@ -1,0 +1,130 @@
+"""The DET sanitizer: dynamic TEE011 (lockstep divergence).
+
+The repository carries two execution engines — the reference
+interpreter and the vectorized fast kernel — pinned bit-for-bit by the
+differential test grid. DET re-proves that pin *on a live workload*:
+it runs the same deterministic scenario on both engines, records an
+event trail per completed invocation (primitive, status, CS cycles,
+EMS service cycles), and bisects to the first divergent event.
+
+The trail is collected by the :class:`DetTrail` hook sink (fed from
+the EMCall gates of both engines at the same probe point the
+observability layer uses), so the comparison sees exactly what a user
+of either engine would: cycle-accurate, in invocation order.
+
+``perturb_event`` deliberately skews one recorded cost on the second
+trail — the seeded-violation self-check proving the detector can fail.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Fields of one trail entry, in comparison order.
+_ENTRY_FIELDS = ("primitive", "status", "cs_cycles", "service_cycles")
+
+
+class DetTrail:
+    """Per-invocation event trail, recorded via the manager hooks."""
+
+    def __init__(self, manager) -> None:
+        self._manager = manager
+        self.entries: list[tuple] = []
+
+    def record(self, primitive: str, status: str, cs_cycles: int,
+               service_cycles: int) -> None:
+        """One completed invocation, in program order."""
+        self.entries.append((primitive, status, cs_cycles,
+                             service_cycles))
+
+
+def bisect_divergence(a: list[tuple], b: list[tuple]) -> int | None:
+    """Index of the first divergent event, or None for equal trails.
+
+    Binary search over prefix equality: the longest common prefix is
+    found in O(log n) prefix comparisons, and the event after it is
+    the first divergence. A pure length mismatch diverges at the end
+    of the shorter trail.
+    """
+    bound = min(len(a), len(b))
+    lo, hi = 0, bound
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if a[:mid] == b[:mid]:
+            lo = mid
+        else:
+            hi = mid - 1
+    if lo < bound:
+        return lo
+    if len(a) != len(b):
+        return bound
+    return None
+
+
+def _entry_dict(trail: list[tuple], index: int) -> dict[str, Any] | None:
+    if 0 <= index < len(trail):
+        return dict(zip(_ENTRY_FIELDS, trail[index]))
+    return None
+
+
+def run_lockstep(seed: int = 0x1EE7,
+                 engines: tuple[str, str] = ("reference", "fast"),
+                 perturb_event: int | None = None) -> dict[str, Any]:
+    """Run the sanitized scenario on both engines and compare trails.
+
+    Returns the lockstep report document. ``perturb_event`` bumps one
+    recorded cost on the second engine's trail before comparison (the
+    detector's own negative self-check; the modelled systems are never
+    touched).
+    """
+    from repro.sanitize.scenario import run_sanitized_scenario
+
+    trails: list[list[tuple]] = []
+    for engine in engines:
+        manager = run_sanitized_scenario(seed=seed, engine=engine,
+                                         sanitizers=("det",))
+        trails.append(list(manager.det.entries))
+    trail_a, trail_b = trails
+    if perturb_event is not None and 0 <= perturb_event < len(trail_b):
+        primitive, status, cs_cycles, service_cycles = \
+            trail_b[perturb_event]
+        trail_b[perturb_event] = (primitive, status, cs_cycles + 1,
+                                  service_cycles)
+    divergence = bisect_divergence(trail_a, trail_b)
+    return {
+        "schema": "hypertee.teesan.det/1",
+        "seed": seed,
+        "engines": list(engines),
+        "events": [len(trail_a), len(trail_b)],
+        "ok": divergence is None,
+        "first_divergence": divergence,
+        "diverged_a": _entry_dict(trail_a, divergence)
+        if divergence is not None else None,
+        "diverged_b": _entry_dict(trail_b, divergence)
+        if divergence is not None else None,
+        "perturb_event": perturb_event,
+    }
+
+
+def format_lockstep_report(report: dict[str, Any]) -> str:
+    """Human rendering; ASan-style ERROR line on divergence."""
+    engines = report["engines"]
+    if report["ok"]:
+        return (f"TeeSan DET: {engines[0]} and {engines[1]} ran "
+                f"{report['events'][0]} events in lockstep "
+                f"(seed {report['seed']:#x})")
+    index = report["first_divergence"]
+    lines = [
+        f"ERROR: TeeSan LOCKSTEP-DIVERGENCE: engines {engines[0]} and "
+        f"{engines[1]} diverged at event {index} "
+        f"(seed {report['seed']:#x})",
+    ]
+    for name, entry in ((engines[0], report["diverged_a"]),
+                        (engines[1], report["diverged_b"])):
+        if entry is None:
+            lines.append(f"    {name}: trail ended before event {index}")
+        else:
+            detail = " ".join(f"{key}={value}"
+                              for key, value in entry.items())
+            lines.append(f"    {name}: {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Byte-granular taint shadow state for the SECRET sanitizer.
+
+Two cooperating structures:
+
+* :class:`TaintRegistry` — the set of *known secret byte strings*
+  (key material registered at mint time by the key manager hooks).
+  Scanning a buffer means substring search for every registered
+  value. This gives the shadow-map laws for free:
+
+  - **monotone under copy/concat** — if a buffer contains a secret,
+    any buffer it is copied or concatenated into contains it too;
+  - **erasure only via modelled encrypt/digest** — the keystream
+    cipher XORs an address-tweaked SHA3 stream over the plaintext and
+    digests hash it, so neither ciphertext nor digest ever contains
+    the secret as a substring (for key-length secrets, with
+    overwhelming probability); slicing away part of the match also
+    erases it, exactly like real shadow memory.
+
+* :class:`ShadowMap` — per-frame tainted byte spans over the modelled
+  physical memory, maintained from the ``write_raw`` / ``zero_frame``
+  hooks. The freed-/regranted-frame checks walk it.
+
+Registered values shorter than :data:`MIN_SECRET_BYTES` or with fewer
+than 4 distinct byte values are refused: scanning for them would match
+structural bytes (zero fill, counters) and drown the signal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+#: Smallest registrable secret; everything the key manager mints is 32.
+MIN_SECRET_BYTES = 16
+
+#: A value this monotonous is filler, not key material.
+_MIN_DISTINCT_BYTES = 4
+
+
+@dataclasses.dataclass(frozen=True)
+class TaintHit:
+    """One secret match inside a scanned buffer."""
+
+    label: str      #: registry label of the matched value
+    offset: int     #: byte offset of the match in the buffer
+    length: int     #: length of the matched value
+
+
+class TaintRegistry:
+    """The known-secret dictionary scanned against every surface."""
+
+    def __init__(self) -> None:
+        self._labels: dict[bytes, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def register(self, value: bytes, label: str) -> bool:
+        """Add one secret value; returns False when refused.
+
+        The first label wins for duplicate values (re-derivations of
+        the same key keep their original mint label).
+        """
+        value = bytes(value)
+        if len(value) < MIN_SECRET_BYTES:
+            return False
+        if len(set(value)) < _MIN_DISTINCT_BYTES:
+            return False
+        if value in self._labels:
+            return False
+        self._labels[value] = label
+        return True
+
+    def labels(self) -> list[str]:
+        """Every registered label, in registration order."""
+        return list(self._labels.values())
+
+    def scan(self, data: bytes) -> list[TaintHit]:
+        """All occurrences of any registered secret in ``data``."""
+        hits: list[TaintHit] = []
+        if not data or not self._labels:
+            return hits
+        data = bytes(data)
+        for value, label in self._labels.items():
+            start = data.find(value)
+            while start != -1:
+                hits.append(TaintHit(label, start, len(value)))
+                start = data.find(value, start + 1)
+        hits.sort(key=lambda hit: hit.offset)
+        return hits
+
+    def contains_secret(self, data: bytes) -> TaintHit | None:
+        """The first secret occurrence in ``data``, or None."""
+        hits = self.scan(data)
+        return hits[0] if hits else None
+
+    def scan_text(self, text: str) -> list[TaintHit]:
+        """Hex-encoded secret occurrences inside a string payload."""
+        hits: list[TaintHit] = []
+        if not text or not self._labels:
+            return hits
+        for value, label in self._labels.items():
+            needle = value.hex()
+            start = text.find(needle)
+            while start != -1:
+                hits.append(TaintHit(label, start, len(needle)))
+                start = text.find(needle, start + 1)
+        hits.sort(key=lambda hit: hit.offset)
+        return hits
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowSpan:
+    """One tainted byte range inside one frame."""
+
+    start: int      #: first tainted byte offset in the frame
+    end: int        #: one past the last tainted byte
+    label: str      #: which secret landed here
+
+
+class ShadowMap:
+    """frame number -> tainted spans, from the raw-write hooks."""
+
+    def __init__(self) -> None:
+        self._spans: dict[int, list[ShadowSpan]] = {}
+
+    def mark(self, frame: int, start: int, end: int, label: str) -> None:
+        """Taint ``[start, end)`` of ``frame``."""
+        if end <= start:
+            return
+        self._spans.setdefault(frame, []).append(
+            ShadowSpan(start, end, label))
+
+    def clear_frame(self, frame: int) -> None:
+        """Drop every span of one frame (zeroing scrubs it)."""
+        self._spans.pop(frame, None)
+
+    def clear_range(self, frame: int, start: int, end: int) -> None:
+        """Untaint ``[start, end)``: overwrites split surviving spans."""
+        spans = self._spans.get(frame)
+        if not spans:
+            return
+        kept: list[ShadowSpan] = []
+        for span in spans:
+            if span.end <= start or span.start >= end:
+                kept.append(span)
+                continue
+            if span.start < start:
+                kept.append(ShadowSpan(span.start, start, span.label))
+            if span.end > end:
+                kept.append(ShadowSpan(end, span.end, span.label))
+        if kept:
+            self._spans[frame] = kept
+        else:
+            del self._spans[frame]
+
+    def spans_for(self, frame: int) -> list[ShadowSpan]:
+        """The tainted spans of one frame (empty when clean)."""
+        return list(self._spans.get(frame, ()))
+
+    def is_tainted(self, frame: int) -> bool:
+        """Does the frame hold at least one tainted byte?"""
+        return frame in self._spans
+
+    def tainted_frames(self) -> list[int]:
+        """Every frame with live taint, ascending."""
+        return sorted(self._spans)
+
+    def total_tainted_bytes(self) -> int:
+        """Sum of span widths (overlaps counted once per span)."""
+        return sum(span.end - span.start
+                   for spans in self._spans.values() for span in spans)

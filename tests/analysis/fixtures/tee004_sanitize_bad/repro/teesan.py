@@ -1,0 +1,11 @@
+def diagnose(manager, sealing_key):
+    manager.report_violation("secret", "SECRET-LEAK",
+                             "leaked value " + str(sealing_key))
+
+
+def render(signing_key):
+    return format_violation(signing_key)
+
+
+def summarize(counts, session_key):
+    return format_summary(counts, session_key)

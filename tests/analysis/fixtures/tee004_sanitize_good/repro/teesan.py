@@ -1,0 +1,19 @@
+import hashlib
+
+
+def redact(value):
+    return hashlib.sha256(value).hexdigest()[:8]
+
+
+def diagnose(manager, sealing_key):
+    manager.report_violation("secret", "SECRET-LEAK",
+                             "leaked value " + redact(sealing_key))
+
+
+def render(violation, signing_key):
+    del signing_key  # diagnostics carry labels, never values
+    return format_violation(violation)
+
+
+def summarize(counts, session_key):
+    return format_summary(counts, len(session_key))

@@ -22,7 +22,7 @@ def test_commands_constant_matches_the_parser():
                if hasattr(a, "choices") and a.choices)
     assert tuple(sub.choices) == COMMANDS == \
         ("regen", "metrics", "trace", "slo", "flightrec", "bench", "serve",
-         "lint")
+         "lint", "sanitize")
 
 
 def test_help_lists_every_subcommand_with_help_text(capsys):

@@ -184,6 +184,46 @@ def test_sarif_base_path_prefixes_uris_and_clamps_lines():
     assert locations[1]["region"]["startLine"] == 1
 
 
+def test_sarif_regions_carry_end_spans_when_the_finding_has_one():
+    import json
+    spanned = Finding(
+        rule="TEE004", severity=Severity.ERROR, path="repro/c.py",
+        line=12, col=8, end_line=13, end_col=27,
+        key="flow:emit->print", message="key material flows into print")
+    payload = json.loads(render_sarif(result_with([spanned])))
+    (result,) = payload["runs"][0]["results"]
+    region = result["locations"][0]["physicalLocation"]["region"]
+    # SARIF columns are 1-based and endColumn is exclusive: ast's
+    # 0-based end_col_offset maps to end_col + 1.
+    assert region == {"startLine": 12, "startColumn": 9,
+                      "endLine": 13, "endColumn": 28}
+    # Span-less findings (end_line 0) emit no end keys at all rather
+    # than a zero region code scanning would reject.
+    payload = json.loads(render_sarif(result_with(SARIF_FINDINGS)))
+    region = (payload["runs"][0]["results"][0]["locations"][0]
+              ["physicalLocation"]["region"])
+    assert "endLine" not in region and "endColumn" not in region
+
+
+def test_boundary_findings_span_the_whole_import_statement():
+    # End-to-end: the TEE001 fixture's finding carries the ast span of
+    # the offending import, and the JSON artifact round-trips it.
+    import json as _json
+
+    from repro.analysis import run_lint
+
+    from .conftest import FIXTURES
+    result = run_lint([FIXTURES / "tee001_bad" / "repro"])
+    finding = next(f for f in result.findings if f.rule == "TEE001"
+                   and f.line > 0)
+    assert finding.end_line >= finding.line > 0
+    assert finding.end_col > 0
+    entry = _json.loads(render_json(result))["findings"]
+    match = next(e for e in entry if e["key"] == finding.key)
+    assert (match["end_line"], match["end_col"]) == \
+        (finding.end_line, finding.end_col)
+
+
 def test_sarif_excludes_baselined_and_suppressed():
     import json
     result = result_with([SARIF_FINDINGS[0]])

@@ -181,6 +181,26 @@ def test_tee004_flightrec_good_digested_twin_is_silent(lint_fixture):
     assert result.findings == []
 
 
+# -- TEE004 teesan report sinks ----------------------------------------------
+
+def test_tee004_sanitize_bad_fires_on_teesan_report_sinks(lint_fixture):
+    # teesan diagnostics are printed, written to CI artifacts, and
+    # embedded in exception text — the reporting APIs are sinks, so key
+    # material must be redacted before it reaches a violation message.
+    result = lint_fixture("tee004_sanitize_bad", "TEE004")
+    assert keys(result) == {
+        "flow:diagnose->teesan report (report_violation)",
+        "flow:render->teesan report (format_violation)",
+        "flow:summarize->teesan report (format_summary)",
+    }
+    assert all(f.severity is Severity.ERROR for f in result.findings)
+
+
+def test_tee004_sanitize_good_redacted_twin_is_silent(lint_fixture):
+    result = lint_fixture("tee004_sanitize_good", "TEE004")
+    assert result.findings == []
+
+
 # -- TEE006 lifecycle typestate ----------------------------------------------
 
 def test_tee006_bad_fires_on_every_protocol_violation(lint_fixture):

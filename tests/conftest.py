@@ -37,6 +37,15 @@ from repro.hw.encryption_engine import MemoryEncryptionEngine
 from repro.hw.memory import PhysicalMemory
 
 
+@pytest.fixture(autouse=True)
+def _detach_codec_sanitizer():
+    """The codec's teesan hook is module-global; never leak it across tests."""
+    yield
+    from repro.common import codec
+
+    codec.set_sanitizer(None)
+
+
 @pytest.fixture
 def rng() -> DeterministicRng:
     return DeterministicRng(seed=1234)

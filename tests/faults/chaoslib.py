@@ -49,6 +49,21 @@ def kitchen_sink_plan(seed: int) -> FaultPlan:
     ))
 
 
+def chaos_sanitizers() -> tuple[str, ...]:
+    """Which teesan sanitizers the chaos suite attaches (opt-out).
+
+    ``CHAOS_SANITIZE=`` (empty) disables them; any other value is a
+    comma list. The default runs SECRET+OWN under every chaos plan —
+    the sanitizers assert the decoupling invariants *while* the fault
+    injector is actively trying to break them. DET is omitted: it
+    compares engines, which a single chaos platform doesn't have.
+    """
+    from repro.sanitize.manager import parse_sanitizer_list
+
+    return parse_sanitizer_list(os.environ.get("CHAOS_SANITIZE",
+                                               "secret,own"))
+
+
 def chaos_tee(plan: FaultPlan, *, max_attempts: int = 16,
               observability: bool = True, **config) -> HyperTEE:
     """A booted platform with the plan wired in and retries deepened.
@@ -65,6 +80,9 @@ def chaos_tee(plan: FaultPlan, *, max_attempts: int = 16,
     tee = HyperTEE(SystemConfig(**config))
     if observability:
         tee.system.enable_observability()
+    sanitizers = chaos_sanitizers()
+    if sanitizers:
+        tee.system.enable_sanitizers(sanitizers)
     tee.system.enable_fault_injection(plan)
     tee.system.emcall.retry_policy = RetryPolicy(max_attempts=max_attempts)
     return tee
@@ -154,6 +172,23 @@ def flight_guard(tee: HyperTEE, label: str = "chaos"):
         raise
 
 
+@contextlib.contextmanager
+def sanitize_guard(tee: HyperTEE, label: str = "chaos"):
+    """Fail the guarded block if any runtime sanitizer fired inside it.
+
+    The complement of :func:`flight_guard`: that one preserves evidence
+    when the workload *crashes*; this one turns silent invariant
+    violations — a secret on the wire, a double-granted frame — into a
+    hard failure with the teesan report attached, even though the
+    workload itself "passed". A no-op on unsanitized platforms.
+    """
+    san = getattr(tee.system, "san", None)
+    before = len(san.violations) if san is not None else 0
+    yield tee
+    if san is not None and len(san.violations) > before:
+        san.check_clean(label)
+
+
 def check_invariants(system: HyperTEESystem) -> None:
     """Pool / bitmap / ownership invariants that no fault may break.
 
@@ -176,6 +211,13 @@ def check_invariants(system: HyperTEESystem) -> None:
                     f"enclave {enclave_id} resident on shards "
                     f"{seen[enclave_id]} and {shard.index}")
                 seen[enclave_id] = shard.index
+
+    san = getattr(system, "san", None)
+    if san is not None:
+        # The dynamic invariants ride along with the structural ones:
+        # any sanitizer finding accumulated so far fails the run here,
+        # with the full teesan report and event trail in the message.
+        san.check_clean("chaos invariants")
 
     for pool, ownership, enclaves in cells:
         assert pool.used_count + pool.free_count == pool.capacity, \

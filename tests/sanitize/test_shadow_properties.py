@@ -1,0 +1,150 @@
+"""Property-based laws for the taint shadow state.
+
+Hypothesis pins the three laws the SECRET sanitizer's docstring claims:
+
+* **monotone under copy/concat** — a buffer containing a registered
+  secret still contains it after being embedded in any larger buffer;
+* **erasure only via modelled encrypt/digest** — the keystream cipher
+  and the hash primitives never reproduce a registered value as a
+  substring of their output;
+* **shadow-map algebra** — marking and clearing byte ranges behaves
+  like interval arithmetic (clears split spans, full clears empty the
+  frame, tainted-byte accounting is consistent).
+
+Example counts are bounded (this file runs in tier-1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import KeystreamCipher
+from repro.sanitize.shadow import (
+    MIN_SECRET_BYTES,
+    ShadowMap,
+    TaintRegistry,
+)
+
+# Secrets with enough byte diversity to pass registration.
+secrets = st.binary(min_size=MIN_SECRET_BYTES, max_size=48).filter(
+    lambda value: len(set(value)) >= 4)
+padding = st.binary(min_size=0, max_size=64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=secrets, prefix=padding, suffix=padding)
+def test_taint_is_monotone_under_copy_and_concat(value, prefix, suffix):
+    registry = TaintRegistry()
+    assert registry.register(value, "k")
+    embedded = prefix + value + suffix
+    hits = registry.scan(embedded)
+    assert hits, "concatenation must preserve taint"
+    assert any(embedded[h.offset:h.offset + h.length] == value
+               for h in hits)
+    # A copy of the embedding buffer is just as tainted.
+    assert registry.scan(bytes(bytearray(embedded)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=secrets, tweak=st.integers(min_value=0, max_value=2**40))
+def test_encryption_erases_taint(value, tweak):
+    registry = TaintRegistry()
+    assert registry.register(value, "k")
+    ciphertext = KeystreamCipher(b"some-unrelated-cipher-keying").encrypt(
+        value, tweak=tweak)
+    assert not registry.scan(ciphertext), \
+        "ciphertext reproduced the plaintext secret"
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=secrets)
+def test_digests_erase_taint(value):
+    registry = TaintRegistry()
+    assert registry.register(value, "k")
+    for digest in (hashlib.sha256(value).digest(),
+                   hashlib.sha3_256(value).digest()):
+        assert not registry.scan(digest)
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=secrets, chop=st.integers(min_value=1, max_value=8))
+def test_slicing_away_part_of_a_secret_erases_it(value, chop):
+    registry = TaintRegistry()
+    assert registry.register(value, "k")
+    assert not registry.scan(value[chop:])
+    assert not registry.scan(value[:-chop])
+
+
+def test_registration_refuses_weak_values():
+    registry = TaintRegistry()
+    assert not registry.register(b"short", "too-short")
+    assert not registry.register(bytes(32), "all-zero")
+    assert not registry.register(b"\x01\x02" * 16, "two-symbols")
+    assert len(registry) == 0
+    # First label wins on duplicate registration.
+    value = bytes(range(16))
+    assert registry.register(value, "first")
+    assert not registry.register(value, "second")
+    assert registry.labels() == ["first"]
+
+
+def test_scan_text_finds_hex_encoded_secrets():
+    registry = TaintRegistry()
+    value = bytes(range(20))
+    registry.register(value, "hexleak")
+    hits = registry.scan_text(f"dump: {value.hex()} end")
+    assert hits and hits[0].label == "hexleak"
+    assert not registry.scan_text("dump: nothing here")
+
+
+# -- ShadowMap interval algebra ---------------------------------------------
+
+ranges = st.tuples(st.integers(min_value=0, max_value=4000),
+                   st.integers(min_value=1, max_value=96))
+
+
+@settings(max_examples=60, deadline=None)
+@given(spans=st.lists(ranges, min_size=1, max_size=8),
+       clear=ranges)
+def test_clear_range_removes_exactly_the_overlap(spans, clear):
+    shadow = ShadowMap()
+    for start, width in spans:
+        shadow.mark(0, start, start + width, "k")
+    cstart, cwidth = clear
+    cend = cstart + cwidth
+    shadow.clear_range(0, cstart, cend)
+    for span in shadow.spans_for(0):
+        assert span.end <= cstart or span.start >= cend, \
+            f"span [{span.start},{span.end}) survived inside the clear"
+        assert span.start < span.end
+
+
+@settings(max_examples=60, deadline=None)
+@given(spans=st.lists(ranges, min_size=0, max_size=8))
+def test_clear_frame_always_empties(spans):
+    shadow = ShadowMap()
+    for start, width in spans:
+        shadow.mark(3, start, start + width, "k")
+    shadow.clear_frame(3)
+    assert not shadow.is_tainted(3)
+    assert shadow.spans_for(3) == []
+    assert 3 not in shadow.tainted_frames()
+
+
+def test_tainted_byte_accounting():
+    shadow = ShadowMap()
+    shadow.mark(1, 0, 10, "a")
+    shadow.mark(2, 100, 150, "b")
+    assert shadow.total_tainted_bytes() == 60
+    assert shadow.tainted_frames() == [1, 2]
+    # Clearing the middle of a span splits it, conserving the outside.
+    shadow.clear_range(2, 120, 130)
+    kept = shadow.spans_for(2)
+    assert [(s.start, s.end) for s in kept] == [(100, 120), (130, 150)]
+    assert shadow.total_tainted_bytes() == 50
+    # Degenerate marks are ignored.
+    shadow.mark(4, 10, 10, "noop")
+    assert not shadow.is_tainted(4)
